@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Experiment E1 — Figure 1 of the paper: clock periods of seven
+ * generations of Intel processors expressed in FO4, and the decomposition
+ * of the total frequency gain into technology scaling and pipelining.
+ */
+
+#include "bench/common.hh"
+#include "study/intel_history.hh"
+#include "util/table.hh"
+
+using namespace fo4;
+
+int
+main()
+{
+    bench::banner(
+        "E1 / Figure 1",
+        "clock frequency improved ~60x over 1990-2002; technology scaling "
+        "and deeper pipelining contributed roughly equally (~8x and ~7x); "
+        "logic per stage fell from 84 to ~12 FO4");
+
+    util::TextTable t;
+    t.setHeader({"processor", "year", "tech(nm)", "clock(MHz)",
+                 "period(FO4)"});
+    for (const auto &gen : study::intelGenerations()) {
+        t.addRow({gen.name, util::TextTable::num(std::int64_t{gen.year}),
+                  util::TextTable::num(gen.techNm, 0),
+                  util::TextTable::num(gen.clockMhz, 0),
+                  util::TextTable::num(gen.periodFo4(), 1)});
+    }
+    t.print(std::cout);
+
+    const auto d = study::decomposeFrequencyGains();
+    std::printf("\ntotal frequency gain:      %.1fx (paper: ~60x)\n",
+                d.totalGain);
+    std::printf("from technology scaling:   %.1fx (paper: ~8x)\n",
+                d.technologyGain);
+    std::printf("from deeper pipelining:    %.1fx (paper: ~7x)\n",
+                d.pipeliningGain);
+    std::printf("optimal integer clock:     7.8 FO4 "
+                "(dashed line in the paper's figure)\n");
+
+    bench::verdict("periods fall monotonically from ~84 FO4 toward the "
+                   "7.8 FO4 optimum; both gain factors are in the paper's "
+                   "7-8x band");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Experiments E4/E5 — Figure 4 of the paper: performance of the in-order
+ * pipeline as the amount of useful logic per stage is varied, (a) with
+ * no clocking overhead and (b) with the 1.8 FO4 latch/skew/jitter
+ * overhead.  Without overhead performance keeps improving with depth;
+ * with overhead the integer optimum is 6 FO4 of useful logic.
+ */
+
+#include "bench/common.hh"
+#include "study/runner.hh"
+#include "study/scaling.hh"
+#include "trace/spec2000.hh"
+#include "util/table.hh"
+
+using namespace fo4;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner(
+        "E4+E5 / Figures 4a and 4b",
+        "in-order pipeline: with zero overhead, BIPS rises as stages "
+        "shrink; with 1.8 FO4 overhead the integer optimum is 6 FO4 of "
+        "useful logic per stage");
+
+    auto spec = bench::specFromArgs(argc, argv, 60000, 8000, 400000);
+    spec.model = study::CoreModel::InOrder;
+    const auto profiles = trace::spec2000Profiles();
+    const auto ts = bench::usefulSweep();
+
+    util::TextTable t;
+    t.setHeader({"t_useful", "int(0 ovh)", "vfp(0 ovh)", "nvfp(0 ovh)",
+                 "int(1.8)", "vfp(1.8)", "nvfp(1.8)"});
+
+    std::vector<double> intZero, intPaper;
+    for (const double u : ts) {
+        const auto params = study::scaledCoreParams(u, {});
+        // One simulation serves both halves: overhead changes frequency,
+        // not cycle counts (paper Section 3.3).
+        const auto suite = runSuite(
+            params, study::scaledClock(u, tech::OverheadModel::uniform(0)),
+            profiles, spec);
+        const auto clk0 =
+            study::scaledClock(u, tech::OverheadModel::uniform(0));
+        const auto clk18 = study::scaledClock(u);
+
+        auto bips = [&](trace::BenchClass cls, const tech::ClockModel &c) {
+            double denom = 0;
+            int n = 0;
+            for (const auto &b : suite.benchmarks) {
+                if (b.cls != cls)
+                    continue;
+                denom += 1.0 / c.bips(b.sim.ipc());
+                ++n;
+            }
+            return n / denom;
+        };
+
+        intZero.push_back(bips(trace::BenchClass::Integer, clk0));
+        intPaper.push_back(bips(trace::BenchClass::Integer, clk18));
+        t.addRow({util::TextTable::num(u, 0),
+                  util::TextTable::num(intZero.back(), 3),
+                  util::TextTable::num(bips(trace::BenchClass::VectorFp,
+                                            clk0), 3),
+                  util::TextTable::num(bips(trace::BenchClass::NonVectorFp,
+                                            clk0), 3),
+                  util::TextTable::num(intPaper.back(), 3),
+                  util::TextTable::num(bips(trace::BenchClass::VectorFp,
+                                            clk18), 3),
+                  util::TextTable::num(bips(trace::BenchClass::NonVectorFp,
+                                            clk18), 3)});
+    }
+    t.print(std::cout);
+
+    const double opt0 = bench::argmax(ts, intZero);
+    const double opt18 = bench::argmax(ts, intPaper);
+    const auto p18 = bench::plateau(ts, intPaper, 0.02);
+    std::printf("\ninteger optimum without overhead: %.0f FO4 "
+                "(paper: keeps improving toward the deep end)\n",
+                opt0);
+    std::printf("integer optimum with 1.8 FO4 overhead: %.0f FO4, 2%% "
+                "plateau [%s] (paper: 6 FO4)\n",
+                opt18, bench::plateauStr(p18).c_str());
+    std::printf("note: our scoreboarded in-order model tolerates latency "
+                "better than the paper's, flattening the curve; the "
+                "paper's 6 FO4 point lies on the plateau\n");
+
+    std::string v = "without overhead the deepest pipeline wins; with "
+                    "1.8 FO4 overhead the optimum is finite and the "
+                    "curve peaks over a mid-depth plateau";
+    if (!bench::onPlateau(p18, 6))
+        v += "; WARNING: 6 FO4 fell off the plateau";
+    bench::verdict(v);
+    return 0;
+}

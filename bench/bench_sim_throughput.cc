@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Experiment E14 — engineering microbenchmarks (google-benchmark): raw
+ * throughput of the trace generator, branch predictors, cache hierarchy
+ * and the two pipeline models.  Not a paper artifact; used to keep the
+ * experiment sweeps fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bp/predictors.hh"
+#include "core/core.hh"
+#include "mem/hierarchy.hh"
+#include "study/scaling.hh"
+#include "trace/generator.hh"
+#include "trace/spec2000.hh"
+
+using namespace fo4;
+
+namespace
+{
+
+void
+BM_TraceGenerator(benchmark::State &state)
+{
+    auto prof = trace::spec2000Profile("164.gzip");
+    trace::SyntheticTraceGenerator gen(prof);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.next());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGenerator);
+
+void
+BM_TournamentPredictor(benchmark::State &state)
+{
+    auto prof = trace::spec2000Profile("176.gcc");
+    trace::SyntheticTraceGenerator gen(prof);
+    bp::Tournament bp;
+    std::vector<isa::MicroOp> branches;
+    for (int i = 0; i < 4096;) {
+        const auto op = gen.next();
+        if (op.isBranch()) {
+            branches.push_back(op);
+            ++i;
+        }
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &op = branches[i++ & 4095];
+        benchmark::DoNotOptimize(bp.predict(op));
+        bp.update(op, op.taken);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TournamentPredictor);
+
+void
+BM_CacheHierarchy(benchmark::State &state)
+{
+    mem::MemoryHierarchy mem({64 << 10, 64, 2}, {2 << 20, 64, 8},
+                             mem::HierarchyLatencies{});
+    std::uint64_t addr = 0;
+    std::int64_t now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.loadLatency(addr, now));
+        addr = (addr + 4093) & 0x3fffff;
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHierarchy);
+
+void
+BM_OooCoreGzip(benchmark::State &state)
+{
+    auto prof = trace::spec2000Profile("164.gzip");
+    trace::SyntheticTraceGenerator gen(prof);
+    auto core = core::makeOooCore(core::CoreParams::alpha21264(),
+                                  "tournament");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core->run(gen, 20000));
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_OooCoreGzip)->Unit(benchmark::kMillisecond);
+
+void
+BM_OooCoreDeepPipe(benchmark::State &state)
+{
+    auto prof = trace::spec2000Profile("164.gzip");
+    trace::SyntheticTraceGenerator gen(prof);
+    auto core = core::makeOooCore(study::scaledCoreParams(2.0, {}),
+                                  "tournament");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core->run(gen, 20000));
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_OooCoreDeepPipe)->Unit(benchmark::kMillisecond);
+
+void
+BM_InorderCoreGzip(benchmark::State &state)
+{
+    auto prof = trace::spec2000Profile("164.gzip");
+    trace::SyntheticTraceGenerator gen(prof);
+    auto core = core::makeInorderCore(core::CoreParams::alpha21264(),
+                                      "tournament");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core->run(gen, 20000));
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_InorderCoreGzip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

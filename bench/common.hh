@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: a uniform banner, the
+ * standard run-length knobs (override with instructions= warmup=
+ * prewarm= key=value arguments), and paper-vs-model table helpers.
+ */
+
+#ifndef FO4_BENCH_COMMON_HH
+#define FO4_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "study/runner.hh"
+#include "util/config.hh"
+#include "util/table.hh"
+
+namespace fo4::bench
+{
+
+/** Print the experiment banner: id, claim being reproduced. */
+inline void
+banner(const std::string &id, const std::string &claim)
+{
+    std::printf("=== %s ===\n", id.c_str());
+    std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+/** Standard run spec with command-line overrides. */
+inline study::RunSpec
+specFromArgs(int argc, char **argv, std::uint64_t instructions = 80000,
+             std::uint64_t warmup = 10000, std::uint64_t prewarm = 500000)
+{
+    const util::Config cfg = util::Config::fromArgs(argc, argv);
+    study::RunSpec spec;
+    spec.instructions = cfg.getInt("instructions", instructions);
+    spec.warmup = cfg.getInt("warmup", warmup);
+    spec.prewarm = cfg.getInt("prewarm", prewarm);
+    return spec;
+}
+
+/** The t_useful sweep the paper uses (2..16 FO4). */
+inline std::vector<double>
+usefulSweep()
+{
+    return {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+}
+
+/** Locate the argmax of a (t, value) series. */
+inline double
+argmax(const std::vector<double> &ts, const std::vector<double> &values)
+{
+    double bestT = ts.empty() ? 0.0 : ts[0];
+    double best = values.empty() ? 0.0 : values[0];
+    for (std::size_t i = 1; i < values.size(); ++i) {
+        if (values[i] > best) {
+            best = values[i];
+            bestT = ts[i];
+        }
+    }
+    return bestT;
+}
+
+/** All sweep points whose value is within `tol` of the maximum: the
+ *  optimum plateau (quantization stairs make near-ties common). */
+inline std::vector<double>
+plateau(const std::vector<double> &ts, const std::vector<double> &values,
+        double tol = 0.005)
+{
+    double best = 0;
+    for (const double v : values)
+        best = std::max(best, v);
+    std::vector<double> out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i] >= best * (1.0 - tol))
+            out.push_back(ts[i]);
+    }
+    return out;
+}
+
+/** Render a plateau as "a-b" or a list. */
+inline std::string
+plateauStr(const std::vector<double> &p)
+{
+    std::string s;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (i)
+            s += ",";
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%g", p[i]);
+        s += buf;
+    }
+    return s;
+}
+
+/** True if t is on the plateau. */
+inline bool
+onPlateau(const std::vector<double> &p, double t)
+{
+    for (const double v : p) {
+        if (v == t)
+            return true;
+    }
+    return false;
+}
+
+/** Print the shape verdict line benches end with. */
+inline void
+verdict(const std::string &text)
+{
+    std::printf("\nshape check: %s\n", text.c_str());
+}
+
+} // namespace fo4::bench
+
+#endif // FO4_BENCH_COMMON_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Latch lab: drive the switch-level circuit simulator interactively —
+ * measure the FO4 reference, extract pulse-latch timing at different
+ * device corners, and watch the latch fail as the data edge crosses the
+ * clock edge.  This is the machinery behind Table 1 of the paper.
+ *
+ *   ./latch_lab [vdd=1.2] [vt=0.3] [sweep=1]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "tech/clocking.hh"
+#include "tech/ecl.hh"
+#include "tech/latch.hh"
+#include "util/config.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fo4;
+    const auto cfg = util::Config::fromArgs(argc, argv);
+
+    auto params = tech::DeviceParams::at100nm();
+    params.vdd = cfg.getDouble("vdd", params.vdd);
+    params.vtn = cfg.getDouble("vt", params.vtn);
+    params.vtp = params.vtn;
+
+    std::printf("device corner: Vdd %.2f V, Vt %.2f V\n\n", params.vdd,
+                params.vtn);
+
+    const auto ref = tech::measureFo4(params);
+    std::printf("FO4 reference delay: %.2f ps (rise %.2f / fall %.2f)\n",
+                ref.delayPs, ref.risePs, ref.fallPs);
+
+    const auto timing = tech::measureLatchTiming(params, ref);
+    std::printf("pulse latch: overhead %.2f ps = %.2f FO4, nominal D-Q "
+                "%.2f ps, failure point %.2f ps %s the clock edge\n",
+                timing.overheadPs, timing.overheadFo4, timing.nominalTdqPs,
+                std::abs(timing.setupPs),
+                timing.setupPs < 0 ? "before" : "after");
+
+    const double ecl = tech::measureEclLevelFo4(params, ref);
+    std::printf("ECL gate-level equivalent (Appendix A circuit): %.2f "
+                "FO4\n\n",
+                ecl);
+
+    if (cfg.getBool("sweep", true)) {
+        // Show the latch failing as the data edge approaches the clock
+        // edge (the measurement behind the overhead number).
+        std::printf("data-edge sweep toward the falling clock edge:\n");
+        util::TextTable t;
+        t.setHeader({"D arrival vs clk edge (ps)", "captured", "D-Q (ps)"});
+        const double period = 40.0 * ref.delayPs;
+        for (double offset = -3.0; offset <= 1.0; offset += 0.5) {
+            const auto trial = tech::runLatchTrial(
+                params, period / 2.0 + offset * ref.delayPs, period);
+            t.addRow({util::TextTable::num(trial.dArrival - trial.clkFall,
+                                           1),
+                      trial.captured ? "yes" : "NO",
+                      trial.captured ? util::TextTable::num(trial.tdq, 2)
+                                     : "-"});
+        }
+        t.print(std::cout);
+    }
+
+    // Put the measured overhead in context.
+    tech::ClockModel clock;
+    clock.tUsefulFo4 = 6.0;
+    clock.overhead = tech::OverheadModel::paperDefault();
+    std::printf("\nwith the paper's 1.8 FO4 overhead, 6 FO4 of useful "
+                "logic gives a %.1f FO4 period = %.2f GHz at 100nm\n",
+                clock.periodFo4(), clock.frequencyGhz());
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Pipeline-depth explorer: sweep the useful logic per stage for a chosen
+ * benchmark (or class) and print the BIPS curve with its optimum — the
+ * core experiment of the paper, exposed as a command-line tool.
+ *
+ *   ./pipeline_explorer [bench=176.gcc | class=integer] [overhead=1.8]
+ *                       [model=ooo|inorder] [instructions=80000]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "study/runner.hh"
+#include "study/scaling.hh"
+#include "trace/spec2000.hh"
+#include "util/config.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+std::vector<fo4::trace::BenchmarkProfile>
+pickProfiles(const fo4::util::Config &cfg)
+{
+    using namespace fo4::trace;
+    if (cfg.has("class")) {
+        const std::string cls = cfg.getString("class", "integer");
+        if (cls == "integer")
+            return spec2000Profiles(BenchClass::Integer);
+        if (cls == "vector-fp" || cls == "vfp")
+            return spec2000Profiles(BenchClass::VectorFp);
+        if (cls == "non-vector-fp" || cls == "nvfp")
+            return spec2000Profiles(BenchClass::NonVectorFp);
+        if (cls == "all")
+            return spec2000Profiles();
+        fo4::util::fatal("unknown class '%s'", cls.c_str());
+    }
+    return {spec2000Profile(cfg.getString("bench", "176.gcc"))};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fo4;
+    const auto cfg = util::Config::fromArgs(argc, argv);
+    const auto profiles = pickProfiles(cfg);
+    const double overhead = cfg.getDouble("overhead", 1.8);
+
+    study::RunSpec spec;
+    spec.instructions = cfg.getInt("instructions", 80000);
+    spec.warmup = spec.instructions / 8;
+    spec.prewarm = cfg.getInt("prewarm", 500000);
+    spec.model = cfg.getString("model", "ooo") == "inorder"
+                     ? study::CoreModel::InOrder
+                     : study::CoreModel::OutOfOrder;
+
+    std::printf("sweeping t_useful = 2..16 FO4, overhead %.1f FO4, %zu "
+                "benchmark(s), %s core\n\n",
+                overhead, profiles.size(),
+                spec.model == study::CoreModel::InOrder ? "in-order"
+                                                        : "out-of-order");
+
+    util::TextTable t;
+    t.setHeader({"t_useful", "period(FO4)", "GHz", "hmean IPC",
+                 "hmean BIPS"});
+    double bestT = 0, bestBips = 0;
+    for (double u = 2; u <= 16; u += 1) {
+        const auto params = study::scaledCoreParams(u, {});
+        const auto clock =
+            study::scaledClock(u, tech::OverheadModel::uniform(overhead));
+        const auto suite = runSuite(params, clock, profiles, spec);
+
+        // Recompute BIPS under the requested overhead.
+        double denom = 0;
+        for (const auto &b : suite.benchmarks)
+            denom += 1.0 / clock.bips(b.sim.ipc());
+        const double bips = profiles.size() / denom;
+        if (bips > bestBips) {
+            bestBips = bips;
+            bestT = u;
+        }
+        t.addRow({util::TextTable::num(u, 0),
+                  util::TextTable::num(clock.periodFo4(), 1),
+                  util::TextTable::num(clock.frequencyGhz(), 2),
+                  util::TextTable::num(suite.harmonicIpcAll(), 3),
+                  util::TextTable::num(bips, 3)});
+    }
+    t.print(std::cout);
+    std::printf("\noptimum: %.0f FO4 useful logic per stage (%.3f BIPS, "
+                "clock period %.1f FO4)\n",
+                bestT, bestBips, bestT + overhead);
+    return 0;
+}

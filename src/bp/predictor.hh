@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Branch predictor interface.  The cores are trace-driven, so predictors
+ * are consulted at fetch and trained immediately with the known outcome;
+ * the misprediction cost is modelled by the pipeline (fetch redirect after
+ * branch resolution).
+ */
+
+#ifndef FO4_BP_PREDICTOR_HH
+#define FO4_BP_PREDICTOR_HH
+
+#include <cstdint>
+
+#include "isa/microop.hh"
+
+namespace fo4::bp
+{
+
+/** Direction predictor for conditional branches. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict the direction of a branch.  Implementations normally use
+     * only op.pc; the full op is passed so the perfect predictor can
+     * peek at the outcome.
+     */
+    virtual bool predict(const isa::MicroOp &op) = 0;
+
+    /** Train with the actual outcome. */
+    virtual void update(const isa::MicroOp &op, bool taken) = 0;
+
+    /** Clear all state. */
+    virtual void reset() = 0;
+
+    virtual const char *name() const = 0;
+};
+
+} // namespace fo4::bp
+
+#endif // FO4_BP_PREDICTOR_HH

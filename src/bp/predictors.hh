@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Concrete branch predictors: always-taken, perfect, bimodal, gshare,
+ * local-history, and the Alpha 21264-style tournament predictor the
+ * scaled machine uses.
+ */
+
+#ifndef FO4_BP_PREDICTORS_HH
+#define FO4_BP_PREDICTORS_HH
+
+#include <memory>
+#include <vector>
+
+#include "bp/predictor.hh"
+#include "util/sat_counter.hh"
+
+namespace fo4::bp
+{
+
+/** Predicts every branch taken.  Baseline / test double. */
+class AlwaysTaken : public BranchPredictor
+{
+  public:
+    bool predict(const isa::MicroOp &) override { return true; }
+    void update(const isa::MicroOp &, bool) override {}
+    void reset() override {}
+    const char *name() const override { return "always-taken"; }
+};
+
+/** Oracle: always correct.  Used to isolate non-branch effects. */
+class PerfectPredictor : public BranchPredictor
+{
+  public:
+    bool predict(const isa::MicroOp &op) override { return op.taken; }
+    void update(const isa::MicroOp &, bool) override {}
+    void reset() override {}
+    const char *name() const override { return "perfect"; }
+};
+
+/** Classic bimodal table of 2-bit counters indexed by PC. */
+class Bimodal : public BranchPredictor
+{
+  public:
+    explicit Bimodal(std::size_t entries = 4096);
+
+    bool predict(const isa::MicroOp &op) override;
+    void update(const isa::MicroOp &op, bool taken) override;
+    void reset() override;
+    const char *name() const override { return "bimodal"; }
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+    std::vector<util::SatCounter<2>> table;
+};
+
+/** Gshare: global history XOR PC indexes a table of 2-bit counters. */
+class GShare : public BranchPredictor
+{
+  public:
+    explicit GShare(std::size_t entries = 4096, int historyBits = 12);
+
+    bool predict(const isa::MicroOp &op) override;
+    void update(const isa::MicroOp &op, bool taken) override;
+    void reset() override;
+    const char *name() const override { return "gshare"; }
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+    std::vector<util::SatCounter<2>> table;
+    std::uint64_t history = 0;
+    std::uint64_t historyMask;
+};
+
+/** Per-branch local-history predictor (21264 local half). */
+class LocalHistory : public BranchPredictor
+{
+  public:
+    LocalHistory(std::size_t historyEntries = 1024, int historyBits = 10,
+                 std::size_t counterEntries = 1024);
+
+    bool predict(const isa::MicroOp &op) override;
+    void update(const isa::MicroOp &op, bool taken) override;
+    void reset() override;
+    const char *name() const override { return "local"; }
+
+  private:
+    std::vector<std::uint16_t> histories;
+    std::vector<util::SatCounter<3>> counters;
+    std::uint64_t historyMask;
+};
+
+/**
+ * Alpha 21264-style tournament predictor: a local-history predictor and
+ * a global-history predictor arbitrated by a choice table indexed by
+ * global history.
+ */
+class Tournament : public BranchPredictor
+{
+  public:
+    Tournament();
+
+    bool predict(const isa::MicroOp &op) override;
+    void update(const isa::MicroOp &op, bool taken) override;
+    void reset() override;
+    const char *name() const override { return "tournament"; }
+
+  private:
+    LocalHistory local;
+    std::vector<util::SatCounter<2>> global;
+    std::vector<util::SatCounter<2>> choice;
+    std::uint64_t history = 0;
+    static constexpr std::uint64_t historyMask = 0xfff; // 12 bits
+};
+
+/** Factory by name: "perfect", "taken", "bimodal", "gshare", "local",
+ *  "tournament".  Fatal on unknown names. */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string &name);
+
+} // namespace fo4::bp
+
+#endif // FO4_BP_PREDICTORS_HH

@@ -1,0 +1,135 @@
+#include "cacti/sram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace fo4::cacti
+{
+
+namespace
+{
+
+double
+log4(double v)
+{
+    return v <= 1.0 ? 0.0 : std::log2(v) / 2.0;
+}
+
+double
+log2c(double v)
+{
+    return v <= 1.0 ? 0.0 : std::log2(v);
+}
+
+/** Wire-pitch multiplier from multiporting: each extra port widens the
+ *  cell in both dimensions. */
+double
+portFactor(const SramConfig &cfg, const ModelParams &p)
+{
+    return 1.0 + p.portGrowth * (cfg.ports() > 0 ? cfg.ports() - 1 : 0);
+}
+
+AccessTime
+evaluate(const SramConfig &cfg, const ModelParams &p, int dbl, int dwl)
+{
+    const double pf = portFactor(cfg, p);
+    const double rows =
+        std::max(1.0, static_cast<double>(cfg.entries) / dbl);
+    const double cols = std::max(1.0, static_cast<double>(cfg.bits) / dwl);
+    const double subarrays = dbl * dwl;
+
+    AccessTime at;
+    at.splitsBitlines = dbl;
+    at.splitsWordlines = dwl;
+
+    at.decode = p.decodeFixed + p.decodePerLog4 * log4(rows);
+    at.wordline = p.wordlineFixed + p.wordlinePerBit * cols * pf;
+    at.bitline = p.bitlinePerRow * rows * pf;
+    at.sense = p.senseFixed;
+    at.output = p.outputFixed + p.outputPerLog4 * log4(cols);
+
+    // Global routing: an H-tree spanning the whole structure.  Length
+    // grows with the square root of total (port-inflated) bit-cell area;
+    // each fork adds a buffer.
+    const double kilocells =
+        static_cast<double>(cfg.bitcells()) * pf * pf / 1024.0;
+    at.route = p.routePerSqrtKb * std::sqrt(kilocells) +
+               0.25 * log2c(subarrays);
+
+    if (cfg.cam) {
+        // Tag broadcast spans every row of the (unsplit) structure: this
+        // is the component Palacharla et al. flag as the scaling problem
+        // for issue windows, so it deliberately does not benefit from
+        // bitline splits.
+        at.compare = p.camMatchFixed +
+                     p.camMatchPerRow * static_cast<double>(cfg.entries) *
+                         pf +
+                     p.comparePerLog2 * log2c(cfg.tagBits);
+    }
+    return at;
+}
+
+} // namespace
+
+AccessTime
+sramAccessTime(const SramConfig &cfg, const ModelParams &params)
+{
+    FO4_ASSERT(cfg.entries > 0 && cfg.bits > 0, "empty SRAM");
+
+    AccessTime best;
+    bool first = true;
+    for (int dbl = 1; dbl <= 32; dbl *= 2) {
+        if (static_cast<std::uint64_t>(dbl) > cfg.entries)
+            break;
+        for (int dwl = 1; dwl <= 16; dwl *= 2) {
+            if (static_cast<std::uint32_t>(dwl) > cfg.bits)
+                break;
+            const AccessTime at = evaluate(cfg, params, dbl, dwl);
+            if (first || at.total() < best.total()) {
+                best = at;
+                first = false;
+            }
+        }
+    }
+    return best;
+}
+
+CacheAccessTime
+cacheAccessTime(const CacheConfig &cfg, const ModelParams &params)
+{
+    FO4_ASSERT(cfg.capacityBytes >= cfg.lineBytes, "cache smaller than line");
+    FO4_ASSERT(cfg.associativity >= 1, "associativity must be >= 1");
+    FO4_ASSERT(cfg.lines() % cfg.associativity == 0,
+               "lines not divisible by associativity");
+
+    CacheAccessTime cat;
+
+    // Data array: one word per line, all ways read in parallel.
+    SramConfig data;
+    data.entries = cfg.sets();
+    data.bits = cfg.lineBytes * 8 * cfg.associativity;
+    data.readPorts = cfg.ports;
+    data.writePorts = 0;
+    cat.data = sramAccessTime(data, params);
+
+    // Tag array.
+    const double setBits = std::log2(static_cast<double>(cfg.sets()));
+    const std::uint32_t tagWidth = static_cast<std::uint32_t>(
+        std::max(1.0, cfg.addressBits - setBits -
+                          std::log2(static_cast<double>(cfg.lineBytes))));
+    SramConfig tag;
+    tag.entries = cfg.sets();
+    tag.bits = tagWidth * cfg.associativity;
+    tag.readPorts = cfg.ports;
+    tag.writePorts = 0;
+    cat.tag = sramAccessTime(tag, params);
+
+    // Comparators plus way-select mux driving the data output.
+    cat.waySelect = params.comparePerLog2 * std::log2(double(tagWidth)) +
+                    0.5 * std::log2(double(cfg.associativity) + 1.0);
+    return cat;
+}
+
+} // namespace fo4::cacti

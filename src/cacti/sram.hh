@@ -1,0 +1,127 @@
+/**
+ * @file
+ * An analytical access-time model for on-chip SRAM and CAM structures, in
+ * the spirit of Cacti 3.0 (Shivakumar & Jouppi), which the paper uses to
+ * produce Table 3.
+ *
+ * The model decomposes an access into decoder, wordline, bitline + sense,
+ * tag compare, output mux/driver and global routing components, each
+ * expressed directly in FO4 using logical-effort-style terms, and searches
+ * over subarray partitions (the Cacti Ndwl/Ndbl degrees of freedom) to
+ * minimize total access time.  Constants are calibrated so the canonical
+ * Alpha-21264-sized presets in structures.hh land on the paper's access
+ * times (e.g. the 512-entry register file at 0.39 ns = 10.8 FO4 at 100nm).
+ *
+ * Delays in FO4 are technology independent, which is exactly why the
+ * paper uses the metric; this model therefore carries no explicit
+ * technology parameter.
+ */
+
+#ifndef FO4_CACTI_SRAM_HH
+#define FO4_CACTI_SRAM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fo4::cacti
+{
+
+/** Calibration constants of the timing model (all in FO4 units). */
+struct ModelParams
+{
+    double decodePerLog4 = 1.1;  ///< decoder effort per log4(rows)
+    double decodeFixed = 0.8;    ///< predecode + driver overhead
+    double wordlinePerBit = 1.0 / 512.0; ///< wordline RC per column
+    double wordlineFixed = 0.4;
+    double bitlinePerRow = 1.0 / 96.0;   ///< bitline RC per row
+    double senseFixed = 1.2;     ///< sense amplifier
+    double outputPerLog4 = 0.7;  ///< output mux/driver effort
+    double outputFixed = 0.4;
+    double routePerSqrtKb = 0.55; ///< global H-tree per sqrt(kilo-bitcell)
+    double camMatchPerRow = 1.0 / 32.0;  ///< tag broadcast per CAM row
+    double camMatchFixed = 1.6;  ///< match line + encoder
+    double comparePerLog2 = 0.35; ///< set-associative tag comparator
+    double portGrowth = 0.3;     ///< wire-length growth per extra port
+};
+
+/** Description of one RAM/CAM structure. */
+struct SramConfig
+{
+    std::uint64_t entries = 64;  ///< addressable words
+    std::uint32_t bits = 64;     ///< bits per word
+    std::uint32_t readPorts = 1;
+    std::uint32_t writePorts = 1;
+    bool cam = false;            ///< fully-associative tag match (CAM)
+    std::uint32_t tagBits = 0;   ///< CAM tag width (when cam is true)
+
+    std::uint32_t ports() const { return readPorts + writePorts; }
+    std::uint64_t bitcells() const { return entries * bits; }
+};
+
+/** Access-time breakdown, all in FO4. */
+struct AccessTime
+{
+    double decode = 0.0;
+    double wordline = 0.0;
+    double bitline = 0.0;
+    double sense = 0.0;
+    double compare = 0.0;
+    double output = 0.0;
+    double route = 0.0;
+
+    double total() const
+    {
+        return decode + wordline + bitline + sense + compare + output +
+               route;
+    }
+
+    /** Chosen subarray organization (for inspection/tests). */
+    int splitsBitlines = 1;
+    int splitsWordlines = 1;
+};
+
+/**
+ * Compute the minimum access time over subarray organizations.
+ */
+AccessTime sramAccessTime(const SramConfig &cfg,
+                          const ModelParams &params = ModelParams{});
+
+/** Description of a set-associative cache. */
+struct CacheConfig
+{
+    std::uint64_t capacityBytes = 64 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t associativity = 2;
+    std::uint32_t ports = 1;
+    std::uint32_t addressBits = 44;
+
+    std::uint64_t lines() const { return capacityBytes / lineBytes; }
+    std::uint64_t sets() const { return lines() / associativity; }
+};
+
+/** Cache access time: max of tag and data paths plus way select. */
+struct CacheAccessTime
+{
+    AccessTime data;
+    AccessTime tag;
+    double waySelect = 0.0;
+
+    double total() const
+    {
+        const double d = data.total();
+        const double t = tag.total() + waySelect;
+        return d > t ? d : t;
+    }
+};
+
+/**
+ * Compute the access time of a set-associative cache (tag and data arrays
+ * modelled separately; the slower path plus way-selection bounds the
+ * access).
+ */
+CacheAccessTime cacheAccessTime(const CacheConfig &cfg,
+                                const ModelParams &params = ModelParams{});
+
+} // namespace fo4::cacti
+
+#endif // FO4_CACTI_SRAM_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The abstract processor-core interface and the simulation result record
+ * shared by the in-order and out-of-order pipeline models.
+ */
+
+#ifndef FO4_CORE_CORE_HH
+#define FO4_CORE_CORE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/params.hh"
+#include "trace/trace.hh"
+
+namespace fo4::core
+{
+
+/** Aggregate outcome of one simulation run. */
+struct SimResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t dl1Misses = 0;
+    std::uint64_t l2Misses = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double
+    mispredictRate() const
+    {
+        return branches ? static_cast<double>(mispredicts) /
+                              static_cast<double>(branches)
+                        : 0.0;
+    }
+
+    double
+    dl1MissRate() const
+    {
+        const auto refs = loads + stores;
+        return refs ? static_cast<double>(dl1Misses) /
+                          static_cast<double>(refs)
+                    : 0.0;
+    }
+
+    /** Element-wise difference; used to discard warm-up statistics. */
+    SimResult
+    operator-(const SimResult &other) const
+    {
+        SimResult d;
+        d.instructions = instructions - other.instructions;
+        d.cycles = cycles - other.cycles;
+        d.branches = branches - other.branches;
+        d.mispredicts = mispredicts - other.mispredicts;
+        d.loads = loads - other.loads;
+        d.stores = stores - other.stores;
+        d.dl1Misses = dl1Misses - other.dl1Misses;
+        d.l2Misses = l2Misses - other.l2Misses;
+        return d;
+    }
+};
+
+/** A cycle-level processor model. */
+class Core
+{
+  public:
+    virtual ~Core() = default;
+
+    /**
+     * Simulate until `warmup + instructions` have committed, pulling from
+     * the trace source; statistics cover only the instructions after the
+     * warm-up (caches and predictors stay warm).  The trace is reset
+     * first, so repeated runs (and runs of differently-configured cores)
+     * see identical streams.
+     *
+     * `prewarm` instructions are first streamed *functionally* through
+     * the caches and branch predictor (no timing), then the trace is
+     * reset again before the timed simulation.  This stands in for the
+     * hundreds of millions of instructions the paper executes before its
+     * measurement window: the measured region starts with warm caches.
+     */
+    virtual SimResult run(trace::TraceSource &trace,
+                          std::uint64_t instructions,
+                          std::uint64_t warmup = 0,
+                          std::uint64_t prewarm = 0) = 0;
+
+    virtual const CoreParams &params() const = 0;
+};
+
+/** Build the dynamically-scheduled (Alpha 21264-like) core. */
+std::unique_ptr<Core> makeOooCore(const CoreParams &params,
+                                  const std::string &predictor =
+                                      "tournament");
+
+/** Build the in-order variant (paper Section 4.1). */
+std::unique_ptr<Core> makeInorderCore(const CoreParams &params,
+                                      const std::string &predictor =
+                                          "tournament");
+
+} // namespace fo4::core
+
+#endif // FO4_CORE_CORE_HH

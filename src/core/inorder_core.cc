@@ -1,0 +1,195 @@
+#include "core/inorder_core.hh"
+
+#include "bp/predictors.hh"
+#include "core/prewarm.hh"
+#include "util/logging.hh"
+
+namespace fo4::core
+{
+
+InorderCore::InorderCore(const CoreParams &params,
+                         std::unique_ptr<bp::BranchPredictor> predictor)
+    : prm(params), bpred(std::move(predictor)),
+      memory(params.dl1, params.l2, params.memLatencies, params.memoryMode),
+      // Unlike the decoupled out-of-order front end, a classic in-order
+      // pipeline holds only the instructions inside its fetch/decode
+      // stages plus one issue buffer, so fetch fragmentation (taken
+      // branches, redirect bubbles) shows through to the issue stage.
+      queue(static_cast<std::size_t>(params.fetchStages +
+                                     params.decodeStages + 2) *
+            params.fetchWidth)
+{
+    prm.validate();
+    FO4_ASSERT(bpred != nullptr, "core needs a branch predictor");
+    frontDepth = prm.fetchStages + prm.decodeStages;
+}
+
+void
+InorderCore::doIssue(SimResult &result)
+{
+    int intLeft = prm.intIssueWidth;
+    int fpLeft = prm.fpIssueWidth;
+    int memLeft = prm.memIssueWidth;
+
+    for (int i = 0; i < prm.renameWidth; ++i) {
+        if (queue.empty())
+            return;
+        QueuedInst &qi = queue.front();
+        if (qi.issueReady > now)
+            return;
+
+        // Scoreboard: all sources must be bypassable at execute, and —
+        // with no register renaming — a destination with a pending write
+        // is a WAW hazard that stalls issue (classic scoreboard rule).
+        for (const std::int16_t src : {qi.op.src1, qi.op.src2}) {
+            if (src != isa::noReg && regEarliestUse[src] > now)
+                return;
+        }
+        if (qi.op.dst != isa::noReg && regEarliestUse[qi.op.dst] > now)
+            return;
+
+        // Structural: one functional-unit slot per cycle per op.
+        const bool fp = isa::isFloat(qi.op.cls);
+        const bool memOp = isa::isMemory(qi.op.cls);
+        if (fp) {
+            if (fpLeft <= 0)
+                return;
+            --fpLeft;
+        } else if (memOp) {
+            if (memLeft <= 0 || intLeft <= 0)
+                return;
+            --memLeft;
+            --intLeft;
+        } else {
+            if (intLeft <= 0)
+                return;
+            --intLeft;
+        }
+
+        // Issue.
+        int depLat = prm.execLatency(qi.op.cls);
+        if (qi.op.isLoad())
+            depLat = memory.loadLatency(qi.op.addr, now) + prm.extraLoadUse;
+        else if (qi.op.isStore())
+            memory.storeLatency(qi.op.addr, now);
+
+        if (qi.op.dst != isa::noReg)
+            regEarliestUse[qi.op.dst] = now + depLat;
+
+        if (qi.op.isBranch() && qi.mispredicted) {
+            const std::int64_t resolve =
+                now + prm.regReadStages + prm.execLatency(qi.op.cls) +
+                prm.extraMispredictPenalty;
+            fetchResumeCycle = resolve + 1;
+            fetchHalted = false;
+        }
+
+        queue.popFront();
+        ++result.instructions;
+    }
+}
+
+void
+InorderCore::doFetch(SimResult &result)
+{
+    if (fetchHalted || now < fetchResumeCycle)
+        return;
+
+    for (int i = 0; i < prm.fetchWidth; ++i) {
+        if (queue.full())
+            return;
+        isa::MicroOp op = source->next();
+
+        QueuedInst qi;
+        qi.op = op;
+        qi.issueReady = now + frontDepth;
+
+        if (op.isBranch()) {
+            ++result.branches;
+            const bool predicted = bpred->predict(op);
+            bpred->update(op, op.taken);
+            if (predicted != op.taken) {
+                ++result.mispredicts;
+                qi.mispredicted = true;
+                queue.pushBack(qi);
+                fetchHalted = true;
+                return;
+            }
+            queue.pushBack(qi);
+            if (op.taken) {
+                // Redirect bubble on correctly predicted taken branches.
+                fetchResumeCycle = now + 2;
+                return;
+            }
+            continue;
+        }
+
+        if (op.isLoad())
+            ++result.loads;
+        else if (op.isStore())
+            ++result.stores;
+        queue.pushBack(qi);
+    }
+}
+
+SimResult
+InorderCore::run(trace::TraceSource &trace, std::uint64_t instructions,
+                 std::uint64_t warmup, std::uint64_t prewarm)
+{
+    FO4_ASSERT(instructions > 0, "nothing to simulate");
+    trace.reset();
+    now = 0;
+    fetchResumeCycle = 0;
+    fetchHalted = false;
+    regEarliestUse.fill(0);
+    queue.clear();
+    memory.reset();
+    bpred->reset();
+    if (prewarm > 0)
+        prewarmState(trace, prewarm, memory, *bpred);
+    source = &trace;
+
+    const std::uint64_t total = warmup + instructions;
+    SimResult result;
+    SimResult atWarmup;
+    bool warmupDone = warmup == 0;
+    const std::uint64_t dl1Miss0 = memory.dl1().misses();
+    const std::uint64_t l2Miss0 = memory.l2().misses();
+
+    const std::uint64_t cycleLimit = total * 1000 + 100000;
+    while (result.instructions < total) {
+        doIssue(result);
+        if (!warmupDone && result.instructions >= warmup) {
+            atWarmup = result;
+            atWarmup.cycles = static_cast<std::uint64_t>(now);
+            atWarmup.dl1Misses = memory.dl1().misses() - dl1Miss0;
+            atWarmup.l2Misses = memory.l2().misses() - l2Miss0;
+            warmupDone = true;
+        }
+        if (result.instructions >= total)
+            break;
+        doFetch(result);
+        ++now;
+        FO4_ASSERT(static_cast<std::uint64_t>(now) < cycleLimit,
+                   "in-order simulation deadlock at %llu instructions",
+                   static_cast<unsigned long long>(result.instructions));
+    }
+
+    // Account for the tail of the pipeline: the final instruction still
+    // traverses register read, execute, write back and commit.
+    result.cycles = static_cast<std::uint64_t>(
+        now + prm.regReadStages + 1 + prm.commitStages);
+    result.dl1Misses = memory.dl1().misses() - dl1Miss0;
+    result.l2Misses = memory.l2().misses() - l2Miss0;
+    source = nullptr;
+    return result - atWarmup;
+}
+
+std::unique_ptr<Core>
+makeInorderCore(const CoreParams &params, const std::string &predictor)
+{
+    return std::make_unique<InorderCore>(params,
+                                         bp::makePredictor(predictor));
+}
+
+} // namespace fo4::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The in-order issue variant of the scaled machine (paper Section 4.1):
+ * the same seven-segment pipeline (fetch, decode, issue, register read,
+ * execute, write back, commit) and the same four-wide issue stage, but
+ * instructions issue strictly in program order through a scoreboard, so
+ * a stalled instruction blocks everything behind it.
+ */
+
+#ifndef FO4_CORE_INORDER_CORE_HH
+#define FO4_CORE_INORDER_CORE_HH
+
+#include <array>
+#include <memory>
+
+#include "bp/predictor.hh"
+#include "core/core.hh"
+#include "mem/hierarchy.hh"
+#include "util/circular_buffer.hh"
+
+namespace fo4::core
+{
+
+/** The in-order pipeline model. */
+class InorderCore : public Core
+{
+  public:
+    InorderCore(const CoreParams &params,
+                std::unique_ptr<bp::BranchPredictor> predictor);
+
+    SimResult run(trace::TraceSource &trace, std::uint64_t instructions,
+                  std::uint64_t warmup = 0,
+                  std::uint64_t prewarm = 0) override;
+
+    const CoreParams &params() const override { return prm; }
+
+  private:
+    struct QueuedInst
+    {
+        isa::MicroOp op;
+        std::int64_t issueReady = 0; ///< end of fetch+decode traversal
+        bool mispredicted = false;
+    };
+
+    void doIssue(SimResult &result);
+    void doFetch(SimResult &result);
+
+    CoreParams prm;
+    std::unique_ptr<bp::BranchPredictor> bpred;
+    mem::MemoryHierarchy memory;
+
+    util::CircularBuffer<QueuedInst> queue;
+
+    /** Earliest cycle a consumer of each register may issue (scoreboard
+     *  with full bypass: producer issue + producer latency). */
+    std::array<std::int64_t, isa::numArchRegs> regEarliestUse{};
+
+    std::int64_t now = 0;
+    std::int64_t fetchResumeCycle = 0;
+    bool fetchHalted = false;
+    int frontDepth = 2;
+
+    trace::TraceSource *source = nullptr;
+};
+
+} // namespace fo4::core
+
+#endif // FO4_CORE_INORDER_CORE_HH

@@ -1,0 +1,281 @@
+#include "core/ooo_core.hh"
+
+#include <algorithm>
+
+#include "bp/predictors.hh"
+#include "core/prewarm.hh"
+#include "util/logging.hh"
+
+namespace fo4::core
+{
+
+namespace
+{
+
+constexpr std::uint64_t noProducer = ~0ull;
+
+std::uint64_t
+nextPowerOfTwo(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+OooCore::OooCore(const CoreParams &params,
+                 std::unique_ptr<bp::BranchPredictor> predictor)
+    : prm(params), bpred(std::move(predictor)),
+      memory(params.dl1, params.l2, params.memLatencies, params.memoryMode),
+      window(params.window)
+{
+    prm.validate();
+    FO4_ASSERT(bpred != nullptr, "core needs a branch predictor");
+
+    frontDepth = prm.fetchStages + prm.decodeStages + prm.renameStages;
+
+    // In-flight slots must outlive every consumer that can still query a
+    // producer: consumers sit within robSize of their producers, so a
+    // couple of pipeline-lengths of slack is ample.
+    const std::uint64_t needed =
+        prm.robSize + prm.fetchQueueSize +
+        static_cast<std::uint64_t>(frontDepth + 4) * prm.fetchWidth + 64;
+    const std::uint64_t size = std::max<std::uint64_t>(
+        4096, nextPowerOfTwo(needed * 2));
+    inflight.resize(size);
+    slotMask = size - 1;
+}
+
+std::int64_t
+OooCore::dependentReadyCycle(InflightRef producer, int stage) const
+{
+    const DynInst &p = inflight[producer];
+    if (p.issueCycle < 0)
+        return -1;
+    // Tag broadcast overlaps execution: the dependent waits for whichever
+    // arrives later, the bypassed result (producer latency) or the wakeup
+    // tag (window access plus per-stage ripple in a segmented window).
+    // Back-to-back dependent issue therefore needs a wakeup loop no
+    // longer than the producer's execution latency.
+    const int wakeup = prm.issueLatency + prm.extraWakeup + stage;
+    const int spacing = p.depLatency > wakeup ? p.depLatency : wakeup;
+    return p.issueCycle + spacing;
+}
+
+void
+OooCore::resetState()
+{
+    fetchSeq = 0;
+    dispatchSeq = 0;
+    commitSeq = 0;
+    now = 0;
+    fetchResumeCycle = 0;
+    haltingBranch = ~0ull;
+    lsqOccupancy = 0;
+    renameMap.fill(noProducer);
+    window.reset();
+    memory.reset();
+    bpred->reset();
+}
+
+void
+OooCore::doCommit(SimResult &result)
+{
+    for (int i = 0; i < prm.commitWidth; ++i) {
+        if (commitSeq == dispatchSeq)
+            return;
+        DynInst &di = slot(commitSeq);
+        if (di.issueCycle < 0 ||
+            di.doneCycle + (prm.commitStages - 1) > now) {
+            return;
+        }
+        if (isa::isMemory(di.op.cls))
+            --lsqOccupancy;
+        ++result.instructions;
+        ++commitSeq;
+    }
+}
+
+void
+OooCore::doIssue()
+{
+    const SelectLimits limits{prm.intIssueWidth, prm.fpIssueWidth,
+                              prm.memIssueWidth};
+    for (const InflightRef ref : window.selectAndRemove(now, limits, *this)) {
+        DynInst &di = inflight[ref];
+        di.issueCycle = now;
+        di.doneCycle = now + prm.regReadStages + di.execLat;
+        if (di.mispredicted && di.op.seq == haltingBranch) {
+            fetchResumeCycle =
+                di.doneCycle + prm.extraMispredictPenalty + 1;
+            haltingBranch = ~0ull;
+        }
+    }
+}
+
+void
+OooCore::doDispatch()
+{
+    for (int i = 0; i < prm.renameWidth; ++i) {
+        if (dispatchSeq == fetchSeq)
+            return;
+        DynInst &di = slot(dispatchSeq);
+        if (di.dispatchReady > now)
+            return;
+        if (window.full())
+            return;
+        if (dispatchSeq - commitSeq >=
+            static_cast<std::uint64_t>(prm.robSize)) {
+            return;
+        }
+        const bool memOp = isa::isMemory(di.op.cls);
+        if (memOp && lsqOccupancy >= prm.lsqSize)
+            return;
+
+        // Resolve producers through the rename map: a source whose
+        // producer has already committed is simply ready.
+        WindowInsert ins;
+        ins.ref = static_cast<InflightRef>(dispatchSeq & slotMask);
+        ins.seq = dispatchSeq;
+        ins.fp = isa::isFloat(di.op.cls);
+        ins.mem = memOp;
+        int nsrc = 0;
+        for (const std::int16_t src : {di.op.src1, di.op.src2}) {
+            if (src == isa::noReg)
+                continue;
+            const std::uint64_t pseq = renameMap[src];
+            if (pseq != noProducer && pseq >= commitSeq) {
+                ins.producers[nsrc++] =
+                    static_cast<InflightRef>(pseq & slotMask);
+            }
+        }
+
+        // Execution latency and, for loads, the full load-use latency
+        // dependents observe; the cache is accessed in program order at
+        // dispatch so its state evolves identically across pipeline
+        // configurations.
+        di.execLat = prm.execLatency(di.op.cls);
+        di.depLatency = di.execLat;
+        if (di.op.isLoad()) {
+            di.depLatency =
+                memory.loadLatency(di.op.addr, now) + prm.extraLoadUse;
+            di.execLat = di.depLatency;
+        } else if (di.op.isStore()) {
+            memory.storeLatency(di.op.addr, now);
+        }
+
+        if (di.op.dst != isa::noReg)
+            renameMap[di.op.dst] = dispatchSeq;
+        if (memOp)
+            ++lsqOccupancy;
+
+        window.insert(ins);
+        ++dispatchSeq;
+    }
+}
+
+void
+OooCore::doFetch(SimResult &result)
+{
+    if (now < fetchResumeCycle || haltingBranch != ~0ull)
+        return;
+
+    const std::uint64_t frontCap =
+        prm.fetchQueueSize +
+        static_cast<std::uint64_t>(frontDepth) * prm.fetchWidth;
+
+    // Fetch follows the correct path (no wrong-path modelling); a taken
+    // branch ends the fetch group.
+    for (int i = 0; i < prm.fetchWidth; ++i) {
+        if (fetchSeq - dispatchSeq >= frontCap)
+            return;
+        isa::MicroOp op = traceSource->next();
+        op.seq = fetchSeq;
+
+        DynInst &di = slot(fetchSeq);
+        di = DynInst{};
+        di.op = op;
+        di.dispatchReady = now + frontDepth;
+        ++fetchSeq;
+
+        if (op.isBranch()) {
+            ++result.branches;
+            const bool predicted = bpred->predict(op);
+            bpred->update(op, op.taken);
+            if (predicted != op.taken) {
+                ++result.mispredicts;
+                di.mispredicted = true;
+                haltingBranch = op.seq;
+                return; // fetch halts until the branch resolves
+            }
+            if (op.taken) {
+                // Correctly predicted taken branch: the fetch group ends
+                // and the redirect costs one fetch bubble (as on the
+                // 21264's line-predicted front end).
+                fetchResumeCycle = now + 2;
+                return;
+            }
+        } else if (op.isLoad()) {
+            ++result.loads;
+        } else if (op.isStore()) {
+            ++result.stores;
+        }
+    }
+}
+
+SimResult
+OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
+             std::uint64_t warmup, std::uint64_t prewarm)
+{
+    FO4_ASSERT(instructions > 0, "nothing to simulate");
+    trace.reset();
+    resetState();
+    if (prewarm > 0)
+        prewarmState(trace, prewarm, memory, *bpred);
+    traceSource = &trace;
+
+    const std::uint64_t total = warmup + instructions;
+    SimResult result;
+    SimResult atWarmup;
+    bool warmupDone = warmup == 0;
+    const std::uint64_t dl1Miss0 = memory.dl1().misses();
+    const std::uint64_t l2Miss0 = memory.l2().misses();
+
+    const std::uint64_t cycleLimit = total * 1000 + 100000;
+    while (result.instructions < total) {
+        doCommit(result);
+        if (!warmupDone && result.instructions >= warmup) {
+            atWarmup = result;
+            atWarmup.cycles = static_cast<std::uint64_t>(now);
+            atWarmup.dl1Misses = memory.dl1().misses() - dl1Miss0;
+            atWarmup.l2Misses = memory.l2().misses() - l2Miss0;
+            warmupDone = true;
+        }
+        if (result.instructions >= total)
+            break;
+        doIssue();
+        doDispatch();
+        doFetch(result);
+        ++now;
+        FO4_ASSERT(static_cast<std::uint64_t>(now) < cycleLimit,
+                   "simulation deadlock: %llu of %llu committed",
+                   static_cast<unsigned long long>(result.instructions),
+                   static_cast<unsigned long long>(total));
+    }
+
+    result.cycles = static_cast<std::uint64_t>(now);
+    result.dl1Misses = memory.dl1().misses() - dl1Miss0;
+    result.l2Misses = memory.l2().misses() - l2Miss0;
+    traceSource = nullptr;
+    return result - atWarmup;
+}
+
+std::unique_ptr<Core>
+makeOooCore(const CoreParams &params, const std::string &predictor)
+{
+    return std::make_unique<OooCore>(params, bp::makePredictor(predictor));
+}
+
+} // namespace fo4::core

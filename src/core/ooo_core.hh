@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The dynamically-scheduled core: a cycle-level model of an Alpha
+ * 21264-like machine (4-wide integer issue, 2-wide floating-point issue,
+ * out-of-order issue from an instruction window, in-order commit from a
+ * reorder buffer) with every pipeline segment's depth configurable, which
+ * is what the paper's scaling study varies.
+ *
+ * Timing model summary:
+ *  - the front end (fetch, decode, rename) is a delay of
+ *    fetchStages + decodeStages + renameStages cycles; fetch breaks at
+ *    taken branches and halts at a mispredicted branch until it resolves;
+ *  - the issue window wakes dependents issueLatency cycles after the
+ *    producer issues (plus one cycle per segmented-window stage the
+ *    consumer sits in), so back-to-back dependent execution needs
+ *    issueLatency == 1 and consumer in stage 1;
+ *  - results bypass fully: a dependent's execution begins exactly when
+ *    the producer's result is available;
+ *  - loads see the address-generation plus cache latency; stores retire
+ *    through a write buffer without stalling dependents;
+ *  - branches resolve after register read + execute; a misprediction
+ *    redirects fetch the following cycle, so the penalty is the branch's
+ *    queueing delay plus the front-end refill.
+ */
+
+#ifndef FO4_CORE_OOO_CORE_HH
+#define FO4_CORE_OOO_CORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "bp/predictor.hh"
+#include "core/core.hh"
+#include "core/window.hh"
+#include "isa/microop.hh"
+#include "mem/hierarchy.hh"
+#include "util/circular_buffer.hh"
+
+namespace fo4::core
+{
+
+/** The out-of-order pipeline model. */
+class OooCore : public Core, private WakeupOracle
+{
+  public:
+    OooCore(const CoreParams &params,
+            std::unique_ptr<bp::BranchPredictor> predictor);
+
+    SimResult run(trace::TraceSource &trace, std::uint64_t instructions,
+                  std::uint64_t warmup = 0,
+                  std::uint64_t prewarm = 0) override;
+
+    const CoreParams &params() const override { return prm; }
+
+    /** Issue-window behaviour counters from the most recent run. */
+    const IssueWindow::Stats &windowStats() const { return window.stats(); }
+
+  private:
+    struct DynInst
+    {
+        isa::MicroOp op;
+        std::int64_t dispatchReady = 0; ///< end of front-end traversal
+        std::int64_t issueCycle = -1;
+        std::int64_t doneCycle = -1;
+        int execLat = 1;       ///< occupancy of the execute pipeline
+        int depLatency = 1;    ///< latency dependents observe after issue
+        bool mispredicted = false;
+        bool dispatched = false;
+    };
+
+    // WakeupOracle
+    std::int64_t dependentReadyCycle(InflightRef producer,
+                                     int stage) const override;
+
+    void resetState();
+    void doCommit(SimResult &result);
+    void doIssue();
+    void doDispatch();
+    void doFetch(SimResult &result);
+
+    DynInst &slot(std::uint64_t seq) { return inflight[seq & slotMask]; }
+    const DynInst &slot(std::uint64_t seq) const
+    {
+        return inflight[seq & slotMask];
+    }
+
+    CoreParams prm;
+    std::unique_ptr<bp::BranchPredictor> bpred;
+    mem::MemoryHierarchy memory;
+    IssueWindow window;
+
+    std::vector<DynInst> inflight;
+    std::uint64_t slotMask;
+
+    // Sequence pointers: [commitSeq, dispatchSeq) is the ROB contents;
+    // [dispatchSeq, fetchSeq) is the front end.
+    std::uint64_t fetchSeq = 0;
+    std::uint64_t dispatchSeq = 0;
+    std::uint64_t commitSeq = 0;
+
+    std::int64_t now = 0;
+    std::int64_t fetchResumeCycle = 0;
+    std::uint64_t haltingBranch = ~0ull; ///< seq of unresolved mispredict
+    int frontDepth = 3;
+    int lsqOccupancy = 0;
+
+    /** Architectural register -> seq of the youngest producer. */
+    std::array<std::uint64_t, isa::numArchRegs> renameMap{};
+
+    trace::TraceSource *traceSource = nullptr;
+};
+
+} // namespace fo4::core
+
+#endif // FO4_CORE_OOO_CORE_HH

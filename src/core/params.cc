@@ -1,0 +1,51 @@
+#include "core/params.hh"
+
+#include "isa/latencies.hh"
+#include "util/logging.hh"
+
+namespace fo4::core
+{
+
+CoreParams
+CoreParams::alpha21264()
+{
+    CoreParams p;
+    // Native 21264 execution latencies (Table 3, last row).
+    for (int i = 0; i < isa::numOpClasses; ++i) {
+        p.execCycles[i] =
+            isa::alpha21264Cycles(static_cast<isa::OpClass>(i));
+    }
+    // Native memory latencies: 3-cycle DL1, off-chip L2, DRAM.
+    p.memLatencies.dl1 = 3;
+    p.memLatencies.l2 = 16;
+    p.memLatencies.memory = 130;
+    p.memLatencies.l2BusCycles = 8;
+    p.memLatencies.memBusCycles = 20;
+    return p;
+}
+
+void
+CoreParams::validate() const
+{
+    FO4_ASSERT(fetchWidth >= 1 && renameWidth >= 1 && commitWidth >= 1,
+               "widths must be positive");
+    FO4_ASSERT(intIssueWidth >= 1 && fpIssueWidth >= 0 && memIssueWidth >= 1,
+               "issue widths must be sensible");
+    FO4_ASSERT(robSize >= 8, "ROB too small");
+    FO4_ASSERT(window.capacity >= 1, "window too small");
+    FO4_ASSERT(window.wakeupStages >= 1 &&
+                   window.wakeupStages <= window.capacity,
+               "wakeup stages out of range");
+    FO4_ASSERT(fetchStages >= 1 && decodeStages >= 0 && renameStages >= 1 &&
+                   regReadStages >= 1 && commitStages >= 1,
+               "stage depths must be positive");
+    FO4_ASSERT(issueLatency >= 1, "issue latency below one cycle");
+    for (int i = 0; i < isa::numOpClasses; ++i)
+        FO4_ASSERT(execCycles[i] >= 1, "zero execution latency for class %d",
+                   i);
+    FO4_ASSERT(extraMispredictPenalty >= 0 && extraLoadUse >= 0 &&
+                   extraWakeup >= 0,
+               "loop extensions cannot be negative");
+}
+
+} // namespace fo4::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Core configuration: widths, capacities, per-segment pipeline depths and
+ * per-class execution latencies — everything the scaling study varies.
+ *
+ * The default values describe the Alpha 21264-like baseline machine at
+ * its native 17.4 FO4 clock (paper Section 3); study/scaling.hh derives
+ * the deeper-pipeline variants.
+ */
+
+#ifndef FO4_CORE_PARAMS_HH
+#define FO4_CORE_PARAMS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/opclass.hh"
+#include "mem/hierarchy.hh"
+
+namespace fo4::core
+{
+
+/** Instruction selection scheme of the issue window (paper Section 5). */
+enum class SelectModel
+{
+    Full,        ///< single select block sees the whole window
+    Partitioned, ///< S1 over stage 1 + preselect blocks S2..S4 (Fig 12)
+};
+
+/** Issue window organization. */
+struct WindowConfig
+{
+    int capacity = 32;
+    /** Pipeline depth of wakeup: 1 = conventional single-cycle window,
+     *  >1 = segmented window with one tag-latch stage per extra cycle
+     *  (paper Figure 10). */
+    int wakeupStages = 1;
+    SelectModel select = SelectModel::Full;
+    /** Maximum pre-selected instructions per non-first stage (oldest
+     *  stage first), for SelectModel::Partitioned (paper Figure 12). */
+    std::array<int, 8> preselectCap{5, 2, 1, 1, 1, 1, 1, 1};
+
+    int entriesPerStage() const
+    {
+        return (capacity + wakeupStages - 1) / wakeupStages;
+    }
+};
+
+/** Full core configuration. */
+struct CoreParams
+{
+    // --- widths ---
+    int fetchWidth = 4;
+    int renameWidth = 4;
+    int commitWidth = 8;
+    int intIssueWidth = 4;  ///< int ALU ops + branches per cycle
+    int fpIssueWidth = 2;
+    int memIssueWidth = 2;  ///< loads+stores per cycle (subset of int)
+
+    // --- capacities ---
+    int robSize = 512;
+    int lsqSize = 128;
+    int fetchQueueSize = 32;
+    WindowConfig window;
+
+    // --- pipeline depths (cycles per segment) ---
+    int fetchStages = 1;   ///< I-fetch + branch predictor access
+    int decodeStages = 1;
+    int renameStages = 1;
+    int regReadStages = 1;
+    int commitStages = 1;
+
+    /**
+     * Issue-window access cycles: the issue-wakeup loop length.  A value
+     * W means a producer's result tags take W cycles to wake dependents,
+     * so back-to-back dependent issue is only possible when W == 1.
+     */
+    int issueLatency = 1;
+
+    // --- execution latencies (cycles), indexed by OpClass ---
+    std::array<int, isa::numOpClasses> execCycles{};
+
+    // --- memory latencies (cycles) ---
+    mem::HierarchyLatencies memLatencies;
+    mem::MemoryMode memoryMode = mem::MemoryMode::TwoLevel;
+    mem::CacheParams dl1{64 * 1024, 64, 2};
+    mem::CacheParams l2{2 * 1024 * 1024, 64, 8};
+
+    // --- critical-loop extensions (paper Figure 8) ---
+    int extraMispredictPenalty = 0;
+    int extraLoadUse = 0;
+    int extraWakeup = 0;
+
+    /** Baseline machine: Alpha 21264 latencies at its native clock. */
+    static CoreParams alpha21264();
+
+    /** Execution latency for an op class. */
+    int execLatency(isa::OpClass cls) const
+    {
+        return execCycles[static_cast<int>(cls)];
+    }
+
+    /** Sanity-check ranges; panics on nonsense. */
+    void validate() const;
+};
+
+} // namespace fo4::core
+
+#endif // FO4_CORE_PARAMS_HH

@@ -1,0 +1,145 @@
+#include "core/window.hh"
+
+#include "util/logging.hh"
+
+namespace fo4::core
+{
+
+IssueWindow::IssueWindow(const WindowConfig &config)
+    : cfg(config)
+{
+    FO4_ASSERT(cfg.capacity >= 1, "window capacity must be positive");
+    FO4_ASSERT(cfg.wakeupStages >= 1 && cfg.wakeupStages <= cfg.capacity,
+               "wakeup stages out of range");
+    entries.reserve(cfg.capacity);
+    issuedScratch.reserve(16);
+}
+
+int
+IssueWindow::stageOf(std::size_t position) const
+{
+    const int stage = static_cast<int>(position) / cfg.entriesPerStage();
+    return stage >= cfg.wakeupStages ? cfg.wakeupStages - 1 : stage;
+}
+
+void
+IssueWindow::insert(const WindowInsert &ins)
+{
+    FO4_ASSERT(!full(), "insert into a full window");
+    FO4_ASSERT(ins.ref != invalidRef, "invalid inflight ref");
+    FO4_ASSERT(entries.empty() || entries.back().seq < ins.seq,
+               "window inserts must be in age order");
+    entries.push_back({ins.ref, ins.seq, ins.fp, ins.mem, false, false,
+                       ins.producers, {-1, -1}});
+}
+
+bool
+IssueWindow::woken(Entry &entry, std::size_t position, std::int64_t now,
+                   const WakeupOracle &oracle) const
+{
+    // The per-source wakeup cycle is frozen at the stage the entry
+    // occupies when its producer's broadcast is first visible; later
+    // compaction does not replay the tag.
+    const int stage = stageOf(position);
+    bool all_ready = true;
+    for (int s = 0; s < 2; ++s) {
+        const InflightRef producer = entry.producers[s];
+        if (producer == invalidRef)
+            continue;
+        if (entry.srcReadyAt[s] < 0) {
+            const std::int64_t ready =
+                oracle.dependentReadyCycle(producer, stage);
+            if (ready < 0) {
+                all_ready = false;
+                continue;
+            }
+            entry.srcReadyAt[s] = ready;
+        }
+        if (entry.srcReadyAt[s] > now)
+            all_ready = false;
+    }
+    return all_ready;
+}
+
+const std::vector<InflightRef> &
+IssueWindow::selectAndRemove(std::int64_t now, const SelectLimits &limits,
+                             const WakeupOracle &oracle)
+{
+    // Wakeup.  Entries only move toward lower-numbered stages
+    // (compaction), and the tag-arrival cycle only gets earlier at lower
+    // stages, so a cached awake result stays valid.
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].awake)
+            entries[i].awake = woken(entries[i], i, now, oracle);
+    }
+
+    // Select oldest-first within per-cluster bandwidth, and compact in
+    // the same pass.  Under the partitioned scheme, entries beyond the
+    // first stage must have been latched by a preselect block last cycle
+    // to be visible to the select logic.
+    const bool partitioned = cfg.select == SelectModel::Partitioned;
+    int intLeft = limits.intSlots;
+    int fpLeft = limits.fpSlots;
+    int memLeft = limits.memSlots;
+    ++stats_.cycles;
+    stats_.occupancySum += entries.size();
+    issuedScratch.clear();
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        bool take = e.awake &&
+                    (!partitioned || stageOf(i) == 0 || e.preselected);
+        if (take) {
+            if (e.fp) {
+                take = fpLeft > 0;
+                fpLeft -= take;
+            } else if (e.mem) {
+                take = memLeft > 0 && intLeft > 0;
+                memLeft -= take;
+                intLeft -= take;
+            } else {
+                take = intLeft > 0;
+                intLeft -= take;
+            }
+        }
+        if (take) {
+            issuedScratch.push_back(e.ref);
+            ++stats_.issued;
+            stats_.issueStageSum += stageOf(i);
+        } else {
+            entries[out++] = e;
+        }
+    }
+    entries.resize(out);
+
+    // Preselect for next cycle at the compacted positions.
+    if (partitioned) {
+        std::array<int, 8> capLeft = cfg.preselectCap;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            Entry &e = entries[i];
+            e.preselected = false;
+            const int stage = stageOf(i);
+            if (stage == 0)
+                continue;
+            if (!e.awake)
+                e.awake = woken(e, i, now, oracle);
+            const int capIdx = stage - 1;
+            if (e.awake && capIdx < static_cast<int>(capLeft.size()) &&
+                capLeft[capIdx] > 0) {
+                --capLeft[capIdx];
+                e.preselected = true;
+            }
+        }
+    }
+
+    return issuedScratch;
+}
+
+void
+IssueWindow::reset()
+{
+    entries.clear();
+    stats_ = Stats{};
+}
+
+} // namespace fo4::core

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The instruction issue window, including the paper's two contributions:
+ * the segmented (pipelined-wakeup) window of Section 5.1 / Figure 10 and
+ * the partitioned selection logic of Section 5.2 / Figure 12.
+ *
+ * Entries are kept in age order and the window compacts every cycle as
+ * instructions issue, so older instructions migrate toward stage 1 — the
+ * behaviour the paper credits for the small IPC loss of segmentation.
+ */
+
+#ifndef FO4_CORE_WINDOW_HH
+#define FO4_CORE_WINDOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hh"
+
+namespace fo4::core
+{
+
+/** Reference to an in-flight instruction slot owned by the core. */
+using InflightRef = std::uint32_t;
+constexpr InflightRef invalidRef = ~0u;
+
+/**
+ * Supplies producer timing to the window.  Implemented by the core; a
+ * mock implementation makes the window testable in isolation.
+ */
+class WakeupOracle
+{
+  public:
+    virtual ~WakeupOracle() = default;
+
+    /**
+     * Earliest cycle a dependent sitting in the given window stage could
+     * issue, based on the producer's schedule, or -1 if the producer has
+     * not been scheduled yet.  Stage 0 is the window's first (oldest)
+     * stage; each further stage adds one cycle of tag-ripple delay.
+     */
+    virtual std::int64_t dependentReadyCycle(InflightRef producer,
+                                             int stage) const = 0;
+};
+
+/** What the core tells the window about an inserted instruction. */
+struct WindowInsert
+{
+    InflightRef ref = invalidRef;
+    std::uint64_t seq = 0;           ///< age key (monotone)
+    bool fp = false;                 ///< issues to the FP cluster
+    bool mem = false;                ///< occupies a memory issue slot
+    std::array<InflightRef, 2> producers{invalidRef, invalidRef};
+};
+
+/** Per-cycle selection bandwidth. */
+struct SelectLimits
+{
+    int intSlots = 4;
+    int fpSlots = 2;
+    int memSlots = 2;
+};
+
+/** The issue window. */
+class IssueWindow
+{
+  public:
+    explicit IssueWindow(const WindowConfig &config);
+
+    bool full() const { return entries.size() >= size_t(cfg.capacity); }
+    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return entries.size(); }
+
+    /** Stage (0-based) of the entry at a given age position. */
+    int stageOf(std::size_t position) const;
+
+    void insert(const WindowInsert &ins);
+
+    /**
+     * Run wakeup + select for one cycle: returns the refs of issued
+     * instructions (oldest first) and removes them from the window
+     * (compaction).  For the partitioned scheme this also computes the
+     * preselection latched for the next cycle.  The returned reference
+     * is to internal scratch storage, valid until the next call.
+     */
+    const std::vector<InflightRef> &selectAndRemove(
+        std::int64_t now, const SelectLimits &limits,
+        const WakeupOracle &oracle);
+
+    void reset();
+
+    const WindowConfig &config() const { return cfg; }
+
+    /** Aggregate behaviour counters (since construction or reset). */
+    struct Stats
+    {
+        std::uint64_t cycles = 0;        ///< selectAndRemove invocations
+        std::uint64_t occupancySum = 0;  ///< window entries per cycle
+        std::uint64_t issued = 0;
+        std::uint64_t issueStageSum = 0; ///< stage each entry issued from
+
+        double
+        meanOccupancy() const
+        {
+            return cycles ? double(occupancySum) / double(cycles) : 0.0;
+        }
+
+        double
+        meanIssueStage() const
+        {
+            return issued ? double(issueStageSum) / double(issued) : 0.0;
+        }
+    };
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        InflightRef ref;
+        std::uint64_t seq;
+        bool fp;
+        bool mem;
+        bool awake;     ///< cached wakeup result (monotone: stays true)
+        bool preselected; ///< latched by a preselect block last cycle
+        std::array<InflightRef, 2> producers;
+        /** Frozen per-source wakeup cycles: a tag rippling through the
+         *  window reaches the stage the consumer occupied when the
+         *  broadcast began; compacting past it afterwards doesn't recall
+         *  the tag. */
+        std::array<std::int64_t, 2> srcReadyAt{-1, -1};
+    };
+
+    bool woken(Entry &entry, std::size_t position, std::int64_t now,
+               const WakeupOracle &oracle) const;
+
+    WindowConfig cfg;
+    std::vector<Entry> entries;        // age order, oldest first
+    std::vector<InflightRef> issuedScratch;
+    Stats stats_;
+};
+
+} // namespace fo4::core
+
+#endif // FO4_CORE_WINDOW_HH

@@ -1,0 +1,49 @@
+#include "isa/latencies.hh"
+
+#include "tech/fo4.hh"
+#include "util/logging.hh"
+
+namespace fo4::isa
+{
+
+int
+alpha21264Cycles(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+        return 1;
+      case OpClass::IntMult:
+        return 7;
+      case OpClass::FpAdd:
+        return 4;
+      case OpClass::FpMult:
+        return 4;
+      case OpClass::FpDiv:
+        return 12;
+      case OpClass::FpSqrt:
+        return 18;
+      case OpClass::Load:
+        return 1; // address generation; cache time modelled separately
+      case OpClass::Store:
+        return 1;
+      case OpClass::Branch:
+        return 1;
+      case OpClass::Nop:
+        return 1;
+    }
+    util::panic("unknown op class %d", static_cast<int>(cls));
+}
+
+double
+latencyFo4(OpClass cls)
+{
+    return alpha21264Cycles(cls) * tech::alpha21264PeriodFo4;
+}
+
+int
+executeCycles(OpClass cls, const tech::ClockModel &clock)
+{
+    return clock.latencyCycles(latencyFo4(cls));
+}
+
+} // namespace fo4::isa

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Functional-unit latency model (the functional-unit half of Table 3).
+ *
+ * The paper derives execution latencies from the Alpha 21264's cycle
+ * counts at its 17.4 FO4 clock: an operation that takes N cycles on the
+ * 21264 has an absolute latency of N x 17.4 FO4, and at a scaled clock of
+ * t_useful FO4 per stage it takes ceil(N * 17.4 / t_useful) cycles.  All
+ * units are fully pipelined (new operations can start every cycle) and
+ * results bypass fully.
+ */
+
+#ifndef FO4_ISA_LATENCIES_HH
+#define FO4_ISA_LATENCIES_HH
+
+#include "isa/opclass.hh"
+#include "tech/clocking.hh"
+
+namespace fo4::isa
+{
+
+/** Execution cycles of each op class on the Alpha 21264 (Table 3 row). */
+int alpha21264Cycles(OpClass cls);
+
+/** Absolute latency in FO4 (21264 cycles x 17.4 FO4). */
+double latencyFo4(OpClass cls);
+
+/**
+ * Execution latency in cycles at a scaled clock.  Loads report only their
+ * execute (address-generation) stage here; cache access time is modelled
+ * by the memory hierarchy.
+ */
+int executeCycles(OpClass cls, const tech::ClockModel &clock);
+
+} // namespace fo4::isa
+
+#endif // FO4_ISA_LATENCIES_HH

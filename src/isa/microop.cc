@@ -1,0 +1,49 @@
+#include "isa/microop.hh"
+
+#include <cstdio>
+
+namespace fo4::isa
+{
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+        return "ialu";
+      case OpClass::IntMult:
+        return "imult";
+      case OpClass::FpAdd:
+        return "fadd";
+      case OpClass::FpMult:
+        return "fmult";
+      case OpClass::FpDiv:
+        return "fdiv";
+      case OpClass::FpSqrt:
+        return "fsqrt";
+      case OpClass::Load:
+        return "load";
+      case OpClass::Store:
+        return "store";
+      case OpClass::Branch:
+        return "branch";
+      case OpClass::Nop:
+        return "nop";
+    }
+    return "?";
+}
+
+std::string
+MicroOp::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "[%llu] 0x%llx: %s dst=%d src=(%d,%d) addr=0x%llx%s",
+                  static_cast<unsigned long long>(seq),
+                  static_cast<unsigned long long>(pc), opClassName(cls), dst,
+                  src1, src2, static_cast<unsigned long long>(addr),
+                  isBranch() ? (taken ? " taken" : " not-taken") : "");
+    return buf;
+}
+
+} // namespace fo4::isa

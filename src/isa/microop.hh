@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The trace-level instruction record consumed by the pipeline models.
+ */
+
+#ifndef FO4_ISA_MICROOP_HH
+#define FO4_ISA_MICROOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opclass.hh"
+
+namespace fo4::isa
+{
+
+/** No-register marker for src/dst fields. */
+constexpr std::int16_t noReg = -1;
+
+/** Number of architectural registers (64 integer + 64 floating point). */
+constexpr int numArchRegs = 128;
+
+/**
+ * One dynamic instruction from a trace.  Register identifiers are
+ * architectural; renaming happens inside the out-of-order core.  Branch
+ * outcome and memory address are precomputed by the trace source (the
+ * simulator models timing, not execution semantics).
+ */
+struct MicroOp
+{
+    std::uint64_t seq = 0;      ///< dynamic sequence number
+    std::uint64_t pc = 0;       ///< instruction address
+    OpClass cls = OpClass::Nop;
+    std::int16_t src1 = noReg;
+    std::int16_t src2 = noReg;
+    std::int16_t dst = noReg;
+    std::uint64_t addr = 0;     ///< effective address for loads/stores
+    bool taken = false;         ///< branch outcome
+
+    bool isLoad() const { return cls == OpClass::Load; }
+    bool isStore() const { return cls == OpClass::Store; }
+    bool isBranch() const { return cls == OpClass::Branch; }
+
+    /** Debug rendering, e.g. "[12] 0x40: load r3 <- r1 @0x1000". */
+    std::string toString() const;
+};
+
+} // namespace fo4::isa
+
+#endif // FO4_ISA_MICROOP_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Operation classes of the simulated Alpha-like ISA.  The simulator is
+ * trace-driven and cycle-level: it models timing, not values, so the op
+ * class plus register/memory identifiers fully describe an instruction.
+ */
+
+#ifndef FO4_ISA_OPCLASS_HH
+#define FO4_ISA_OPCLASS_HH
+
+#include <cstdint>
+
+namespace fo4::isa
+{
+
+/** Functional classes with distinct latency or pipeline behaviour. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< add/sub/logic/shift/compare
+    IntMult,  ///< integer multiply
+    FpAdd,    ///< floating-point add/sub/convert
+    FpMult,   ///< floating-point multiply
+    FpDiv,    ///< floating-point divide
+    FpSqrt,   ///< floating-point square root
+    Load,     ///< memory read
+    Store,    ///< memory write
+    Branch,   ///< conditional branch
+    Nop,      ///< no-operation
+};
+
+constexpr int numOpClasses = 10;
+
+/** True for classes executed by the floating-point cluster. */
+constexpr bool
+isFloat(OpClass cls)
+{
+    return cls == OpClass::FpAdd || cls == OpClass::FpMult ||
+           cls == OpClass::FpDiv || cls == OpClass::FpSqrt;
+}
+
+/** True for memory operations. */
+constexpr bool
+isMemory(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+/** Printable mnemonic. */
+const char *opClassName(OpClass cls);
+
+} // namespace fo4::isa
+
+#endif // FO4_ISA_OPCLASS_HH

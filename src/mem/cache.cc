@@ -1,0 +1,91 @@
+#include "mem/cache.hh"
+
+#include "util/logging.hh"
+
+namespace fo4::mem
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params)
+    : prm(params)
+{
+    FO4_ASSERT(isPowerOfTwo(prm.lineBytes), "line size not a power of two");
+    FO4_ASSERT(prm.capacityBytes % (prm.lineBytes * prm.associativity) == 0,
+               "capacity not divisible into sets");
+    FO4_ASSERT(isPowerOfTwo(prm.sets()), "set count not a power of two");
+    lines.resize(prm.sets() * prm.associativity);
+}
+
+std::uint64_t
+Cache::lineAddr(std::uint64_t addr) const
+{
+    return addr / prm.lineBytes;
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return lineAddr(addr) & (prm.sets() - 1);
+}
+
+bool
+Cache::access(std::uint64_t addr, bool write)
+{
+    ++useClock;
+    const std::uint64_t tag = lineAddr(addr);
+    Line *base = &lines[setIndex(addr) * prm.associativity];
+
+    Line *victim = base;
+    for (std::uint32_t way = 0; way < prm.associativity; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock;
+            line.dirty |= write;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = write;
+    victim->lastUse = useClock;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t tag = lineAddr(addr);
+    const Line *base = &lines[setIndex(addr) * prm.associativity];
+    for (std::uint32_t way = 0; way < prm.associativity; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines)
+        line = Line{};
+}
+
+} // namespace fo4::mem

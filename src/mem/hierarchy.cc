@@ -1,0 +1,76 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace fo4::mem
+{
+
+MemoryHierarchy::MemoryHierarchy(const CacheParams &dl1Params,
+                                 const CacheParams &l2Params,
+                                 const HierarchyLatencies &latencies,
+                                 MemoryMode mode)
+    : dl1_(dl1Params), l2_(l2Params), lat(latencies), mode_(mode)
+{
+    FO4_ASSERT(lat.dl1 >= 1 && lat.l2 >= 1 && lat.memory >= 1 &&
+                   lat.flat >= 1,
+               "latencies must be at least one cycle");
+    FO4_ASSERT(lat.l2BusCycles >= 0 && lat.memBusCycles >= 0,
+               "bus occupancies cannot be negative");
+}
+
+int
+MemoryHierarchy::accessLatency(std::uint64_t addr, bool write,
+                               std::int64_t now)
+{
+    if (mode_ == MemoryMode::Flat)
+        return lat.flat;
+
+    if (dl1_.access(addr, write))
+        return lat.dl1;
+
+    // DL1 miss: the line fill occupies the L1<->L2 bus; misses queue.
+    const std::int64_t busStart = std::max(now, l2BusFreeAt);
+    l2BusFreeAt = busStart + lat.l2BusCycles;
+    const int queueing = static_cast<int>(busStart - now);
+
+    if (l2_.access(addr, write))
+        return lat.dl1 + lat.l2 + queueing + lat.l2BusCycles;
+
+    // L2 miss: additionally occupy the memory channel.
+    const std::int64_t memStart = std::max(busStart, memBusFreeAt);
+    memBusFreeAt = memStart + lat.memBusCycles;
+    const int memQueueing = static_cast<int>(memStart - busStart);
+    return lat.dl1 + lat.l2 + lat.memory + queueing + lat.l2BusCycles +
+           memQueueing + lat.memBusCycles;
+}
+
+int
+MemoryHierarchy::loadLatency(std::uint64_t addr, std::int64_t now)
+{
+    return accessLatency(addr, false, now);
+}
+
+int
+MemoryHierarchy::storeLatency(std::uint64_t addr, std::int64_t now)
+{
+    return accessLatency(addr, true, now);
+}
+
+void
+MemoryHierarchy::reset()
+{
+    dl1_.flush();
+    l2_.flush();
+    resetContention();
+}
+
+void
+MemoryHierarchy::resetContention()
+{
+    l2BusFreeAt = 0;
+    memBusFreeAt = 0;
+}
+
+} // namespace fo4::mem

@@ -1,0 +1,42 @@
+#include "study/intel_history.hh"
+
+#include "util/logging.hh"
+
+namespace fo4::study
+{
+
+std::vector<ProcessorGeneration>
+intelGenerations()
+{
+    // Figure 1 of the paper: year of introduction, technology and clock
+    // of the last seven generations of Intel processors.
+    return {
+        {"i486DX", 1990, 1000.0, 33.0},
+        {"i486DX2", 1992, 800.0, 66.0},
+        {"Pentium", 1994, 600.0, 100.0},
+        {"Pentium Pro", 1996, 350.0, 200.0},
+        {"Pentium II", 1998, 250.0, 450.0},
+        {"Pentium III", 2000, 180.0, 1000.0},
+        {"Pentium 4", 2002, 130.0, 2000.0},
+    };
+}
+
+FrequencyDecomposition
+decomposeFrequencyGains()
+{
+    const auto gens = intelGenerations();
+    FO4_ASSERT(gens.size() >= 2, "need at least two generations");
+    const auto &first = gens.front();
+    const auto &last = gens.back();
+
+    FrequencyDecomposition d;
+    d.totalGain = last.clockMhz / first.clockMhz;
+    // Technology: how much faster one FO4 became.
+    d.technologyGain = tech::Technology::nm(first.techNm).fo4Ps() /
+                       tech::Technology::nm(last.techNm).fo4Ps();
+    // Pipelining: how many fewer FO4 fit in one cycle.
+    d.pipeliningGain = first.periodFo4() / last.periodFo4();
+    return d;
+}
+
+} // namespace fo4::study

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The processor-history data behind the paper's Figure 1: seven
+ * generations of Intel x86 processors with their introduction year,
+ * fabrication technology and nominal clock frequency, plus the conversion
+ * of clock period into FO4 (360 ps x drawn gate length in microns).
+ */
+
+#ifndef FO4_STUDY_INTEL_HISTORY_HH
+#define FO4_STUDY_INTEL_HISTORY_HH
+
+#include <string>
+#include <vector>
+
+#include "tech/fo4.hh"
+
+namespace fo4::study
+{
+
+/** One processor generation from Figure 1. */
+struct ProcessorGeneration
+{
+    std::string name;
+    int year;
+    double techNm;      ///< drawn gate length
+    double clockMhz;
+
+    double periodPs() const { return 1e6 / clockMhz; }
+
+    /** Clock period in FO4 at the processor's own technology. */
+    double
+    periodFo4() const
+    {
+        return tech::Technology::nm(techNm).toFo4(periodPs());
+    }
+};
+
+/** The seven generations plotted in Figure 1 (1990-2002). */
+std::vector<ProcessorGeneration> intelGenerations();
+
+/**
+ * Decompose the total clock-frequency improvement between the first and
+ * last generation into its technology-scaling part (FO4 getting faster)
+ * and its pipelining part (fewer FO4 per cycle), as in the paper's
+ * introduction (roughly 8x from technology and 7x from pipelining).
+ */
+struct FrequencyDecomposition
+{
+    double totalGain;
+    double technologyGain;
+    double pipeliningGain;
+};
+
+FrequencyDecomposition decomposeFrequencyGains();
+
+} // namespace fo4::study
+
+#endif // FO4_STUDY_INTEL_HISTORY_HH

@@ -1,0 +1,77 @@
+#include "study/optimizer.hh"
+
+#include "util/logging.hh"
+
+namespace fo4::study
+{
+
+namespace
+{
+
+double
+evaluate(double tUseful, const tech::ClockModel &clock,
+         const ScalingOptions &options,
+         const std::vector<trace::BenchmarkProfile> &profiles,
+         const RunSpec &spec, SuiteResult &out)
+{
+    const core::CoreParams params = scaledCoreParams(tUseful, options);
+    out = runSuite(params, clock, profiles, spec);
+    return out.harmonicBipsAll();
+}
+
+} // namespace
+
+OptimizedConfig
+optimizeStructures(double tUseful, const tech::ClockModel &clock,
+                   const std::vector<trace::BenchmarkProfile> &profiles,
+                   const RunSpec &spec, const OptimizerSearchSpace &space)
+{
+    FO4_ASSERT(!space.dl1Bytes.empty() && !space.l2Bytes.empty() &&
+                   !space.windowEntries.empty(),
+               "empty search space");
+
+    OptimizedConfig best;
+    best.harmonicBipsAll =
+        evaluate(tUseful, clock, best.options, profiles, spec, best.result);
+
+    // Greedy passes: DL1, then L2, then window.
+    for (const std::uint64_t dl1 : space.dl1Bytes) {
+        ScalingOptions candidate = best.options;
+        candidate.dl1Bytes = dl1;
+        SuiteResult result;
+        const double bips =
+            evaluate(tUseful, clock, candidate, profiles, spec, result);
+        if (bips > best.harmonicBipsAll) {
+            best.options = candidate;
+            best.result = std::move(result);
+            best.harmonicBipsAll = bips;
+        }
+    }
+    for (const std::uint64_t l2 : space.l2Bytes) {
+        ScalingOptions candidate = best.options;
+        candidate.l2Bytes = l2;
+        SuiteResult result;
+        const double bips =
+            evaluate(tUseful, clock, candidate, profiles, spec, result);
+        if (bips > best.harmonicBipsAll) {
+            best.options = candidate;
+            best.result = std::move(result);
+            best.harmonicBipsAll = bips;
+        }
+    }
+    for (const int window : space.windowEntries) {
+        ScalingOptions candidate = best.options;
+        candidate.windowEntries = window;
+        SuiteResult result;
+        const double bips =
+            evaluate(tUseful, clock, candidate, profiles, spec, result);
+        if (bips > best.harmonicBipsAll) {
+            best.options = candidate;
+            best.result = std::move(result);
+            best.harmonicBipsAll = bips;
+        }
+    }
+    return best;
+}
+
+} // namespace fo4::study

@@ -1,0 +1,86 @@
+#include "study/runner.hh"
+
+#include "trace/generator.hh"
+#include "util/logging.hh"
+#include "util/means.hh"
+
+namespace fo4::study
+{
+
+namespace
+{
+
+std::vector<double>
+collect(const SuiteResult &suite, const trace::BenchClass *cls, bool ipc)
+{
+    std::vector<double> values;
+    for (const auto &b : suite.benchmarks) {
+        if (cls && b.cls != *cls)
+            continue;
+        values.push_back(ipc ? b.sim.ipc() : b.bips);
+    }
+    return values;
+}
+
+} // namespace
+
+double
+SuiteResult::harmonicBips(trace::BenchClass cls) const
+{
+    const auto values = collect(*this, &cls, false);
+    return values.empty() ? 0.0 : util::harmonicMean(values);
+}
+
+double
+SuiteResult::harmonicBipsAll() const
+{
+    const auto values = collect(*this, nullptr, false);
+    return values.empty() ? 0.0 : util::harmonicMean(values);
+}
+
+double
+SuiteResult::harmonicIpc(trace::BenchClass cls) const
+{
+    const auto values = collect(*this, &cls, true);
+    return values.empty() ? 0.0 : util::harmonicMean(values);
+}
+
+double
+SuiteResult::harmonicIpcAll() const
+{
+    const auto values = collect(*this, nullptr, true);
+    return values.empty() ? 0.0 : util::harmonicMean(values);
+}
+
+BenchResult
+runBenchmark(const core::CoreParams &params, const tech::ClockModel &clock,
+             const trace::BenchmarkProfile &profile, const RunSpec &spec)
+{
+    trace::SyntheticTraceGenerator gen(profile);
+    auto core = spec.model == CoreModel::OutOfOrder
+                    ? core::makeOooCore(params, spec.predictor)
+                    : core::makeInorderCore(params, spec.predictor);
+
+    BenchResult result;
+    result.name = profile.name;
+    result.cls = profile.cls;
+    result.sim = core->run(gen, spec.instructions, spec.warmup,
+                           spec.prewarm);
+    result.bips = clock.bips(result.sim.ipc());
+    return result;
+}
+
+SuiteResult
+runSuite(const core::CoreParams &params, const tech::ClockModel &clock,
+         const std::vector<trace::BenchmarkProfile> &profiles,
+         const RunSpec &spec)
+{
+    FO4_ASSERT(!profiles.empty(), "no profiles to run");
+    SuiteResult suite;
+    for (const auto &profile : profiles)
+        suite.benchmarks.push_back(
+            runBenchmark(params, clock, profile, spec));
+    return suite;
+}
+
+} // namespace fo4::study

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment runner: simulates a benchmark suite on a core configuration
+ * and aggregates per-class performance the way the paper reports it
+ * (harmonic means of BIPS = IPC x frequency).
+ */
+
+#ifndef FO4_STUDY_RUNNER_HH
+#define FO4_STUDY_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "tech/clocking.hh"
+#include "trace/spec2000.hh"
+
+namespace fo4::study
+{
+
+/** Which pipeline model to run. */
+enum class CoreModel
+{
+    InOrder,
+    OutOfOrder,
+};
+
+/** One benchmark's outcome. */
+struct BenchResult
+{
+    std::string name;
+    trace::BenchClass cls = trace::BenchClass::Integer;
+    core::SimResult sim;
+    double bips = 0.0;
+};
+
+/** A whole suite's outcome. */
+struct SuiteResult
+{
+    std::vector<BenchResult> benchmarks;
+
+    /** Harmonic mean of BIPS over one class; 0 if the class is absent. */
+    double harmonicBips(trace::BenchClass cls) const;
+
+    /** Harmonic mean of BIPS over every benchmark. */
+    double harmonicBipsAll() const;
+
+    /** Harmonic mean of IPC over one class. */
+    double harmonicIpc(trace::BenchClass cls) const;
+
+    /** Harmonic mean of IPC over every benchmark. */
+    double harmonicIpcAll() const;
+};
+
+/** How to run a suite. */
+struct RunSpec
+{
+    CoreModel model = CoreModel::OutOfOrder;
+    std::string predictor = "tournament";
+    std::uint64_t instructions = 200000;
+    /** Instructions simulated but discarded before measurement begins. */
+    std::uint64_t warmup = 20000;
+    /** Instructions streamed functionally through caches and predictor
+     *  first (stands in for the paper's 500M-instruction skip). */
+    std::uint64_t prewarm = 500000;
+};
+
+/**
+ * Run every profile on a fresh core built from `params`, converting IPC
+ * to BIPS with `clock`.
+ */
+SuiteResult runSuite(const core::CoreParams &params,
+                     const tech::ClockModel &clock,
+                     const std::vector<trace::BenchmarkProfile> &profiles,
+                     const RunSpec &spec);
+
+/** Run one profile. */
+BenchResult runBenchmark(const core::CoreParams &params,
+                         const tech::ClockModel &clock,
+                         const trace::BenchmarkProfile &profile,
+                         const RunSpec &spec);
+
+} // namespace fo4::study
+
+#endif // FO4_STUDY_RUNNER_HH

@@ -1,0 +1,105 @@
+#include "study/scaling.hh"
+
+#include "isa/latencies.hh"
+#include "util/logging.hh"
+
+namespace fo4::study
+{
+
+tech::ClockModel
+scaledClock(double tUseful, const tech::OverheadModel &overhead)
+{
+    tech::ClockModel clock;
+    clock.tech = tech::tech100nm();
+    clock.tUsefulFo4 = tUseful;
+    clock.overhead = overhead;
+    return clock;
+}
+
+core::CoreParams
+scaledCoreParams(double tUseful, const ScalingOptions &options,
+                 const cacti::StructureModel &model)
+{
+    FO4_ASSERT(tUseful > 0.0, "t_useful must be positive");
+
+    // Only t_useful matters for cycle quantization; overhead changes the
+    // frequency, not the latencies (paper Section 3.3).
+    tech::ClockModel clock = scaledClock(tUseful);
+
+    core::CoreParams p = core::CoreParams::alpha21264();
+    using SK = cacti::StructureKind;
+
+    // Functional-unit latencies: 21264 cycles x 17.4 FO4, re-quantized.
+    for (int i = 0; i < isa::numOpClasses; ++i) {
+        p.execCycles[i] =
+            isa::executeCycles(static_cast<isa::OpClass>(i), clock);
+    }
+
+    // Pipeline segment depths from structure access times.
+    p.fetchStages =
+        clock.latencyCycles(model.latencyFo4(SK::BranchPredictor,
+                                             model.alphaCapacity(
+                                                 SK::BranchPredictor)));
+    p.decodeStages = clock.latencyCycles(options.baseStageFo4);
+    p.renameStages = clock.latencyCycles(
+        model.latencyFo4(SK::RenameTable,
+                         model.alphaCapacity(SK::RenameTable)));
+    p.regReadStages = clock.latencyCycles(
+        model.latencyFo4(SK::RegisterFile,
+                         model.alphaCapacity(SK::RegisterFile)));
+    p.commitStages = clock.latencyCycles(options.baseStageFo4);
+
+    // Issue window: a monolithic window's wakeup loop is its access
+    // latency; a segmented window (Section 5) always has a one-cycle
+    // loop per stage, with the ripple delay modelled by the window.
+    p.window = options.window;
+    p.window.capacity = options.windowEntries;
+    if (options.window.wakeupStages > 1 ||
+        options.window.select == core::SelectModel::Partitioned) {
+        p.issueLatency = 1;
+    } else {
+        p.issueLatency = clock.latencyCycles(
+            model.latencyFo4(SK::IssueWindow, options.windowEntries));
+    }
+
+    // Memory system.
+    if (options.crayMemory) {
+        p.memoryMode = mem::MemoryMode::Flat;
+        p.memLatencies.flat =
+            clock.latencyCycles(cacti::crayMemoryFo4());
+    } else {
+        p.memoryMode = mem::MemoryMode::TwoLevel;
+        p.dl1.capacityBytes = options.dl1Bytes;
+        p.l2.capacityBytes = options.l2Bytes;
+        p.memLatencies.dl1 = clock.latencyCycles(
+            model.latencyFo4(SK::DL1, options.dl1Bytes));
+        p.memLatencies.l2 = clock.latencyCycles(
+            model.latencyFo4(SK::L2, options.l2Bytes));
+        p.memLatencies.memory =
+            clock.latencyCycles(cacti::modernMemoryFo4());
+        // The L1<->L2 fill bus is on-chip and clocked with the core, so
+        // its occupancy stays constant in cycles; the memory channel has
+        // fixed absolute bandwidth, so its occupancy is an FO4 figure.
+        p.memLatencies.l2BusCycles = 8;
+        p.memLatencies.memBusCycles =
+            clock.latencyCycles(cacti::memoryBusFo4());
+    }
+
+    p.extraMispredictPenalty = options.extraMispredictPenalty;
+    p.extraLoadUse = options.extraLoadUse;
+    p.extraWakeup = options.extraWakeup;
+
+    // Wire-delay extension (Section 7 future work): constant-FO4 wire
+    // latency on the fetch-redirect and L2 paths.
+    if (options.wirePenaltyFo4 > 0.0) {
+        const int wireCycles = clock.latencyCycles(options.wirePenaltyFo4);
+        p.extraMispredictPenalty += wireCycles;
+        if (!options.crayMemory)
+            p.memLatencies.l2 += wireCycles;
+    }
+
+    p.validate();
+    return p;
+}
+
+} // namespace fo4::study

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Pipeline scaling (paper Section 3.3): given an amount of useful logic
+ * per stage, derive the complete core configuration — every structure's
+ * access penalty in cycles, every functional unit's latency, and the
+ * depth of every pipeline segment — using the quantization rule
+ * cycles = ceil(latency_fo4 / t_useful).
+ */
+
+#ifndef FO4_STUDY_SCALING_HH
+#define FO4_STUDY_SCALING_HH
+
+#include "cacti/structures.hh"
+#include "core/params.hh"
+#include "tech/clocking.hh"
+
+namespace fo4::study
+{
+
+/** Knobs of the scaling study. */
+struct ScalingOptions
+{
+    /** Structure capacities; defaults are the Alpha 21264 configuration
+     *  of paper Section 3.1 (64KB DL1, 2MB L2, 512-entry register file,
+     *  32-entry window). */
+    std::uint64_t dl1Bytes = 64 * 1024;
+    std::uint64_t l2Bytes = 2 * 1024 * 1024;
+    int windowEntries = 32;
+
+    /** Use the flat Cray-1S memory system (Section 4.2) instead of the
+     *  two-level hierarchy. */
+    bool crayMemory = false;
+
+    /** Latency of one logic stage of decode/commit logic, in FO4: one
+     *  Alpha 21264 pipeline stage's worth. */
+    double baseStageFo4 = tech::alpha21264PeriodFo4;
+
+    /** Window pipelining (Section 5); wakeupStages > 1 replaces the
+     *  monolithic window access latency with a segmented design whose
+     *  wakeup loop is a single cycle per stage. */
+    core::WindowConfig window;
+
+    /** Critical-loop extensions, passed through to the core (Fig 8). */
+    int extraMispredictPenalty = 0;
+    int extraLoadUse = 0;
+    int extraWakeup = 0;
+
+    /**
+     * Global wire latency in FO4 (an extension of the paper's "effects
+     * of slower wires" future work, Section 7): cross-chip wires on the
+     * fetch-redirect path and the L2 access path do not shrink with the
+     * pipeline, so each scaled clock pays ceil(wire/t) extra cycles on
+     * both.  The Pentium 4's two drive stages correspond to roughly
+     * 20-40 FO4.
+     */
+    double wirePenaltyFo4 = 0.0;
+};
+
+/**
+ * Build the core configuration for a pipeline clocked at tUseful FO4 of
+ * logic per stage.
+ */
+core::CoreParams scaledCoreParams(double tUseful,
+                                  const ScalingOptions &options = {},
+                                  const cacti::StructureModel &model =
+                                      cacti::StructureModel{});
+
+/** The clock (frequency) that goes with a scaled configuration. */
+tech::ClockModel scaledClock(double tUseful,
+                             const tech::OverheadModel &overhead =
+                                 tech::OverheadModel::paperDefault());
+
+} // namespace fo4::study
+
+#endif // FO4_STUDY_SCALING_HH

@@ -1,0 +1,222 @@
+#include "tech/circuit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace fo4::tech
+{
+
+Waveform
+rampStep(double t0, double v0, double v1, double trise)
+{
+    return [=](double t) {
+        if (t <= t0)
+            return v0;
+        if (t >= t0 + trise)
+            return v1;
+        return v0 + (v1 - v0) * (t - t0) / trise;
+    };
+}
+
+Waveform
+clockWave(double t0, double period, double vdd, double trise)
+{
+    const double half = period / 2.0;
+    return [=](double t) {
+        if (t < t0)
+            return 0.0;
+        const double phase = std::fmod(t - t0, period);
+        if (phase < half - trise)
+            return vdd;
+        if (phase < half)
+            return vdd * (half - phase) / trise;
+        if (phase < period - trise)
+            return 0.0;
+        return vdd * (phase - (period - trise)) / trise;
+    };
+}
+
+Circuit::Circuit(const DeviceParams &params)
+    : prm(params)
+{
+    vddNode = addNode("vdd");
+    gndNode = addNode("gnd");
+    drive(vddNode, [this](double) { return prm.vdd; });
+    drive(gndNode, [](double) { return 0.0; });
+}
+
+Circuit::NodeId
+Circuit::addNode(const std::string &name, double extraCapFf)
+{
+    names.push_back(name);
+    caps.push_back(extraCapFf);
+    volts.push_back(0.0);
+    initial.push_back(0.0);
+    xings.emplace_back();
+    return static_cast<NodeId>(names.size() - 1);
+}
+
+void
+Circuit::addCap(NodeId node, double capFf)
+{
+    FO4_ASSERT(node >= 0 && node < static_cast<NodeId>(caps.size()),
+               "bad node id %d", node);
+    caps[node] += capFf;
+}
+
+void
+Circuit::addNmos(NodeId gate, NodeId a, NodeId b, double width)
+{
+    FO4_ASSERT(width > 0.0, "transistor width must be positive");
+    fets.push_back({false, gate, a, b, width});
+    addCap(gate, prm.cGate * width);
+    addCap(a, prm.cDiff * width);
+    addCap(b, prm.cDiff * width);
+}
+
+void
+Circuit::addPmos(NodeId gate, NodeId a, NodeId b, double width)
+{
+    FO4_ASSERT(width > 0.0, "transistor width must be positive");
+    fets.push_back({true, gate, a, b, width});
+    addCap(gate, prm.cGate * width);
+    addCap(a, prm.cDiff * width);
+    addCap(b, prm.cDiff * width);
+}
+
+void
+Circuit::drive(NodeId node, Waveform wave)
+{
+    sources.emplace_back(node, std::move(wave));
+}
+
+void
+Circuit::setInitial(NodeId node, double voltsInit)
+{
+    initial[node] = voltsInit;
+}
+
+double
+Circuit::fetCurrent(const Fet &fet) const
+{
+    // Returns current flowing from terminal a into terminal b (mA), using
+    // the long-channel quadratic model with symmetric source/drain.
+    const double va = volts[fet.a];
+    const double vb = volts[fet.b];
+    const double vg = volts[fet.gate];
+
+    if (!fet.isPmos) {
+        // Source is the lower-voltage terminal.
+        const double vs = std::min(va, vb);
+        const double vd = std::max(va, vb);
+        const double vov = (vg - vs) - prm.vtn;
+        if (vov <= 0.0)
+            return 0.0;
+        const double vds = vd - vs;
+        const double k = prm.kn * fet.width;
+        const double i = vds < vov
+            ? k * (vov * vds - 0.5 * vds * vds)
+            : 0.5 * k * vov * vov;
+        // Current flows from drain (higher) to source (lower).
+        return va > vb ? i : -i;
+    }
+    // PMOS: source is the higher-voltage terminal.
+    const double vs = std::max(va, vb);
+    const double vd = std::min(va, vb);
+    const double vov = (vs - vg) - prm.vtp;
+    if (vov <= 0.0)
+        return 0.0;
+    const double vsd = vs - vd;
+    const double k = prm.kp * fet.width;
+    const double i = vsd < vov
+        ? k * (vov * vsd - 0.5 * vsd * vsd)
+        : 0.5 * k * vov * vov;
+    // Current flows from source (higher) to drain (lower).
+    return va > vb ? i : -i;
+}
+
+void
+Circuit::run(double tEnd, double dt)
+{
+    FO4_ASSERT(!ran, "Circuit::run() may only be called once");
+    FO4_ASSERT(dt > 0.0 && tEnd > 0.0, "invalid run parameters");
+    ran = true;
+
+    const std::size_t n = volts.size();
+    std::vector<bool> isDriven(n, false);
+    for (const auto &[node, wave] : sources)
+        isDriven[node] = true;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        volts[i] = initial[i];
+        if (!isDriven[i] && fets.empty() && caps[i] <= 0.0)
+            caps[i] = 1.0; // isolated test nodes: give a token capacitance
+    }
+    for (const auto &[node, wave] : sources)
+        volts[node] = wave(0.0);
+
+    std::vector<double> currents(n);
+    std::vector<double> prev(volts);
+    const double mid = prm.vdd / 2.0;
+
+    for (double t = dt; t <= tEnd + 1e-12; t += dt) {
+        std::fill(currents.begin(), currents.end(), 0.0);
+        for (const auto &fet : fets) {
+            const double i_ab = fetCurrent(fet);
+            currents[fet.a] -= i_ab;
+            currents[fet.b] += i_ab;
+        }
+
+        prev = volts;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (isDriven[i])
+                continue;
+            const double c = caps[i];
+            if (c <= 0.0)
+                continue; // node with no cap and no devices: leave at init
+            double v = volts[i] + currents[i] * dt / c;
+            v = std::clamp(v, -0.2, prm.vdd + 0.2);
+            volts[i] = v;
+        }
+        for (const auto &[node, wave] : sources)
+            volts[node] = wave(t);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool was_low = prev[i] < mid;
+            const bool is_low = volts[i] < mid;
+            if (was_low != is_low) {
+                // Linear interpolation inside the step.
+                const double frac = (mid - prev[i]) / (volts[i] - prev[i]);
+                xings[i].push_back({t - dt + frac * dt, was_low});
+            }
+        }
+    }
+}
+
+double
+Circuit::voltage(NodeId node) const
+{
+    FO4_ASSERT(ran, "voltage() before run()");
+    return volts[node];
+}
+
+const std::vector<Circuit::Crossing> &
+Circuit::crossings(NodeId node) const
+{
+    FO4_ASSERT(ran, "crossings() before run()");
+    return xings[node];
+}
+
+double
+Circuit::firstCrossing(NodeId node, bool rising, double tMin) const
+{
+    for (const auto &x : crossings(node)) {
+        if (x.rising == rising && x.time >= tMin)
+            return x.time;
+    }
+    return -1.0;
+}
+
+} // namespace fo4::tech

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A small switch-level transient circuit simulator.
+ *
+ * This is the repo's substitute for the SPICE runs in the paper: MOSFETs
+ * use the textbook long-channel quadratic model (cutoff / triode /
+ * saturation), node voltages are integrated with forward Euler, and all
+ * delays are reported relative to a measured FO4 reference (see fo4.hh),
+ * which is how the paper normalizes its circuit results too.
+ *
+ * Units: volts, picoseconds, femtofarads, milliamps (so dV = I*dt/C holds
+ * with no conversion factors).
+ */
+
+#ifndef FO4_TECH_CIRCUIT_HH
+#define FO4_TECH_CIRCUIT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fo4::tech
+{
+
+/** Device and supply parameters for a technology node. */
+struct DeviceParams
+{
+    double vdd = 1.2;       ///< supply voltage (V)
+    double vtn = 0.3;       ///< NMOS threshold (V)
+    double vtp = 0.3;       ///< PMOS threshold magnitude (V)
+    double kn = 1.2;        ///< NMOS transconductance (mA/V^2 per um width)
+    double kp = 0.6;        ///< PMOS transconductance (mA/V^2 per um width)
+    double cGate = 1.5;     ///< gate capacitance (fF per um width)
+    double cDiff = 0.8;     ///< source/drain diffusion cap (fF per um width)
+    double invWn = 1.0;     ///< reference inverter NMOS width (um)
+    double invWp = 2.0;     ///< reference inverter PMOS width (um)
+
+    /** Parameters representative of a 100nm bulk CMOS process. */
+    static DeviceParams at100nm() { return DeviceParams{}; }
+};
+
+/** A voltage waveform for a driven node: maps time (ps) to volts. */
+using Waveform = std::function<double(double)>;
+
+/** Linear-ramp step from v0 to v1 starting at t0, taking trise ps. */
+Waveform rampStep(double t0, double v0, double v1, double trise);
+
+/** A 50%-duty-cycle clock: high for half of period, starting high at t0. */
+Waveform clockWave(double t0, double period, double vdd, double trise);
+
+/**
+ * A transient-simulated transistor network.  Build the netlist with
+ * addNode/addNmos/addPmos/drive, then run(); voltage crossings of vdd/2 are
+ * recorded for every node during simulation.
+ */
+class Circuit
+{
+  public:
+    using NodeId = std::int32_t;
+
+    explicit Circuit(const DeviceParams &params);
+
+    /** The positive supply rail. */
+    NodeId vdd() const { return vddNode; }
+    /** The ground rail. */
+    NodeId gnd() const { return gndNode; }
+
+    /** Create a floating node with optional extra load capacitance (fF). */
+    NodeId addNode(const std::string &name, double extraCapFf = 0.0);
+
+    /** Add explicit capacitance to ground on a node (fF). */
+    void addCap(NodeId node, double capFf);
+
+    /** Add an NMOS device; width in um. */
+    void addNmos(NodeId gate, NodeId a, NodeId b, double width);
+
+    /** Add a PMOS device; width in um. */
+    void addPmos(NodeId gate, NodeId a, NodeId b, double width);
+
+    /** Force a node to follow a waveform (ideal voltage source). */
+    void drive(NodeId node, Waveform wave);
+
+    /** Set the initial voltage of a free node (defaults to 0 V). */
+    void setInitial(NodeId node, double volts);
+
+    /**
+     * Integrate the network from t=0 to tEnd with step dt (both ps).
+     * May be called once per circuit.
+     */
+    void run(double tEnd, double dt = 0.1);
+
+    /** Final voltage of a node after run(). */
+    double voltage(NodeId node) const;
+
+    /** All times (ps) the node crossed vdd/2, with direction. */
+    struct Crossing
+    {
+        double time;
+        bool rising;
+    };
+    const std::vector<Crossing> &crossings(NodeId node) const;
+
+    /**
+     * First crossing of vdd/2 at or after tMin in the given direction, or
+     * a negative value if none occurred.
+     */
+    double firstCrossing(NodeId node, bool rising, double tMin = 0.0) const;
+
+    const DeviceParams &params() const { return prm; }
+    std::size_t deviceCount() const { return fets.size(); }
+    std::size_t nodeCount() const { return caps.size(); }
+
+  private:
+    struct Fet
+    {
+        bool isPmos;
+        NodeId gate;
+        NodeId a;
+        NodeId b;
+        double width;
+    };
+
+    double fetCurrent(const Fet &fet) const;
+
+    DeviceParams prm;
+    NodeId vddNode;
+    NodeId gndNode;
+    std::vector<std::string> names;
+    std::vector<double> caps;       // fF per node
+    std::vector<double> volts;      // current voltages
+    std::vector<double> initial;    // initial conditions
+    std::vector<Fet> fets;
+    std::vector<std::pair<NodeId, Waveform>> sources;
+    std::vector<std::vector<Crossing>> xings;
+    bool ran = false;
+};
+
+} // namespace fo4::tech
+
+#endif // FO4_TECH_CIRCUIT_HH

@@ -1,0 +1,34 @@
+#include "tech/clocking.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace fo4::tech
+{
+
+OverheadModel
+OverheadModel::fromKurdMeasurements(Technology measuredAt, double latchFo4)
+{
+    // Kurd et al. (ISSCC 2001), Pentium 4 clock distribution: skew below
+    // 20 ps and jitter 35 ps with multiple clock domains at 180nm.
+    const double skewPs = 20.0;
+    const double jitterPs = 35.0;
+    auto round1 = [](double v) { return std::round(v * 10.0) / 10.0; };
+    OverheadModel m;
+    m.latchFo4 = latchFo4;
+    m.skewFo4 = round1(measuredAt.toFo4(skewPs));
+    m.jitterFo4 = round1(measuredAt.toFo4(jitterPs));
+    return m;
+}
+
+int
+ClockModel::latencyCycles(double latencyFo4) const
+{
+    FO4_ASSERT(tUsefulFo4 > 0.0, "t_useful must be positive");
+    FO4_ASSERT(latencyFo4 >= 0.0, "negative latency");
+    const int cycles = static_cast<int>(std::ceil(latencyFo4 / tUsefulFo4));
+    return cycles < 1 ? 1 : cycles;
+}
+
+} // namespace fo4::tech

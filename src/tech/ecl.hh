@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Appendix A of the paper: the CMOS equivalent of one Cray-1S ECL gate
+ * level (a 4-input NAND driving a 5-input NAND, the second standing in
+ * for the transmission-line wire delay) and the resulting conversion of
+ * Kunkel & Smith's optimal gate levels per stage into FO4.
+ */
+
+#ifndef FO4_TECH_ECL_HH
+#define FO4_TECH_ECL_HH
+
+#include "tech/circuit.hh"
+#include "tech/fo4.hh"
+
+namespace fo4::tech
+{
+
+/** The paper's measured value for one ECL gate level in FO4. */
+constexpr double paperEclLevelFo4 = 1.36;
+
+/** Kunkel & Smith optimal useful gate levels per stage (Cray-1S study). */
+constexpr int kunkelSmithScalarLevels = 8;
+constexpr int kunkelSmithVectorLevels = 4;
+
+/**
+ * Measure the delay of the Appendix A test circuit (4-NAND into 5-NAND)
+ * by transient simulation, normalized to FO4.
+ */
+double measureEclLevelFo4(const DeviceParams &params, const Fo4Reference &ref);
+
+/** Convert a number of ECL gate levels to FO4 using a per-level delay. */
+double eclLevelsToFo4(int levels, double fo4PerLevel = paperEclLevelFo4);
+
+} // namespace fo4::tech
+
+#endif // FO4_TECH_ECL_HH

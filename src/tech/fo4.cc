@@ -1,0 +1,50 @@
+#include "tech/fo4.hh"
+
+#include "tech/gates.hh"
+#include "util/logging.hh"
+
+namespace fo4::tech
+{
+
+Fo4Reference
+measureFo4(const DeviceParams &params)
+{
+    Circuit c(params);
+
+    // Five inverters in series; every internal node carries three extra
+    // inverter-input loads so each stage sees a fanout of four.  The input
+    // steps well after t=0 so initialization transients (every node starts
+    // at 0 V) have settled before the measured edge.
+    const double stepAt = 400.0;
+    const auto in = c.addNode("in");
+    c.drive(in, rampStep(stepAt, 0.0, params.vdd, 30.0));
+
+    std::vector<Circuit::NodeId> taps;
+    Circuit::NodeId node = in;
+    for (int stage = 0; stage < 5; ++stage) {
+        node = addInverter(c, node);
+        addFanoutLoad(c, node, 3);
+        taps.push_back(node);
+    }
+
+    c.run(stepAt + 1500.0, 0.05);
+
+    // Input rises: tap0 falls, tap1 rises, tap2 falls, tap3 rises.
+    // Measure stage 3 (falling output) and stage 4 (rising output), deep
+    // enough in the chain that the edges are self-consistent.
+    const double settle = stepAt - 100.0;
+    const double t2_rise = c.firstCrossing(taps[1], true, settle);
+    const double t3_fall = c.firstCrossing(taps[2], false, settle);
+    const double t4_rise = c.firstCrossing(taps[3], true, settle);
+    FO4_ASSERT(t2_rise > 0 && t3_fall > t2_rise && t4_rise > t3_fall,
+               "FO4 reference chain did not propagate (%.2f %.2f %.2f)",
+               t2_rise, t3_fall, t4_rise);
+
+    Fo4Reference ref;
+    ref.fallPs = t3_fall - t2_rise;
+    ref.risePs = t4_rise - t3_fall;
+    ref.delayPs = 0.5 * (ref.fallPs + ref.risePs);
+    return ref;
+}
+
+} // namespace fo4::tech

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The FO4 metric: technology scaling rules and the simulated FO4 reference
+ * measurement that normalizes every other circuit result.
+ *
+ * Following the paper, 1 FO4 is the delay of an inverter driving four
+ * copies of itself, and corresponds to roughly 360 ps times the drawn gate
+ * length in microns (Ho, Mai & Horowitz), so delays expressed in FO4 are
+ * technology independent.
+ */
+
+#ifndef FO4_TECH_FO4_HH
+#define FO4_TECH_FO4_HH
+
+#include "tech/circuit.hh"
+
+namespace fo4::tech
+{
+
+/** Picoseconds per FO4 per micron of drawn gate length. */
+constexpr double fo4PsPerMicron = 360.0;
+
+/**
+ * Clock period of the Alpha 21264 (800 MHz at 180nm) in FO4, as used by
+ * the paper to back out functional-unit latencies (Table 3, last row).
+ */
+constexpr double alpha21264PeriodFo4 = 17.4;
+
+/** A CMOS technology node identified by its drawn gate length. */
+struct Technology
+{
+    double drawnGateLengthNm;
+
+    /** Rule-of-thumb FO4 delay at this node (ps). */
+    double fo4Ps() const { return fo4PsPerMicron * drawnGateLengthNm / 1e3; }
+
+    /** Convert a delay in FO4 to picoseconds at this node. */
+    double toPs(double fo4) const { return fo4 * fo4Ps(); }
+
+    /** Convert a delay in picoseconds at this node to FO4. */
+    double toFo4(double ps) const { return ps / fo4Ps(); }
+
+    /** Clock frequency (GHz) for a period expressed in FO4. */
+    double frequencyGhz(double periodFo4) const
+    {
+        return 1e3 / toPs(periodFo4);
+    }
+
+    static Technology nm(double drawn) { return Technology{drawn}; }
+};
+
+/** The 100nm node the paper's experiments target (1 FO4 = 36 ps). */
+inline Technology
+tech100nm()
+{
+    return Technology::nm(100.0);
+}
+
+/**
+ * Result of the simulated FO4 reference measurement.  `delayPs` is in the
+ * circuit simulator's time units; dividing any other simulated delay by it
+ * yields a technology-independent FO4 figure.
+ */
+struct Fo4Reference
+{
+    double delayPs;     ///< average of rising and falling FO4 delay
+    double risePs;      ///< low-to-high propagation
+    double fallPs;      ///< high-to-low propagation
+
+    double toFo4(double ps) const { return ps / delayPs; }
+};
+
+/**
+ * Measure the FO4 delay of the reference inverter by transient simulation
+ * of a five-stage fanout-of-four inverter chain (each internal node loaded
+ * to a total fanout of four), averaging a falling and a rising transition
+ * through the middle stages.
+ */
+Fo4Reference measureFo4(const DeviceParams &params);
+
+} // namespace fo4::tech
+
+#endif // FO4_TECH_FO4_HH

@@ -1,0 +1,92 @@
+#include "tech/gates.hh"
+
+#include "util/logging.hh"
+
+namespace fo4::tech
+{
+
+Circuit::NodeId
+addInverter(Circuit &c, Circuit::NodeId in, double scale)
+{
+    const auto &p = c.params();
+    const auto out = c.addNode("inv.out");
+    c.addPmos(in, c.vdd(), out, p.invWp * scale);
+    c.addNmos(in, out, c.gnd(), p.invWn * scale);
+    return out;
+}
+
+Circuit::NodeId
+addNand(Circuit &c, const std::vector<Circuit::NodeId> &ins, double scale)
+{
+    FO4_ASSERT(!ins.empty(), "NAND needs at least one input");
+    const auto &p = c.params();
+    const auto out = c.addNode("nand.out");
+
+    // Parallel PMOS pull-ups.
+    for (auto in : ins)
+        c.addPmos(in, c.vdd(), out, p.invWp * scale);
+
+    // Series NMOS stack, upsized by the stack depth.
+    const double wn = p.invWn * scale * static_cast<double>(ins.size());
+    Circuit::NodeId lower = c.gnd();
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+        const bool last = (i + 1 == ins.size());
+        const auto upper = last ? out : c.addNode("nand.stack");
+        c.addNmos(ins[i], upper, lower, wn);
+        lower = upper;
+    }
+    return out;
+}
+
+void
+addTransmissionGate(Circuit &c, Circuit::NodeId a, Circuit::NodeId b,
+                    Circuit::NodeId ctl, Circuit::NodeId ctlBar, double scale)
+{
+    const auto &p = c.params();
+    c.addNmos(ctl, a, b, p.invWn * scale);
+    c.addPmos(ctlBar, a, b, p.invWp * scale);
+}
+
+Circuit::NodeId
+addInverterChain(Circuit &c, Circuit::NodeId in, int length, double scale)
+{
+    FO4_ASSERT(length >= 1, "chain length must be >= 1");
+    Circuit::NodeId node = in;
+    for (int i = 0; i < length; ++i)
+        node = addInverter(c, node, scale);
+    return node;
+}
+
+void
+addFanoutLoad(Circuit &c, Circuit::NodeId node, int count)
+{
+    const auto &p = c.params();
+    c.addCap(node, count * p.cGate * (p.invWn + p.invWp));
+}
+
+PulseLatchNodes
+addPulseLatch(Circuit &c, Circuit::NodeId d, Circuit::NodeId clk, double scale)
+{
+    PulseLatchNodes nodes;
+    nodes.d = d;
+    nodes.clk = clk;
+    nodes.clkBar = addInverter(c, clk, scale);
+    nodes.x = c.addNode("latch.x");
+
+    // Forward path: transmission gate on while the clock is high.
+    addTransmissionGate(c, d, nodes.x, clk, nodes.clkBar, scale);
+
+    // Output inverters.
+    nodes.qBar = addInverter(c, nodes.x, scale);
+    nodes.q = addInverter(c, nodes.qBar, scale);
+
+    // Feedback: a weak inverter from Qb back onto X through a transmission
+    // gate that is on while the clock is low, completing the keeper loop
+    // exactly when the forward gate opens.
+    const auto fb = addInverter(c, nodes.qBar, 0.4 * scale);
+    addTransmissionGate(c, fb, nodes.x, nodes.clkBar, clk, 0.4 * scale);
+
+    return nodes;
+}
+
+} // namespace fo4::tech

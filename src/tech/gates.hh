@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Gate-level netlist builders on top of the switch-level Circuit: static
+ * CMOS inverters and NANDs, transmission gates, buffer chains, and the
+ * pulse latch from Figure 2 of the paper.
+ */
+
+#ifndef FO4_TECH_GATES_HH
+#define FO4_TECH_GATES_HH
+
+#include <vector>
+
+#include "tech/circuit.hh"
+
+namespace fo4::tech
+{
+
+/**
+ * Add a static CMOS inverter.  Widths default to the technology's
+ * reference inverter; `scale` multiplies both.
+ * @return the output node.
+ */
+Circuit::NodeId addInverter(Circuit &c, Circuit::NodeId in, double scale = 1.0);
+
+/**
+ * Add an N-input static CMOS NAND.  NMOS stack widths are upsized by the
+ * stack depth so the pull-down strength matches the reference inverter.
+ * @return the output node.
+ */
+Circuit::NodeId addNand(Circuit &c, const std::vector<Circuit::NodeId> &ins,
+                        double scale = 1.0);
+
+/**
+ * Add a CMOS transmission gate between a and b, on when ctl is high
+ * (ctlBar must carry the complement).
+ */
+void addTransmissionGate(Circuit &c, Circuit::NodeId a, Circuit::NodeId b,
+                         Circuit::NodeId ctl, Circuit::NodeId ctlBar,
+                         double scale = 1.0);
+
+/**
+ * Add a chain of `length` inverters after `in`.
+ * @return the final output node.
+ */
+Circuit::NodeId addInverterChain(Circuit &c, Circuit::NodeId in, int length,
+                                 double scale = 1.0);
+
+/** Load the node with `count` reference-inverter gate inputs. */
+void addFanoutLoad(Circuit &c, Circuit::NodeId node, int count);
+
+/** Handles to the nodes of one pulse latch (paper Figure 2a). */
+struct PulseLatchNodes
+{
+    Circuit::NodeId d;      ///< data input
+    Circuit::NodeId clk;    ///< clock
+    Circuit::NodeId clkBar; ///< complement clock (generated internally)
+    Circuit::NodeId x;      ///< internal storage node
+    Circuit::NodeId q;      ///< output
+    Circuit::NodeId qBar;   ///< complement output (feedback tap)
+};
+
+/**
+ * Add a pulse latch: transmission gate from D to storage node X, inverter
+ * X->Qb, inverter Qb->Q, and a clock-gated feedback path that closes when
+ * the clock is low, holding the value (paper Figure 2a).
+ *
+ * @param c       circuit under construction
+ * @param d       data input node
+ * @param clk     clock node (complement generated with a local inverter)
+ * @param scale   device sizing multiplier
+ */
+PulseLatchNodes addPulseLatch(Circuit &c, Circuit::NodeId d,
+                              Circuit::NodeId clk, double scale = 1.0);
+
+} // namespace fo4::tech
+
+#endif // FO4_TECH_GATES_HH

@@ -1,0 +1,99 @@
+#include "tech/latch.hh"
+
+#include <cmath>
+
+#include "tech/gates.hh"
+#include "util/logging.hh"
+
+namespace fo4::tech
+{
+
+LatchTrial
+runLatchTrial(const DeviceParams &params, double dSourceTime,
+              double clockPeriod)
+{
+    Circuit c(params);
+
+    // Raw sources.  The clock starts high at t=0 and falls at period/2;
+    // the data source is a simple step as in the paper.
+    const auto clkSrc = c.addNode("clk.src");
+    c.drive(clkSrc, clockWave(0.0, clockPeriod, params.vdd, 15.0));
+    const auto dSrc = c.addNode("d.src");
+    c.drive(dSrc, rampStep(dSourceTime, 0.0, params.vdd, 15.0));
+
+    // Both signals travel through six buffering inverters (Figure 3).
+    const auto clk = addInverterChain(c, clkSrc, 6);
+    const auto d = addInverterChain(c, dSrc, 6);
+
+    // Device under test, driving a second latch whose gate is held open.
+    const auto latch = addPulseLatch(c, d, clk);
+    addPulseLatch(c, latch.q, c.vdd());
+
+    // Stop before the next rising clock edge: a late data value must not
+    // be credited as captured just because the transparent phase of the
+    // following cycle picks it up.
+    c.run(0.95 * clockPeriod, 0.1);
+
+    // Ignore crossings during circuit settling (all nodes start at 0 V,
+    // so the inverter chains glitch while they initialize).
+    const double settle = 0.25 * clockPeriod;
+    LatchTrial trial;
+    trial.dArrival = c.firstCrossing(d, true, settle);
+    trial.clkFall = c.firstCrossing(clk, false, settle);
+    const double qRise = c.firstCrossing(latch.q, true, settle);
+
+    // Captured iff Q is solidly high once the clock has been low a while.
+    trial.captured =
+        qRise > 0 && c.voltage(latch.q) > 0.9 * params.vdd &&
+        c.voltage(latch.x) > 0.9 * params.vdd;
+    trial.tdq = trial.captured ? qRise - trial.dArrival : 0.0;
+    return trial;
+}
+
+LatchTiming
+measureLatchTiming(const DeviceParams &params, const Fo4Reference &ref)
+{
+    // A generously long clock so the early data edge is far from the
+    // falling edge: period/2 of slack.
+    const double period = 40.0 * ref.delayPs;
+    const double fall = period / 2.0;
+
+    // Nominal D-Q: data arrives long before the falling edge.
+    const LatchTrial nominal =
+        runLatchTrial(params, fall - 8.0 * ref.delayPs, period);
+    FO4_ASSERT(nominal.captured, "latch failed with ample setup margin");
+
+    // Sweep the source edge toward (and past) the clock edge in fine
+    // steps; record the smallest successful D-Q delay and the last
+    // successful arrival time.
+    const double step = ref.delayPs / 32.0;
+    double minTdq = nominal.tdq;
+    double lastGoodArrival = nominal.dArrival;
+    double clkFall = nominal.clkFall;
+    bool sawFailure = false;
+
+    for (double src = fall - 3.0 * ref.delayPs;
+         src < fall + 4.0 * ref.delayPs; src += step) {
+        const LatchTrial trial = runLatchTrial(params, src, period);
+        clkFall = trial.clkFall;
+        if (trial.captured) {
+            if (trial.tdq < minTdq)
+                minTdq = trial.tdq;
+            lastGoodArrival = trial.dArrival;
+        } else {
+            sawFailure = true;
+            break;
+        }
+    }
+    FO4_ASSERT(sawFailure,
+               "latch never failed: sweep window too small or keeper broken");
+
+    LatchTiming timing;
+    timing.overheadPs = minTdq;
+    timing.nominalTdqPs = nominal.tdq;
+    timing.setupPs = lastGoodArrival - clkFall;
+    timing.overheadFo4 = ref.toFo4(minTdq);
+    return timing;
+}
+
+} // namespace fo4::tech

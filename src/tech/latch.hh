@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pulse-latch timing extraction (paper Section 2).
+ *
+ * Reproduces the Stojanović & Oklobdžija methodology the paper uses: the
+ * latch input data edge is moved progressively closer to the falling clock
+ * edge; the D-to-Q delay grows as the edge approaches and eventually the
+ * latch fails to capture.  The latch overhead is the smallest D-Q delay
+ * observed before the point of failure.
+ */
+
+#ifndef FO4_TECH_LATCH_HH
+#define FO4_TECH_LATCH_HH
+
+#include "tech/circuit.hh"
+#include "tech/fo4.hh"
+
+namespace fo4::tech
+{
+
+/** Result of one trial of the latch test circuit (paper Figure 3). */
+struct LatchTrial
+{
+    bool captured;      ///< latch held the new value after the clock fell
+    double dArrival;    ///< time D crossed 50% at the latch input (ps)
+    double clkFall;     ///< time the buffered clock fell at the latch (ps)
+    double tdq;         ///< D-to-Q delay (ps); valid only when captured
+};
+
+/** Extracted latch timing parameters. */
+struct LatchTiming
+{
+    double overheadPs;      ///< min successful D-Q delay (latch overhead)
+    double nominalTdqPs;    ///< D-Q delay with D far from the clock edge
+    double setupPs;         ///< last working D arrival relative to clk fall
+                            ///< (negative = D arrived before the edge)
+    double overheadFo4;     ///< overhead normalized to the FO4 reference
+};
+
+/**
+ * Run one trial of the Figure 3 test circuit: clock and data buffered by
+ * six inverters, pulse latch whose output drives a second, transparent
+ * pulse latch as load.
+ *
+ * @param params      device parameters
+ * @param dSourceTime time the raw data source steps high (ps)
+ * @param clockPeriod clock period at the source (ps)
+ */
+LatchTrial runLatchTrial(const DeviceParams &params, double dSourceTime,
+                         double clockPeriod);
+
+/**
+ * Sweep the data edge toward the falling clock edge and extract latch
+ * timing.  `ref` supplies the FO4 normalization.
+ */
+LatchTiming measureLatchTiming(const DeviceParams &params,
+                               const Fo4Reference &ref);
+
+} // namespace fo4::tech
+
+#endif // FO4_TECH_LATCH_HH

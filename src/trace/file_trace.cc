@@ -1,0 +1,134 @@
+#include "trace/file_trace.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace fo4::trace
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'F', 'O', '4', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t version = 1;
+
+/** Fixed-size on-disk record (little-endian, packed by hand). */
+struct Record
+{
+    std::uint64_t seq;
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::int16_t src1;
+    std::int16_t src2;
+    std::int16_t dst;
+    std::uint8_t cls;
+    std::uint8_t taken;
+};
+static_assert(sizeof(Record) == 32, "trace record must be 32 bytes");
+
+Record
+toRecord(const isa::MicroOp &op)
+{
+    Record r;
+    r.seq = op.seq;
+    r.pc = op.pc;
+    r.addr = op.addr;
+    r.src1 = op.src1;
+    r.src2 = op.src2;
+    r.dst = op.dst;
+    r.cls = static_cast<std::uint8_t>(op.cls);
+    r.taken = op.taken ? 1 : 0;
+    return r;
+}
+
+isa::MicroOp
+fromRecord(const Record &r)
+{
+    FO4_ASSERT(r.cls < isa::numOpClasses, "corrupt trace: bad op class %u",
+               r.cls);
+    isa::MicroOp op;
+    op.seq = r.seq;
+    op.pc = r.pc;
+    op.addr = r.addr;
+    op.src1 = r.src1;
+    op.src2 = r.src2;
+    op.dst = r.dst;
+    op.cls = static_cast<isa::OpClass>(r.cls);
+    op.taken = r.taken != 0;
+    return op;
+}
+
+} // namespace
+
+void
+recordTrace(const std::string &path, TraceSource &source,
+            std::uint64_t count)
+{
+    FO4_ASSERT(count > 0, "recording an empty trace");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        util::fatal("cannot open trace file '%s' for writing",
+                    path.c_str());
+
+    std::fwrite(magic, sizeof(magic), 1, f);
+    const std::uint32_t header[2] = {version, sizeof(Record)};
+    std::fwrite(header, sizeof(header), 1, f);
+
+    source.reset();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Record r = toRecord(source.next());
+        if (std::fwrite(&r, sizeof(r), 1, f) != 1) {
+            std::fclose(f);
+            util::fatal("short write to trace file '%s'", path.c_str());
+        }
+    }
+    std::fclose(f);
+}
+
+FileTrace::FileTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        util::fatal("cannot open trace file '%s'", path.c_str());
+
+    char m[8];
+    std::uint32_t header[2];
+    if (std::fread(m, sizeof(m), 1, f) != 1 ||
+        std::fread(header, sizeof(header), 1, f) != 1 ||
+        std::memcmp(m, magic, sizeof(magic)) != 0) {
+        std::fclose(f);
+        util::fatal("'%s' is not a fo4pipe trace file", path.c_str());
+    }
+    if (header[0] != version || header[1] != sizeof(Record)) {
+        std::fclose(f);
+        util::fatal("trace file '%s' has unsupported version %u",
+                    path.c_str(), header[0]);
+    }
+
+    Record r;
+    while (std::fread(&r, sizeof(r), 1, f) == 1)
+        ops.push_back(fromRecord(r));
+    std::fclose(f);
+    if (ops.empty())
+        util::fatal("trace file '%s' contains no instructions",
+                    path.c_str());
+}
+
+isa::MicroOp
+FileTrace::next()
+{
+    isa::MicroOp op = ops[pos];
+    pos = (pos + 1) % ops.size();
+    op.seq = seq++;
+    return op;
+}
+
+void
+FileTrace::reset()
+{
+    pos = 0;
+    seq = 0;
+}
+
+} // namespace fo4::trace

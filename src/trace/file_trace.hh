@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Binary trace recording and replay.  A recorded trace captures the
+ * exact MicroOp stream of any TraceSource (synthetic or otherwise) so
+ * experiments can be archived, diffed and replayed without the
+ * generator, and external traces can be imported in the same format.
+ *
+ * File format: a 16-byte header ("FO4TRACE", u32 version, u32 record
+ * size) followed by fixed-size little-endian records.
+ */
+
+#ifndef FO4_TRACE_FILE_TRACE_HH
+#define FO4_TRACE_FILE_TRACE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace fo4::trace
+{
+
+/** Write `count` instructions from a source to a trace file. */
+void recordTrace(const std::string &path, TraceSource &source,
+                 std::uint64_t count);
+
+/**
+ * Replays a recorded trace file, cycling (with renumbered sequence
+ * numbers) when the recording is exhausted, like VectorTrace.
+ */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(const std::string &path);
+
+    isa::MicroOp next() override;
+    void reset() override;
+
+    std::size_t recordedInstructions() const { return ops.size(); }
+
+  private:
+    std::vector<isa::MicroOp> ops;
+    std::size_t pos = 0;
+    std::uint64_t seq = 0;
+};
+
+} // namespace fo4::trace
+
+#endif // FO4_TRACE_FILE_TRACE_HH

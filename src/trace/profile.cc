@@ -1,0 +1,47 @@
+#include "trace/profile.hh"
+
+#include "util/logging.hh"
+
+namespace fo4::trace
+{
+
+const char *
+benchClassName(BenchClass cls)
+{
+    switch (cls) {
+      case BenchClass::Integer:
+        return "integer";
+      case BenchClass::VectorFp:
+        return "vector-fp";
+      case BenchClass::NonVectorFp:
+        return "non-vector-fp";
+    }
+    return "?";
+}
+
+void
+BenchmarkProfile::validate() const
+{
+    FO4_ASSERT(!name.empty(), "profile has no name");
+    const double mix = wIntAlu + wIntMult + wFpAdd + wFpMult + wFpDiv +
+                       wFpSqrt + wLoad + wStore;
+    FO4_ASSERT(mix > 0.0, "profile '%s' has an empty op mix", name.c_str());
+    FO4_ASSERT(meanDepDistance >= 1.0,
+               "profile '%s': dependence distance below 1", name.c_str());
+    FO4_ASSERT(meanBlockSize >= 1.0, "profile '%s': block size below 1",
+               name.c_str());
+    FO4_ASSERT(staticBranches >= 1, "profile '%s': no static branches",
+               name.c_str());
+    FO4_ASSERT(src2Prob >= 0.0 && src2Prob <= 1.0,
+               "profile '%s': src2Prob out of range", name.c_str());
+    FO4_ASSERT(strideFraction >= 0.0 && strideFraction <= 1.0,
+               "profile '%s': strideFraction out of range", name.c_str());
+    FO4_ASSERT(biasedBranchFraction + patternBranchFraction +
+                       correlatedBranchFraction <=
+                   1.0 + 1e-9,
+               "profile '%s': branch fractions exceed 1", name.c_str());
+    FO4_ASSERT(workingSetBytes >= 64, "profile '%s': working set too small",
+               name.c_str());
+}
+
+} // namespace fo4::trace

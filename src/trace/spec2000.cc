@@ -1,0 +1,319 @@
+#include "trace/spec2000.hh"
+
+#include "util/logging.hh"
+
+namespace fo4::trace
+{
+
+namespace
+{
+
+/** Baseline integer profile; per-benchmark tweaks below. */
+BenchmarkProfile
+integerBase(const std::string &name, std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.cls = BenchClass::Integer;
+    p.wIntAlu = 0.50;
+    p.wIntMult = 0.01;
+    p.wLoad = 0.26;
+    p.wStore = 0.12;
+    p.meanDepDistance = 2.6;
+    p.src2Prob = 0.55;
+    p.meanBlockSize = 6.0;
+    p.staticBranches = 512;
+    p.biasedBranchFraction = 0.55;
+    p.strongBias = 0.95;
+    p.patternBranchFraction = 0.20;
+    p.correlatedBranchFraction = 0.15;
+    p.branchDepDistance = 2.0;
+    p.workingSetBytes = 1ull << 20;
+    p.strideFraction = 0.20;
+    p.strideStreams = 4;
+    p.zipfExponent = 1.45;
+    p.seed = seed;
+    return p;
+}
+
+/** Baseline vector floating-point profile. */
+BenchmarkProfile
+vectorFpBase(const std::string &name, std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.cls = BenchClass::VectorFp;
+    p.wIntAlu = 0.18;
+    p.wFpAdd = 0.22;
+    p.wFpMult = 0.18;
+    p.wFpDiv = 0.004;
+    p.wLoad = 0.34;
+    p.wStore = 0.14;
+    p.fpLoadFraction = 0.85;
+    p.fpSourceAffinity = 0.9;
+    p.meanDepDistance = 20.0;
+    p.minDepDistance = 16.0;
+    p.src2Prob = 0.7;
+    p.meanBlockSize = 32.0;
+    p.staticBranches = 64;
+    p.biasedBranchFraction = 0.85;
+    p.strongBias = 0.985;
+    p.patternBranchFraction = 0.12;
+    p.correlatedBranchFraction = 0.03;
+    p.branchDepDistance = 8.0;
+    p.workingSetBytes = 640ull << 10;
+    p.strideFraction = 0.90;
+    p.strideStreams = 8;
+    p.lineStrideProb = 0.0;
+    p.zipfExponent = 1.20;
+    p.seed = seed;
+    return p;
+}
+
+/** Baseline non-vector floating-point profile. */
+BenchmarkProfile
+nonVectorFpBase(const std::string &name, std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.cls = BenchClass::NonVectorFp;
+    p.wIntAlu = 0.22;
+    p.wFpAdd = 0.20;
+    p.wFpMult = 0.15;
+    p.wFpDiv = 0.03;
+    p.wFpSqrt = 0.008;
+    p.wLoad = 0.26;
+    p.wStore = 0.11;
+    p.fpLoadFraction = 0.75;
+    p.fpSourceAffinity = 0.92;
+    p.wLoad = 0.30;
+    p.wStore = 0.13;
+    p.meanDepDistance = 4.5;
+    p.minDepDistance = 2.0;
+    p.src2Prob = 0.65;
+    p.meanBlockSize = 13.0;
+    p.staticBranches = 192;
+    p.biasedBranchFraction = 0.75;
+    p.strongBias = 0.97;
+    p.patternBranchFraction = 0.15;
+    p.correlatedBranchFraction = 0.05;
+    p.branchDepDistance = 3.0;
+    p.workingSetBytes = 4ull << 20;
+    p.strideFraction = 0.45;
+    p.strideStreams = 6;
+    p.lineStrideProb = 0.1;
+    p.zipfExponent = 1.30;
+    p.seed = seed;
+    return p;
+}
+
+} // namespace
+
+std::vector<BenchmarkProfile>
+spec2000Profiles()
+{
+    std::vector<BenchmarkProfile> all;
+
+    // --- integer (paper Table 2, left column) ---
+    {
+        // gzip: compression; tight loops over a modest window, loads of
+        // byte handling, fairly predictable loop branches.
+        auto p = integerBase("164.gzip", 164);
+        p.workingSetBytes = 512 << 10;
+        p.strideFraction = 0.40;
+        p.meanDepDistance = 2.8;
+        all.push_back(p);
+    }
+    {
+        // vpr: place & route; pointer-heavy with data-dependent branches.
+        auto p = integerBase("175.vpr", 175);
+        p.biasedBranchFraction = 0.50;
+        p.patternBranchFraction = 0.15;
+        p.workingSetBytes = 2ull << 20;
+        all.push_back(p);
+    }
+    {
+        // gcc: large code footprint, very branchy, short blocks.
+        auto p = integerBase("176.gcc", 176);
+        p.meanBlockSize = 4.5;
+        p.staticBranches = 2048;
+        p.biasedBranchFraction = 0.55;
+        p.workingSetBytes = 4ull << 20;
+        all.push_back(p);
+    }
+    {
+        // mcf: pointer chasing over a huge working set; memory bound
+        // with serial dependence chains.
+        auto p = integerBase("181.mcf", 181);
+        p.workingSetBytes = 16ull << 20;
+        p.strideFraction = 0.05;
+        p.meanDepDistance = 1.8;
+        p.wLoad = 0.34;
+        p.zipfExponent = 1.1;
+        all.push_back(p);
+    }
+    {
+        // parser: dictionary lookups, short blocks, hard branches.
+        auto p = integerBase("197.parser", 197);
+        p.meanBlockSize = 5.0;
+        p.biasedBranchFraction = 0.50;
+        p.workingSetBytes = 8ull << 20;
+        all.push_back(p);
+    }
+    {
+        // eon: C++ ray tracer; some FP mixed into integer control.
+        auto p = integerBase("252.eon", 252);
+        p.wFpAdd = 0.08;
+        p.wFpMult = 0.06;
+        p.fpLoadFraction = 0.2;
+        p.meanDepDistance = 3.2;
+        p.meanBlockSize = 7.0;
+        p.biasedBranchFraction = 0.65;
+        all.push_back(p);
+    }
+    {
+        // perlbmk: interpreter dispatch; large branch population.
+        auto p = integerBase("253.perlbmk", 253);
+        p.staticBranches = 1536;
+        p.meanBlockSize = 5.0;
+        p.patternBranchFraction = 0.10;
+        all.push_back(p);
+    }
+    {
+        // bzip2: blocksort compression; streaming plus random access.
+        auto p = integerBase("256.bzip2", 256);
+        p.strideFraction = 0.35;
+        p.workingSetBytes = 2ull << 20;
+        p.meanDepDistance = 3.0;
+        all.push_back(p);
+    }
+    {
+        // twolf: placement/routing; small structures, hard branches.
+        auto p = integerBase("300.twolf", 300);
+        p.biasedBranchFraction = 0.45;
+        p.workingSetBytes = 256 << 10;
+        p.meanDepDistance = 2.4;
+        all.push_back(p);
+    }
+
+    // --- vector floating point ---
+    {
+        // swim: shallow-water stencil; long unit-stride sweeps.
+        auto p = vectorFpBase("171.swim", 171);
+        p.workingSetBytes = 768ull << 10;
+        p.strideFraction = 0.95;
+        p.meanDepDistance = 26.0;
+        p.minDepDistance = 22.0;
+        p.meanBlockSize = 40.0;
+        all.push_back(p);
+    }
+    {
+        // mgrid: multigrid solver; regular 3D sweeps.
+        auto p = vectorFpBase("172.mgrid", 172);
+        p.meanDepDistance = 22.0;
+        p.minDepDistance = 18.0;
+        p.meanBlockSize = 36.0;
+        all.push_back(p);
+    }
+    {
+        // applu: PDE solver; slightly shorter vectors, a few divides.
+        auto p = vectorFpBase("173.applu", 173);
+        p.wFpDiv = 0.012;
+        p.meanDepDistance = 18.0;
+        p.minDepDistance = 14.0;
+        p.meanBlockSize = 26.0;
+        all.push_back(p);
+    }
+    {
+        // equake: sparse earthquake simulation; vector-like with some
+        // indirection.
+        auto p = vectorFpBase("183.equake", 183);
+        p.workingSetBytes = 512ull << 10;
+        p.strideFraction = 0.70;
+        p.zipfExponent = 1.1;
+        p.meanDepDistance = 15.0;
+        p.minDepDistance = 11.0;
+        p.meanBlockSize = 20.0;
+        all.push_back(p);
+    }
+
+    // --- non-vector floating point ---
+    {
+        // mesa: software rasterizer; FP with integer control.
+        auto p = nonVectorFpBase("177.mesa", 177);
+        p.wIntAlu = 0.30;
+        p.meanDepDistance = 7.0;
+        p.minDepDistance = 4.0;
+        p.fpLoadFraction = 0.6;
+        p.meanBlockSize = 10.0;
+        all.push_back(p);
+    }
+    {
+        // galgel: fluid dynamics eigenproblem; mid-length chains.
+        auto p = nonVectorFpBase("178.galgel", 178);
+        p.meanDepDistance = 9.0;
+        p.minDepDistance = 6.0;
+        p.lineStrideProb = 0.05;
+        p.meanBlockSize = 18.0;
+        all.push_back(p);
+    }
+    {
+        // art: neural-net image recognition; small serial FP loops.
+        auto p = nonVectorFpBase("179.art", 179);
+        p.meanDepDistance = 4.0;
+        p.minDepDistance = 2.0;
+        p.workingSetBytes = 2ull << 20;
+        p.zipfExponent = 1.3;
+        p.strideFraction = 0.55;
+        all.push_back(p);
+    }
+    {
+        // ammp: molecular dynamics; divide/sqrt-heavy force loops.
+        auto p = nonVectorFpBase("188.ammp", 188);
+        p.wFpDiv = 0.02;
+        p.wFpSqrt = 0.008;
+        p.meanDepDistance = 6.0;
+        p.minDepDistance = 3.0;
+        p.lineStrideProb = 0.0;
+        all.push_back(p);
+    }
+    {
+        // lucas: Lucas-Lehmer primality; FFT-style FP chains.
+        auto p = nonVectorFpBase("189.lucas", 189);
+        p.meanDepDistance = 7.0;
+        p.minDepDistance = 4.0;
+        p.lineStrideProb = 0.0;
+        p.strideFraction = 0.60;
+        p.meanBlockSize = 16.0;
+        all.push_back(p);
+    }
+
+    for (const auto &p : all)
+        p.validate();
+    return all;
+}
+
+std::vector<BenchmarkProfile>
+spec2000Profiles(BenchClass cls)
+{
+    std::vector<BenchmarkProfile> out;
+    for (auto &p : spec2000Profiles()) {
+        if (p.cls == cls)
+            out.push_back(std::move(p));
+    }
+    return out;
+}
+
+BenchmarkProfile
+spec2000Profile(const std::string &name)
+{
+    for (auto &p : spec2000Profiles()) {
+        if (p.name == name ||
+            p.name.substr(p.name.find('.') + 1) == name) {
+            return p;
+        }
+    }
+    util::fatal("unknown SPEC 2000 profile '%s'", name.c_str());
+}
+
+} // namespace fo4::trace

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Profiles standing in for the SPEC CPU2000 benchmarks of paper Table 2:
+ * nine integer, four vector floating-point and five non-vector
+ * floating-point benchmarks.
+ *
+ * SPEC binaries are licensed, so each profile is a synthetic equivalent
+ * calibrated to the class behaviour the paper relies on: integer codes
+ * expose little ILP and mispredict often; vector FP codes stream through
+ * memory with long dependence distances and ample ILP; non-vector FP
+ * codes serialize on long-latency FP chains and expose the least ILP
+ * (paper Section 4.1).
+ */
+
+#ifndef FO4_TRACE_SPEC2000_HH
+#define FO4_TRACE_SPEC2000_HH
+
+#include <vector>
+
+#include "trace/profile.hh"
+
+namespace fo4::trace
+{
+
+/** All 18 Table 2 profiles, in paper order. */
+std::vector<BenchmarkProfile> spec2000Profiles();
+
+/** Subset of a given class. */
+std::vector<BenchmarkProfile> spec2000Profiles(BenchClass cls);
+
+/** Look up a profile by name (e.g. "164.gzip" or "gzip"). Fatal if absent. */
+BenchmarkProfile spec2000Profile(const std::string &name);
+
+} // namespace fo4::trace
+
+#endif // FO4_TRACE_SPEC2000_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trace source interfaces.  The pipeline models are trace-driven: they
+ * pull an infinite stream of MicroOps from a TraceSource and model the
+ * timing of executing it.
+ */
+
+#ifndef FO4_TRACE_TRACE_HH
+#define FO4_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/microop.hh"
+#include "util/logging.hh"
+
+namespace fo4::trace
+{
+
+/** An infinite, restartable stream of dynamic instructions. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next dynamic instruction. */
+    virtual isa::MicroOp next() = 0;
+
+    /**
+     * Restart the stream from the beginning.  A given source must
+     * reproduce the identical stream after reset, so different pipeline
+     * configurations can be compared on the same instructions.
+     */
+    virtual void reset() = 0;
+};
+
+/**
+ * Replays a fixed vector of instructions, cycling when exhausted.  Used
+ * by unit tests to drive cores with hand-built kernels.
+ */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<isa::MicroOp> ops)
+        : ops_(std::move(ops))
+    {
+        FO4_ASSERT(!ops_.empty(), "empty trace");
+    }
+
+    isa::MicroOp
+    next() override
+    {
+        isa::MicroOp op = ops_[pos_ % ops_.size()];
+        op.seq = seq_++;
+        pos_++;
+        return op;
+    }
+
+    void
+    reset() override
+    {
+        pos_ = 0;
+        seq_ = 0;
+    }
+
+  private:
+    std::vector<isa::MicroOp> ops_;
+    std::size_t pos_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace fo4::trace
+
+#endif // FO4_TRACE_TRACE_HH

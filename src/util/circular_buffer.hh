@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring buffer used for pipeline queues (fetch queue,
+ * reorder buffer, latched stage outputs).  Indexable from the front so
+ * in-order structures can scan their contents.
+ */
+
+#ifndef FO4_UTIL_CIRCULAR_BUFFER_HH
+#define FO4_UTIL_CIRCULAR_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace fo4::util
+{
+
+/** Fixed-capacity circular FIFO. */
+template <typename T>
+class CircularBuffer
+{
+  public:
+    explicit CircularBuffer(std::size_t capacity)
+        : storage(capacity)
+    {
+        FO4_ASSERT(capacity > 0, "circular buffer needs capacity > 0");
+    }
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == storage.size(); }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return storage.size(); }
+    std::size_t free() const { return capacity() - size(); }
+
+    void
+    pushBack(T value)
+    {
+        FO4_ASSERT(!full(), "push onto a full buffer");
+        storage[(head + count) % storage.size()] = std::move(value);
+        ++count;
+    }
+
+    T &
+    front()
+    {
+        FO4_ASSERT(!empty(), "front of an empty buffer");
+        return storage[head];
+    }
+
+    const T &
+    front() const
+    {
+        FO4_ASSERT(!empty(), "front of an empty buffer");
+        return storage[head];
+    }
+
+    void
+    popFront()
+    {
+        FO4_ASSERT(!empty(), "pop from an empty buffer");
+        head = (head + 1) % storage.size();
+        --count;
+    }
+
+    /** i-th element from the front (0 == front()). */
+    T &
+    at(std::size_t i)
+    {
+        FO4_ASSERT(i < count, "index %zu out of range (size %zu)", i, count);
+        return storage[(head + i) % storage.size()];
+    }
+
+    const T &
+    at(std::size_t i) const
+    {
+        FO4_ASSERT(i < count, "index %zu out of range (size %zu)", i, count);
+        return storage[(head + i) % storage.size()];
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::vector<T> storage;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_CIRCULAR_BUFFER_HH

@@ -1,0 +1,87 @@
+#include "util/config.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace fo4::util
+{
+
+Config
+Config::fromArgs(int argc, const char *const *argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        const auto eq = token.find('=');
+        if (eq == std::string::npos) {
+            cfg.args.push_back(token);
+        } else {
+            cfg.set(token.substr(0, eq), token.substr(eq + 1));
+        }
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t fallback) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return fallback;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not an integer",
+              key.c_str(), it->second.c_str());
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not a number",
+              key.c_str(), it->second.c_str());
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("config key '%s': '%s' is not a boolean", key.c_str(), v.c_str());
+}
+
+} // namespace fo4::util

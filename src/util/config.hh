@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tiny typed key=value configuration store used by the example programs'
+ * command lines (e.g. `pipeline_explorer t_useful=6 bench=gzip`).
+ */
+
+#ifndef FO4_UTIL_CONFIG_HH
+#define FO4_UTIL_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fo4::util
+{
+
+/** String-keyed configuration with typed, defaulted accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /**
+     * Parse argv-style "key=value" tokens.  Tokens without '=' are
+     * collected as positional arguments.
+     */
+    static Config fromArgs(int argc, const char *const *argv);
+
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    std::int64_t getInt(const std::string &key, std::int64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    const std::vector<std::string> &positional() const { return args; }
+
+  private:
+    std::map<std::string, std::string> values;
+    std::vector<std::string> args;
+};
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_CONFIG_HH

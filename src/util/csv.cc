@@ -1,0 +1,34 @@
+#include "util/csv.hh"
+
+namespace fo4::util
+{
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out << ",";
+        out << escape(cells[i]);
+    }
+    out << "\n";
+}
+
+} // namespace fo4::util

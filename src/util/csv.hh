@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Minimal CSV writer so bench binaries can optionally emit machine-readable
+ * series (for replotting figures) alongside the human-readable tables.
+ */
+
+#ifndef FO4_UTIL_CSV_HH
+#define FO4_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fo4::util
+{
+
+/** Streams rows to an ostream in RFC-4180-ish CSV (quotes when needed). */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : out(os) {}
+
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Quote and escape a single field if it contains , " or newline. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ostream &out;
+};
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_CSV_HH

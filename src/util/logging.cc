@@ -1,0 +1,85 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fo4::util
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Warnings;
+
+void
+vreport(const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+assertFailed(const char *cond, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d\n",
+                 cond, file, line);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (globalLevel == LogLevel::Silent)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel != LogLevel::Info)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+} // namespace fo4::util

@@ -1,0 +1,46 @@
+#include "util/means.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace fo4::util
+{
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    FO4_ASSERT(!values.empty(), "harmonic mean of empty set");
+    double denom = 0.0;
+    for (double v : values) {
+        FO4_ASSERT(v > 0.0, "harmonic mean requires positive values, got %f",
+                   v);
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    FO4_ASSERT(!values.empty(), "arithmetic mean of empty set");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    FO4_ASSERT(!values.empty(), "geometric mean of empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        FO4_ASSERT(v > 0.0, "geometric mean requires positive values, got %f",
+                   v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace fo4::util

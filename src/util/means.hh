@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Aggregate means.  The paper reports the harmonic mean of per-benchmark
+ * BIPS; these helpers centralize that so every experiment aggregates the
+ * same way.
+ */
+
+#ifndef FO4_UTIL_MEANS_HH
+#define FO4_UTIL_MEANS_HH
+
+#include <vector>
+
+namespace fo4::util
+{
+
+/** Harmonic mean; all values must be positive. */
+double harmonicMean(const std::vector<double> &values);
+
+/** Arithmetic mean of a non-empty vector. */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Geometric mean; all values must be positive. */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_MEANS_HH

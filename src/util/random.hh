@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the sampling
+ * distributions used by the synthetic workload generator.
+ *
+ * We use xoshiro256** rather than std::mt19937 so that trace generation is
+ * bit-reproducible across standard library implementations, which keeps the
+ * experiment tables stable.
+ */
+
+#ifndef FO4_UTIL_RANDOM_HH
+#define FO4_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fo4::util
+{
+
+/**
+ * xoshiro256** generator (Blackman & Vigna), seeded via SplitMix64 so that
+ * any 64-bit seed produces a well-mixed state.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) using Lemire's method. bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric sample: number of failures before the first success with
+     * success probability p in (0, 1]. Mean (1-p)/p.
+     */
+    std::uint64_t geometric(double p);
+
+    /** Approximately normal sample via sum of uniforms (Irwin-Hall, n=12). */
+    double normal(double mean, double stddev);
+
+  private:
+    std::uint64_t s[4];
+};
+
+/**
+ * Sampler over a fixed discrete distribution (alias method).  Used for op
+ * mixes and dependence-distance distributions; O(1) per sample.
+ */
+class DiscreteSampler
+{
+  public:
+    /**
+     * Build from non-negative weights.  At least one weight must be
+     * positive; weights need not be normalized.
+     */
+    explicit DiscreteSampler(const std::vector<double> &weights);
+
+    /** Draw an index in [0, size()). */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return prob.size(); }
+
+    /** Normalized probability of index i (for tests). */
+    double probability(std::size_t i) const;
+
+  private:
+    std::vector<double> prob;   // alias-method acceptance probabilities
+    std::vector<std::uint32_t> alias;
+    std::vector<double> norm;   // normalized input distribution
+};
+
+/**
+ * Zipf-distributed sampler over {0, .., n-1} with exponent s, used to model
+ * skewed memory reference streams.  Precomputes the CDF; O(log n) sample.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double s);
+
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_RANDOM_HH

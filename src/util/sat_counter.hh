@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Saturating counter template used by the branch predictors.
+ */
+
+#ifndef FO4_UTIL_SAT_COUNTER_HH
+#define FO4_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+namespace fo4::util
+{
+
+/**
+ * An N-bit saturating up/down counter.  The predictor convention is that
+ * values in the upper half predict taken.
+ */
+template <unsigned Bits>
+class SatCounter
+{
+    static_assert(Bits >= 1 && Bits <= 16, "unreasonable counter width");
+
+  public:
+    static constexpr std::uint16_t maxValue = (1u << Bits) - 1;
+
+    SatCounter() = default;
+    explicit SatCounter(std::uint16_t initial) : value_(initial) {}
+
+    void
+    increment()
+    {
+        if (value_ < maxValue)
+            ++value_;
+    }
+
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Train toward taken (true) or not-taken (false). */
+    void
+    train(bool taken)
+    {
+        if (taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** True when the counter is in its upper half. */
+    bool predictTaken() const { return value_ >= (1u << (Bits - 1)); }
+
+    std::uint16_t value() const { return value_; }
+
+  private:
+    std::uint16_t value_ = (1u << (Bits - 1)); // weakly taken
+};
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_SAT_COUNTER_HH

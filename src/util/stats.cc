@@ -1,0 +1,93 @@
+#include "util/stats.hh"
+
+#include <iomanip>
+
+#include "util/logging.hh"
+
+namespace fo4::util
+{
+
+Histogram::Histogram(std::size_t buckets)
+    : counts(buckets, 0)
+{
+    FO4_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    const std::size_t idx =
+        v >= counts.size() ? counts.size() - 1 : static_cast<std::size_t>(v);
+    ++counts[idx];
+    ++total;
+    sum += static_cast<double>(v);
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    FO4_ASSERT(i < counts.size(), "bucket %zu out of range", i);
+    return counts[i];
+}
+
+double
+Histogram::mean() const
+{
+    return total ? sum / static_cast<double>(total) : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts)
+        c = 0;
+    total = 0;
+    sum = 0.0;
+}
+
+void
+StatSet::addCounter(const std::string &name, const Counter &c)
+{
+    counters[name] = &c;
+}
+
+void
+StatSet::addAverage(const std::string &name, const Average &a)
+{
+    averages[name] = &a;
+}
+
+void
+StatSet::addFormula(const std::string &name, std::function<double()> f)
+{
+    formulas[name] = std::move(f);
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters)
+        os << name << " " << c->value() << "\n";
+    for (const auto &[name, a] : averages)
+        os << name << " " << std::setprecision(6) << a->mean() << "\n";
+    for (const auto &[name, f] : formulas)
+        os << name << " " << std::setprecision(6) << f() << "\n";
+}
+
+std::uint64_t
+StatSet::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    FO4_ASSERT(it != counters.end(), "unknown counter '%s'", name.c_str());
+    return it->second->value();
+}
+
+double
+StatSet::formula(const std::string &name) const
+{
+    auto it = formulas.find(name);
+    FO4_ASSERT(it != formulas.end(), "unknown formula '%s'", name.c_str());
+    return it->second();
+}
+
+} // namespace fo4::util

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Lightweight statistics package for the simulator: named scalar counters,
+ * averages, distributions and derived formulas, grouped into a StatSet that
+ * can be dumped as text.  Modeled loosely on the gem5 stats package but
+ * without the registration machinery.
+ */
+
+#ifndef FO4_UTIL_STATS_HH
+#define FO4_UTIL_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fo4::util
+{
+
+/** Monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++count_; return *this; }
+    Counter &operator+=(std::uint64_t n) { count_ += n; return *this; }
+
+    std::uint64_t value() const { return count_; }
+    void reset() { count_ = 0; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Running mean of observed samples. */
+class Average
+{
+  public:
+    void sample(double v) { sum_ += v; ++n_; }
+
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    std::uint64_t samples() const { return n_; }
+    double total() const { return sum_; }
+    void reset() { sum_ = 0.0; n_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t n_ = 0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, buckets).  Samples at or above the last
+ * bucket are clamped into it (an explicit overflow bucket).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t bucket(std::size_t i) const;
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t samples() const { return total; }
+    double mean() const;
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    double sum = 0.0;
+};
+
+/**
+ * A named collection of statistics.  Components register references to
+ * their counters at construction; dump() renders everything.
+ */
+class StatSet
+{
+  public:
+    void addCounter(const std::string &name, const Counter &c);
+    void addAverage(const std::string &name, const Average &a);
+    /** Register a derived value computed on demand at dump time. */
+    void addFormula(const std::string &name, std::function<double()> f);
+
+    /** Render "name value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Look up a registered counter's current value by name. */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Evaluate a registered formula by name. */
+    double formula(const std::string &name) const;
+
+  private:
+    std::map<std::string, const Counter *> counters;
+    std::map<std::string, const Average *> averages;
+    std::map<std::string, std::function<double()>> formulas;
+};
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_STATS_HH

@@ -1,0 +1,69 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace fo4::util
+{
+
+void
+TextTable::setHeader(std::vector<std::string> names)
+{
+    FO4_ASSERT(body.empty(), "header must be set before rows are added");
+    header = std::move(names);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    FO4_ASSERT(cells.size() == header.size(),
+               "row arity %zu != header arity %zu",
+               cells.size(), header.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::num(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size(), 0);
+    for (std::size_t i = 0; i < header.size(); ++i)
+        widths[i] = header[i].size();
+    for (const auto &row : body)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size())
+                os << std::string(widths[i] - row[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    emit(header);
+    std::size_t rule = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+        rule += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << "\n";
+    for (const auto &row : body)
+        emit(row);
+}
+
+} // namespace fo4::util

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Aligned plain-text table rendering for the benchmark harnesses.  Every
+ * figure/table bench prints a paper-vs-model table through this class so
+ * the output format is uniform across experiments.
+ */
+
+#ifndef FO4_UTIL_TABLE_HH
+#define FO4_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fo4::util
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row.  Must be called before addRow(). */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format an integer. */
+    static std::string num(std::int64_t v);
+
+    /** Render with single-space-padded columns and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+    std::size_t columns() const { return header.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_TABLE_HH

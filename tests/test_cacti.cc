@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the analytical SRAM/CAM/cache timing model and the anchored
+ * structure latencies behind Table 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cacti/sram.hh"
+#include "cacti/structures.hh"
+#include "tech/clocking.hh"
+
+using namespace fo4::cacti;
+
+TEST(Sram, BiggerArraysAreSlower)
+{
+    SramConfig small, large;
+    small.entries = 64;
+    small.bits = 64;
+    large.entries = 4096;
+    large.bits = 64;
+    EXPECT_LT(sramAccessTime(small).total(), sramAccessTime(large).total());
+}
+
+TEST(Sram, MorePortsAreSlower)
+{
+    SramConfig one, many;
+    one.entries = 512;
+    one.bits = 64;
+    one.readPorts = 1;
+    many = one;
+    many.readPorts = 8;
+    many.writePorts = 4;
+    EXPECT_LT(sramAccessTime(one).total(), sramAccessTime(many).total());
+}
+
+TEST(Sram, WiderWordsAreSlower)
+{
+    SramConfig narrow, wide;
+    narrow.entries = 1024;
+    narrow.bits = 8;
+    wide.entries = 1024;
+    wide.bits = 256;
+    EXPECT_LT(sramAccessTime(narrow).total(), sramAccessTime(wide).total());
+}
+
+TEST(Sram, CamMatchAddsDelay)
+{
+    SramConfig ram, cam;
+    ram.entries = 32;
+    ram.bits = 32;
+    cam = ram;
+    cam.cam = true;
+    cam.tagBits = 10;
+    EXPECT_LT(sramAccessTime(ram).total(), sramAccessTime(cam).total());
+}
+
+TEST(Sram, CamScalesWithEntries)
+{
+    // Tag broadcast spans all rows (Palacharla et al.), so the CAM part
+    // must grow with window size even when subarrays could split.
+    SramConfig small, large;
+    small.entries = 16;
+    small.bits = 32;
+    small.cam = true;
+    small.tagBits = 10;
+    large = small;
+    large.entries = 128;
+    const auto s = sramAccessTime(small);
+    const auto l = sramAccessTime(large);
+    EXPECT_LT(s.compare, l.compare);
+}
+
+TEST(Sram, SubarraySplitsAreExplored)
+{
+    SramConfig big;
+    big.entries = 8192;
+    big.bits = 128;
+    const auto at = sramAccessTime(big);
+    // A large array should prefer splitting over a monolithic mat.
+    EXPECT_GT(at.splitsBitlines * at.splitsWordlines, 1);
+}
+
+TEST(Sram, BreakdownSumsToTotal)
+{
+    SramConfig c;
+    c.entries = 256;
+    c.bits = 64;
+    const auto at = sramAccessTime(c);
+    EXPECT_NEAR(at.total(),
+                at.decode + at.wordline + at.bitline + at.sense +
+                    at.compare + at.output + at.route,
+                1e-12);
+}
+
+TEST(Cache, LargerCachesAreSlower)
+{
+    CacheConfig small, large;
+    small.capacityBytes = 8 << 10;
+    large.capacityBytes = 512 << 10;
+    EXPECT_LT(cacheAccessTime(small).total(), cacheAccessTime(large).total());
+}
+
+TEST(Cache, AccessIsMaxOfTagAndDataPlusSelect)
+{
+    CacheConfig c;
+    const auto at = cacheAccessTime(c);
+    const double data = at.data.total();
+    const double tag = at.tag.total() + at.waySelect;
+    EXPECT_DOUBLE_EQ(at.total(), std::max(data, tag));
+}
+
+TEST(Structures, AnchorsMatchPaperValues)
+{
+    const StructureModel model;
+    using SK = StructureKind;
+    // At the Alpha capacities the model must return exactly the paper's
+    // implied access times.
+    EXPECT_NEAR(model.latencyFo4(SK::RegisterFile, 512), 10.83, 1e-9);
+    EXPECT_NEAR(model.latencyFo4(SK::DL1, 64 << 10), 32.0, 1e-9);
+    EXPECT_NEAR(model.latencyFo4(SK::IssueWindow, 32), 17.2, 1e-9);
+    EXPECT_NEAR(model.latencyFo4(SK::RenameTable, 80), 17.2, 1e-9);
+    EXPECT_NEAR(model.latencyFo4(SK::BranchPredictor, 4096), 19.5, 1e-9);
+}
+
+TEST(Structures, ScalingIsMonotone)
+{
+    const StructureModel model;
+    using SK = StructureKind;
+    EXPECT_LT(model.latencyFo4(SK::DL1, 8 << 10),
+              model.latencyFo4(SK::DL1, 64 << 10));
+    EXPECT_LT(model.latencyFo4(SK::DL1, 64 << 10),
+              model.latencyFo4(SK::DL1, 256 << 10));
+    EXPECT_LT(model.latencyFo4(SK::IssueWindow, 16),
+              model.latencyFo4(SK::IssueWindow, 64));
+    EXPECT_LT(model.latencyFo4(SK::L2, 256 << 10),
+              model.latencyFo4(SK::L2, 2 << 20));
+}
+
+TEST(Structures, RegisterFileRowReproducesTableThree)
+{
+    // ceil(10.83 / t) must reproduce the paper's register-file row.
+    const StructureModel model;
+    const double rf =
+        model.latencyFo4(StructureKind::RegisterFile, 512);
+    const int expected[] = {6, 4, 3, 3, 2, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1};
+    for (int t = 2; t <= 16; ++t) {
+        fo4::tech::ClockModel clock;
+        clock.tUsefulFo4 = t;
+        EXPECT_EQ(clock.latencyCycles(rf), expected[t - 2]) << "t=" << t;
+    }
+}
+
+TEST(Structures, MemoryConstantsAreSane)
+{
+    // 100 ns DRAM at 36 ps per FO4.
+    EXPECT_NEAR(modernMemoryFo4(), 2777.8, 0.1);
+    // 12 Cray cycles of (10.9 + 3.4) FO4.
+    EXPECT_NEAR(crayMemoryFo4(), 171.6, 0.1);
+    EXPECT_GT(memoryBusFo4(), 50.0);
+    EXPECT_LT(memoryBusFo4(), 1000.0);
+}
+
+TEST(Structures, NamesAreDistinct)
+{
+    using SK = StructureKind;
+    EXPECT_STRNE(structureName(SK::DL1), structureName(SK::L2));
+    EXPECT_STRNE(structureName(SK::IssueWindow),
+                 structureName(SK::RenameTable));
+}

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit tests for the issue window: conventional selection, the segmented
+ * (pipelined-wakeup) window of paper Section 5.1, and the partitioned
+ * selection scheme of Section 5.2, driven through a mock wakeup oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/window.hh"
+
+using namespace fo4::core;
+
+namespace
+{
+
+/** Oracle with per-producer "dependent may issue at" base cycles. */
+class MockOracle : public WakeupOracle
+{
+  public:
+    /** Producer not yet scheduled. */
+    void unknown(InflightRef ref) { base.erase(ref); }
+    /** Stage-0 dependents of `ref` may issue at `cycle`. */
+    void readyAt(InflightRef ref, std::int64_t cycle) { base[ref] = cycle; }
+
+    std::int64_t
+    dependentReadyCycle(InflightRef ref, int stage) const override
+    {
+        auto it = base.find(ref);
+        if (it == base.end())
+            return -1;
+        return it->second + stage;
+    }
+
+  private:
+    std::map<InflightRef, std::int64_t> base;
+};
+
+WindowInsert
+entry(InflightRef ref, std::uint64_t seq, bool fp = false, bool mem = false)
+{
+    WindowInsert ins;
+    ins.ref = ref;
+    ins.seq = seq;
+    ins.fp = fp;
+    ins.mem = mem;
+    return ins;
+}
+
+WindowInsert
+dependent(InflightRef ref, std::uint64_t seq, InflightRef producer)
+{
+    WindowInsert ins = entry(ref, seq);
+    ins.producers[0] = producer;
+    return ins;
+}
+
+const SelectLimits wide{8, 8, 8};
+
+} // namespace
+
+TEST(Window, StartsEmpty)
+{
+    IssueWindow w(WindowConfig{});
+    EXPECT_TRUE(w.empty());
+    EXPECT_FALSE(w.full());
+    EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(Window, FillsToCapacity)
+{
+    WindowConfig cfg;
+    cfg.capacity = 4;
+    IssueWindow w(cfg);
+    for (int i = 0; i < 4; ++i)
+        w.insert(entry(i, i));
+    EXPECT_TRUE(w.full());
+}
+
+TEST(Window, ReadyEntriesIssueOldestFirst)
+{
+    IssueWindow w(WindowConfig{});
+    MockOracle oracle;
+    for (int i = 0; i < 6; ++i)
+        w.insert(entry(i, i));
+    const auto issued = w.selectAndRemove(0, SelectLimits{3, 0, 0}, oracle);
+    ASSERT_EQ(issued.size(), 3u);
+    EXPECT_EQ(issued[0], 0u);
+    EXPECT_EQ(issued[1], 1u);
+    EXPECT_EQ(issued[2], 2u);
+    EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(Window, ClusterLimitsAreIndependent)
+{
+    IssueWindow w(WindowConfig{});
+    MockOracle oracle;
+    w.insert(entry(0, 0));              // int
+    w.insert(entry(1, 1, true));        // fp
+    w.insert(entry(2, 2, false, true)); // mem
+    w.insert(entry(3, 3));              // int
+    const auto issued =
+        w.selectAndRemove(0, SelectLimits{2, 1, 1}, oracle);
+    // mem ops consume an int slot too: int0, fp1, mem2 fit; int3 does not
+    // (two int slots used by 0 and 2).
+    ASSERT_EQ(issued.size(), 3u);
+    EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Window, WaitsForProducer)
+{
+    IssueWindow w(WindowConfig{});
+    MockOracle oracle;
+    w.insert(dependent(1, 1, /*producer=*/77));
+    EXPECT_TRUE(w.selectAndRemove(0, wide, oracle).empty());
+    EXPECT_TRUE(w.selectAndRemove(1, wide, oracle).empty());
+    oracle.readyAt(77, 5);
+    EXPECT_TRUE(w.selectAndRemove(4, wide, oracle).empty());
+    const auto issued = w.selectAndRemove(5, wide, oracle);
+    ASSERT_EQ(issued.size(), 1u);
+    EXPECT_EQ(issued[0], 1u);
+}
+
+TEST(Window, TwoProducersBothRequired)
+{
+    IssueWindow w(WindowConfig{});
+    MockOracle oracle;
+    WindowInsert ins = entry(9, 9);
+    ins.producers = {1, 2};
+    w.insert(ins);
+    oracle.readyAt(1, 3);
+    EXPECT_TRUE(w.selectAndRemove(3, wide, oracle).empty());
+    oracle.readyAt(2, 4);
+    EXPECT_EQ(w.selectAndRemove(4, wide, oracle).size(), 1u);
+}
+
+TEST(Window, SegmentedStageDelaysWakeup)
+{
+    // 8-entry window in 4 stages of 2: an entry in stage 2 hears the tag
+    // two cycles after stage 0 would.
+    WindowConfig cfg;
+    cfg.capacity = 8;
+    cfg.wakeupStages = 4;
+    IssueWindow w(cfg);
+    MockOracle oracle;
+
+    // Fill positions 0..3 with unready blockers, positions 4..5 with the
+    // dependent under test (stage 2).
+    for (int i = 0; i < 4; ++i)
+        w.insert(dependent(i, i, /*producer=*/50)); // blocked forever
+    w.insert(dependent(4, 4, /*producer=*/60));
+    oracle.readyAt(60, 10); // stage-0 dependents could go at 10
+
+    // At cycle 10 the dependent sits at position 4 -> stage 2: not yet.
+    EXPECT_TRUE(w.selectAndRemove(10, wide, oracle).empty());
+    EXPECT_TRUE(w.selectAndRemove(11, wide, oracle).empty());
+    const auto issued = w.selectAndRemove(12, wide, oracle);
+    ASSERT_EQ(issued.size(), 1u);
+    EXPECT_EQ(issued[0], 4u);
+}
+
+TEST(Window, FrozenStageDoesNotImproveAfterCompaction)
+{
+    // An entry that hears a broadcast while sitting in a high stage keeps
+    // that wakeup time even if older entries drain afterwards.
+    WindowConfig cfg;
+    cfg.capacity = 8;
+    cfg.wakeupStages = 4;
+    IssueWindow w(cfg);
+    MockOracle oracle;
+
+    for (int i = 0; i < 4; ++i)
+        w.insert(entry(i, i)); // ready blockers (will issue, compacting)
+    w.insert(dependent(4, 4, /*producer=*/60));
+    oracle.readyAt(60, 20); // broadcast visible from cycle 0 query on
+
+    // Cycle 0: dependent at stage 2 -> freezes wakeup at 20+2 = 22; the
+    // four blockers issue, compacting the dependent to stage 0.
+    const auto first = w.selectAndRemove(0, wide, oracle);
+    EXPECT_EQ(first.size(), 4u);
+    EXPECT_TRUE(w.selectAndRemove(20, wide, oracle).empty());
+    EXPECT_TRUE(w.selectAndRemove(21, wide, oracle).empty());
+    EXPECT_EQ(w.selectAndRemove(22, wide, oracle).size(), 1u);
+}
+
+TEST(Window, MonolithicWindowHasNoStageDelay)
+{
+    WindowConfig cfg;
+    cfg.capacity = 8;
+    cfg.wakeupStages = 1;
+    IssueWindow w(cfg);
+    MockOracle oracle;
+    for (int i = 0; i < 6; ++i)
+        w.insert(dependent(i, i, /*producer=*/50));
+    w.insert(dependent(6, 6, /*producer=*/60));
+    oracle.readyAt(60, 10);
+    const auto issued = w.selectAndRemove(10, wide, oracle);
+    ASSERT_EQ(issued.size(), 1u);
+    EXPECT_EQ(issued[0], 6u);
+}
+
+TEST(Window, PartitionedSelectDelaysLaterStagesByOneCycle)
+{
+    // 8 entries, 4 stages of 2, partitioned select: a ready entry in
+    // stage 1 is only visible to S1 after a preselect cycle.
+    WindowConfig cfg;
+    cfg.capacity = 8;
+    cfg.wakeupStages = 4;
+    cfg.select = SelectModel::Partitioned;
+    IssueWindow w(cfg);
+    MockOracle oracle;
+
+    for (int i = 0; i < 2; ++i)
+        w.insert(dependent(i, i, /*producer=*/50)); // stage-0 blockers
+    w.insert(entry(2, 2)); // ready, stage 1
+
+    // Cycle 0: stage-1 entry is ready but not preselected yet.
+    EXPECT_TRUE(w.selectAndRemove(0, wide, oracle).empty());
+    // Cycle 1: it was preselected at the end of cycle 0.
+    const auto issued = w.selectAndRemove(1, wide, oracle);
+    ASSERT_EQ(issued.size(), 1u);
+    EXPECT_EQ(issued[0], 2u);
+}
+
+TEST(Window, PartitionedPreselectCapsPerStage)
+{
+    // Stage 2 (paper S2) preselects at most five instructions per cycle.
+    WindowConfig cfg;
+    cfg.capacity = 32;
+    cfg.wakeupStages = 4;
+    cfg.select = SelectModel::Partitioned;
+    cfg.preselectCap = {5, 2, 1, 1, 1, 1, 1, 1};
+    IssueWindow w(cfg);
+    MockOracle oracle;
+
+    // Eight blocked entries fill stage 0; eight READY entries fill
+    // stage 1.
+    for (int i = 0; i < 8; ++i)
+        w.insert(dependent(i, i, /*producer=*/50));
+    for (int i = 8; i < 16; ++i)
+        w.insert(entry(i, i));
+
+    // Cycle 0 preselects at most 5 from stage 1.
+    EXPECT_TRUE(w.selectAndRemove(0, wide, oracle).empty());
+    const auto issued = w.selectAndRemove(1, wide, oracle);
+    EXPECT_EQ(issued.size(), 5u);
+}
+
+TEST(Window, PartitionedStageZeroNeedsNoPreselect)
+{
+    WindowConfig cfg;
+    cfg.capacity = 8;
+    cfg.wakeupStages = 4;
+    cfg.select = SelectModel::Partitioned;
+    IssueWindow w(cfg);
+    MockOracle oracle;
+    w.insert(entry(0, 0));
+    const auto issued = w.selectAndRemove(0, wide, oracle);
+    ASSERT_EQ(issued.size(), 1u);
+}
+
+TEST(Window, StatsTrackOccupancyAndStages)
+{
+    WindowConfig cfg;
+    cfg.capacity = 8;
+    cfg.wakeupStages = 4;
+    IssueWindow w(cfg);
+    MockOracle oracle;
+    for (int i = 0; i < 4; ++i)
+        w.insert(entry(i, i));
+    w.selectAndRemove(0, SelectLimits{2, 0, 0}, oracle);
+    w.selectAndRemove(1, SelectLimits{2, 0, 0}, oracle);
+    const auto &st = w.stats();
+    EXPECT_EQ(st.cycles, 2u);
+    EXPECT_EQ(st.occupancySum, 4u + 2u);
+    EXPECT_EQ(st.issued, 4u);
+}
+
+TEST(Window, ResetClearsEntriesAndStats)
+{
+    IssueWindow w(WindowConfig{});
+    MockOracle oracle;
+    w.insert(entry(0, 0));
+    w.selectAndRemove(0, wide, oracle);
+    w.reset();
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.stats().cycles, 0u);
+}
+
+TEST(Window, StageOfMapsPositionsUniformly)
+{
+    WindowConfig cfg;
+    cfg.capacity = 32;
+    cfg.wakeupStages = 4;
+    IssueWindow w(cfg);
+    EXPECT_EQ(w.stageOf(0), 0);
+    EXPECT_EQ(w.stageOf(7), 0);
+    EXPECT_EQ(w.stageOf(8), 1);
+    EXPECT_EQ(w.stageOf(31), 3);
+}
+
+TEST(Window, OutOfOrderInsertPanics)
+{
+    IssueWindow w(WindowConfig{});
+    w.insert(entry(0, 5));
+    EXPECT_DEATH(w.insert(entry(1, 3)), "age order");
+}

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Cross-module property tests: invariants that must hold for every
+ * benchmark profile and across the whole scaled configuration space,
+ * exercised with parameterized sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "study/runner.hh"
+#include "study/scaling.hh"
+#include "trace/generator.hh"
+#include "trace/spec2000.hh"
+
+#include "isa/latencies.hh"
+
+using namespace fo4;
+
+// ---------------------------------------------------------------------
+// Per-benchmark invariants.
+// ---------------------------------------------------------------------
+
+class EveryBenchmark : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    trace::BenchmarkProfile
+    profile() const
+    {
+        return trace::spec2000Profile(GetParam());
+    }
+};
+
+TEST_P(EveryBenchmark, StreamIsWellFormed)
+{
+    trace::SyntheticTraceGenerator gen(profile());
+    for (int i = 0; i < 20000; ++i) {
+        const auto op = gen.next();
+        EXPECT_EQ(op.seq, static_cast<std::uint64_t>(i));
+        if (op.dst != isa::noReg) {
+            EXPECT_GE(op.dst, 0);
+            EXPECT_LT(op.dst, isa::numArchRegs);
+        }
+        if (op.src1 != isa::noReg) {
+            EXPECT_LT(op.src1, isa::numArchRegs);
+        }
+        if (op.src2 != isa::noReg) {
+            EXPECT_LT(op.src2, isa::numArchRegs);
+        }
+        if (isa::isMemory(op.cls)) {
+            EXPECT_NE(op.addr, 0u);
+        }
+        if (op.isBranch()) {
+            EXPECT_EQ(op.dst, isa::noReg);
+        }
+        if (op.isStore()) {
+            EXPECT_EQ(op.dst, isa::noReg);
+        }
+        if (op.isLoad()) {
+            EXPECT_NE(op.dst, isa::noReg);
+        }
+    }
+}
+
+TEST_P(EveryBenchmark, FpOpsWriteFpRegisters)
+{
+    trace::SyntheticTraceGenerator gen(profile());
+    for (int i = 0; i < 20000; ++i) {
+        const auto op = gen.next();
+        if (isa::isFloat(op.cls)) {
+            EXPECT_GE(op.dst, 64) << op.toString();
+        }
+
+        if (op.cls == isa::OpClass::IntAlu ||
+            op.cls == isa::OpClass::IntMult) {
+            EXPECT_LT(op.dst, 64) << op.toString();
+        }
+    }
+}
+
+TEST_P(EveryBenchmark, SimulationInvariantsHold)
+{
+    trace::SyntheticTraceGenerator gen(profile());
+    auto core = core::makeOooCore(core::CoreParams::alpha21264(),
+                                  "tournament");
+    const auto r = core->run(gen, 20000, 2000, 100000);
+    // Commit-width granularity: the warm-up snapshot and the stopping
+    // point can each overshoot by up to commitWidth-1 instructions.
+    EXPECT_NEAR(double(r.instructions), 20000.0, 8.0);
+    EXPECT_GT(r.cycles, 0u);
+    // IPC cannot exceed the machine width.
+    EXPECT_LE(r.ipc(), 4.0 + 1e-9);
+    EXPECT_GT(r.ipc(), 0.0);
+    EXPECT_LE(r.mispredicts, r.branches);
+    EXPECT_LE(r.mispredictRate(), 1.0);
+    // Every benchmark touches memory and branches.
+    EXPECT_GT(r.branches, 0u);
+    EXPECT_GT(r.loads, 0u);
+}
+
+TEST_P(EveryBenchmark, DeterministicAcrossCoreInstances)
+{
+    const auto prof = profile();
+    trace::SyntheticTraceGenerator g1(prof), g2(prof);
+    auto c1 = core::makeOooCore(core::CoreParams::alpha21264(),
+                                "tournament");
+    auto c2 = core::makeOooCore(core::CoreParams::alpha21264(),
+                                "tournament");
+    const auto r1 = c1->run(g1, 10000, 1000, 50000);
+    const auto r2 = c2->run(g2, 10000, 1000, 50000);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.mispredicts, r2.mispredicts);
+    EXPECT_EQ(r1.dl1Misses, r2.dl1Misses);
+    EXPECT_EQ(r1.l2Misses, r2.l2Misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spec2000, EveryBenchmark,
+    ::testing::Values("164.gzip", "175.vpr", "176.gcc", "181.mcf",
+                      "197.parser", "252.eon", "253.perlbmk", "256.bzip2",
+                      "300.twolf", "171.swim", "172.mgrid", "173.applu",
+                      "183.equake", "177.mesa", "178.galgel", "179.art",
+                      "188.ammp", "189.lucas"));
+
+// ---------------------------------------------------------------------
+// Scaled-configuration invariants across the whole sweep.
+// ---------------------------------------------------------------------
+
+class EveryClock : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EveryClock, ConfigurationIsInternallyConsistent)
+{
+    const double t = GetParam();
+    const auto p = study::scaledCoreParams(t, {});
+    // Quantization: every latency is ceil(fo4 / t) of some positive
+    // budget, so scaling t by 2 at most halves (+1) each latency.
+    const auto p2 = study::scaledCoreParams(t * 2 <= 16 ? t * 2 : 16, {});
+    EXPECT_GE(p.memLatencies.dl1, p2.memLatencies.dl1);
+    EXPECT_GE(p.fetchStages, p2.fetchStages);
+    EXPECT_GE(p.issueLatency, p2.issueLatency);
+    for (int c = 0; c < isa::numOpClasses; ++c) {
+        EXPECT_GE(p.execCycles[c], p2.execCycles[c]);
+        EXPECT_GE(p.execCycles[c], 1);
+    }
+    // FO4 budgets reconstruct within quantization error.
+    EXPECT_LE(std::abs(p.memLatencies.dl1 * t - 32.0), t + 1e-9);
+}
+
+TEST_P(EveryClock, GzipRunsAndObeysWidth)
+{
+    const double t = GetParam();
+    trace::SyntheticTraceGenerator gen(trace::spec2000Profile("164.gzip"));
+    auto core = core::makeOooCore(study::scaledCoreParams(t, {}),
+                                  "tournament");
+    const auto r = core->run(gen, 10000, 1000, 100000);
+    EXPECT_GT(r.ipc(), 0.0);
+    EXPECT_LE(r.ipc(), 4.0 + 1e-9);
+}
+
+TEST_P(EveryClock, InorderNeverBeatsOoo)
+{
+    const double t = GetParam();
+    const auto params = study::scaledCoreParams(t, {});
+    trace::SyntheticTraceGenerator g1(trace::spec2000Profile("176.gcc"));
+    trace::SyntheticTraceGenerator g2(trace::spec2000Profile("176.gcc"));
+    auto in = core::makeInorderCore(params, "tournament");
+    auto ooo = core::makeOooCore(params, "tournament");
+    const double inIpc = in->run(g1, 10000, 1000, 100000).ipc();
+    const double oooIpc = ooo->run(g2, 10000, 1000, 100000).ipc();
+    EXPECT_LE(inIpc, oooIpc * 1.05) << "t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EveryClock,
+                         ::testing::Values(2, 3, 4, 6, 8, 11, 16));
+
+// ---------------------------------------------------------------------
+// Monotonicity properties of the machinery.
+// ---------------------------------------------------------------------
+
+TEST(Properties, BipsIsConsistentWithIpcAcrossOverheads)
+{
+    // For a fixed t_useful, BIPS scales exactly with 1/(t + overhead).
+    const double ipc = 0.5;
+    const auto c1 = study::scaledClock(6.0,
+                                       tech::OverheadModel::uniform(1.0));
+    const auto c2 = study::scaledClock(6.0,
+                                       tech::OverheadModel::uniform(3.0));
+    EXPECT_NEAR(c1.bips(ipc) / c2.bips(ipc), (6.0 + 3.0) / (6.0 + 1.0),
+                1e-12);
+}
+
+TEST(Properties, ExtendingAnyLoopNeverHelps)
+{
+    const auto prof = trace::spec2000Profile("176.gcc");
+    auto run = [&](int wake, int load, int mis) {
+        auto p = core::CoreParams::alpha21264();
+        p.extraWakeup = wake;
+        p.extraLoadUse = load;
+        p.extraMispredictPenalty = mis;
+        trace::SyntheticTraceGenerator gen(prof);
+        auto c = core::makeOooCore(p, "tournament");
+        return c->run(gen, 15000, 2000, 100000).ipc();
+    };
+    const double base = run(0, 0, 0);
+    EXPECT_LE(run(4, 0, 0), base + 1e-9);
+    EXPECT_LE(run(0, 4, 0), base + 1e-9);
+    EXPECT_LE(run(0, 0, 4), base + 1e-9);
+}
+
+TEST(Properties, BiggerWindowNeverHurts)
+{
+    const auto prof = trace::spec2000Profile("171.swim");
+    auto run = [&](int cap) {
+        auto p = core::CoreParams::alpha21264();
+        p.window.capacity = cap;
+        trace::SyntheticTraceGenerator gen(prof);
+        auto c = core::makeOooCore(p, "tournament");
+        return c->run(gen, 15000, 2000, 100000).ipc();
+    };
+    const double w16 = run(16);
+    const double w32 = run(32);
+    const double w64 = run(64);
+    // Allow a sliver of slack: a larger window shifts when loads reach
+    // the fill bus, which can reorder queueing by a fraction of a
+    // percent.
+    EXPECT_LE(w16, w32 * 1.01);
+    EXPECT_LE(w32, w64 * 1.01);
+    EXPECT_LT(w16, w64); // strictly better end to end
+}
+
+TEST(Properties, MoreWakeupStagesNeverHelp)
+{
+    const auto prof = trace::spec2000Profile("176.gcc");
+    double prev = 1e9;
+    for (int stages : {1, 2, 4, 8, 10}) {
+        auto p = core::CoreParams::alpha21264();
+        p.window.wakeupStages = stages;
+        trace::SyntheticTraceGenerator gen(prof);
+        auto c = core::makeOooCore(p, "tournament");
+        const double ipc = c->run(gen, 15000, 2000, 100000).ipc();
+        EXPECT_LE(ipc, prev + 1e-9) << stages;
+        prev = ipc;
+    }
+}
+
+TEST(Properties, FrequencyTimesPeriodIsUnity)
+{
+    for (double t = 2; t <= 16; t += 0.5) {
+        const auto clock = study::scaledClock(t);
+        EXPECT_NEAR(clock.frequencyGhz() * clock.periodPs() / 1000.0, 1.0,
+                    1e-9);
+    }
+}
+
+TEST(Properties, Table3QuantizationIsExactlyCeiling)
+{
+    // cycles * t >= fo4 > (cycles - 1) * t for every structure and t.
+    const cacti::StructureModel model;
+    using SK = cacti::StructureKind;
+    for (const auto kind :
+         {SK::DL1, SK::L2, SK::BranchPredictor, SK::RenameTable,
+          SK::IssueWindow, SK::RegisterFile}) {
+        const double fo4 = model.latencyFo4(
+            kind, cacti::StructureModel::alphaCapacity(kind));
+        for (int t = 2; t <= 16; ++t) {
+            tech::ClockModel clock;
+            clock.tUsefulFo4 = t;
+            const int cycles = clock.latencyCycles(fo4);
+            EXPECT_GE(cycles * t + 1e-9, fo4);
+            if (cycles > 1) {
+                EXPECT_LT((cycles - 1) * t, fo4 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the scaling study machinery: configuration derivation,
+ * the suite runner, the structure optimizer and the Figure 1 data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "study/intel_history.hh"
+#include "study/optimizer.hh"
+#include "study/runner.hh"
+#include "study/scaling.hh"
+
+using namespace fo4::study;
+using fo4::core::CoreParams;
+using fo4::isa::OpClass;
+
+TEST(Scaling, DerivesTableThreeValuesAtSixFo4)
+{
+    const CoreParams p = scaledCoreParams(6.0, {});
+    // Functional units (Table 3, t_useful = 6 column).
+    EXPECT_EQ(p.execLatency(OpClass::IntAlu), 3);
+    EXPECT_EQ(p.execLatency(OpClass::IntMult), 21);
+    EXPECT_EQ(p.execLatency(OpClass::FpAdd), 12);
+    EXPECT_EQ(p.execLatency(OpClass::FpDiv), 35);
+    // Structures: ceil(anchor / 6).
+    EXPECT_EQ(p.memLatencies.dl1, 6);     // ceil(32/6)
+    EXPECT_EQ(p.regReadStages, 2);        // ceil(10.83/6)
+    EXPECT_EQ(p.renameStages, 3);         // ceil(17.2/6)
+    EXPECT_EQ(p.fetchStages, 4);          // ceil(19.5/6)
+    EXPECT_EQ(p.issueLatency, 3);         // ceil(17.2/6)
+}
+
+TEST(Scaling, ShallowClockIsNearAlphaNative)
+{
+    const CoreParams p = scaledCoreParams(16.0, {});
+    EXPECT_EQ(p.execLatency(OpClass::IntAlu), 2);
+    EXPECT_EQ(p.memLatencies.dl1, 2);
+    EXPECT_EQ(p.issueLatency, 2);
+    EXPECT_EQ(p.regReadStages, 1);
+}
+
+TEST(Scaling, DeeperPipesHaveMoreStages)
+{
+    const CoreParams deep = scaledCoreParams(2.0, {});
+    const CoreParams shallow = scaledCoreParams(16.0, {});
+    EXPECT_GT(deep.fetchStages, shallow.fetchStages);
+    EXPECT_GT(deep.memLatencies.dl1, shallow.memLatencies.dl1);
+    EXPECT_GT(deep.issueLatency, shallow.issueLatency);
+    EXPECT_GT(deep.execLatency(OpClass::FpSqrt),
+              shallow.execLatency(OpClass::FpSqrt));
+}
+
+TEST(Scaling, CrayMemoryModeIsFlat)
+{
+    ScalingOptions opt;
+    opt.crayMemory = true;
+    const CoreParams p = scaledCoreParams(11.0, opt);
+    EXPECT_EQ(p.memoryMode, fo4::mem::MemoryMode::Flat);
+    // 171.6 FO4 of flat memory at 11 FO4 per stage.
+    EXPECT_EQ(p.memLatencies.flat, 16);
+}
+
+TEST(Scaling, SegmentedWindowForcesSingleCycleLoop)
+{
+    ScalingOptions opt;
+    opt.window.wakeupStages = 4;
+    const CoreParams p = scaledCoreParams(4.0, opt);
+    EXPECT_EQ(p.issueLatency, 1);
+    EXPECT_EQ(p.window.wakeupStages, 4);
+}
+
+TEST(Scaling, CapacityOptionsChangeLatencies)
+{
+    ScalingOptions small;
+    small.dl1Bytes = 8 << 10;
+    ScalingOptions large;
+    large.dl1Bytes = 128 << 10;
+    const CoreParams ps = scaledCoreParams(6.0, small);
+    const CoreParams pl = scaledCoreParams(6.0, large);
+    EXPECT_LT(ps.memLatencies.dl1, pl.memLatencies.dl1);
+    EXPECT_EQ(ps.dl1.capacityBytes, 8u << 10);
+}
+
+TEST(Scaling, LoopExtensionsPassThrough)
+{
+    ScalingOptions opt;
+    opt.extraWakeup = 3;
+    opt.extraLoadUse = 2;
+    opt.extraMispredictPenalty = 5;
+    const CoreParams p = scaledCoreParams(6.0, opt);
+    EXPECT_EQ(p.extraWakeup, 3);
+    EXPECT_EQ(p.extraLoadUse, 2);
+    EXPECT_EQ(p.extraMispredictPenalty, 5);
+}
+
+TEST(Scaling, ClockFrequencyMatchesPaper)
+{
+    EXPECT_NEAR(scaledClock(6.0).frequencyGhz(), 3.56, 0.05);
+    EXPECT_NEAR(scaledClock(4.0).frequencyGhz(), 4.79, 0.05);
+}
+
+TEST(Runner, SuiteAggregatesHarmonically)
+{
+    RunSpec spec;
+    spec.instructions = 5000;
+    spec.warmup = 500;
+    spec.prewarm = 20000;
+    const auto profiles = fo4::trace::spec2000Profiles(
+        fo4::trace::BenchClass::VectorFp);
+    const auto params = scaledCoreParams(8.0, {});
+    const auto clock = scaledClock(8.0);
+    const auto suite = runSuite(params, clock, profiles, spec);
+    ASSERT_EQ(suite.benchmarks.size(), 4u);
+
+    // Recompute the harmonic mean by hand.
+    double denom = 0;
+    for (const auto &b : suite.benchmarks) {
+        EXPECT_GT(b.bips, 0.0);
+        denom += 1.0 / b.bips;
+    }
+    EXPECT_NEAR(suite.harmonicBips(fo4::trace::BenchClass::VectorFp),
+                4.0 / denom, 1e-9);
+    EXPECT_NEAR(suite.harmonicBipsAll(), 4.0 / denom, 1e-9);
+}
+
+TEST(Runner, AbsentClassYieldsZero)
+{
+    RunSpec spec;
+    spec.instructions = 2000;
+    spec.warmup = 0;
+    spec.prewarm = 0;
+    const auto profiles = fo4::trace::spec2000Profiles(
+        fo4::trace::BenchClass::VectorFp);
+    const auto suite = runSuite(scaledCoreParams(8.0, {}), scaledClock(8.0),
+                                profiles, spec);
+    EXPECT_EQ(suite.harmonicBips(fo4::trace::BenchClass::Integer), 0.0);
+}
+
+TEST(Runner, BipsIsIpcTimesFrequency)
+{
+    RunSpec spec;
+    spec.instructions = 5000;
+    spec.warmup = 0;
+    spec.prewarm = 20000;
+    const auto prof = fo4::trace::spec2000Profile("164.gzip");
+    const auto clock = scaledClock(6.0);
+    const auto r = runBenchmark(scaledCoreParams(6.0, {}), clock, prof,
+                                spec);
+    EXPECT_NEAR(r.bips, r.sim.ipc() * clock.frequencyGhz(), 1e-9);
+}
+
+TEST(Runner, InOrderModelRuns)
+{
+    RunSpec spec;
+    spec.model = CoreModel::InOrder;
+    spec.instructions = 5000;
+    spec.warmup = 0;
+    spec.prewarm = 20000;
+    const auto prof = fo4::trace::spec2000Profile("164.gzip");
+    const auto r = runBenchmark(scaledCoreParams(6.0, {}), scaledClock(6.0),
+                                prof, spec);
+    EXPECT_GT(r.sim.ipc(), 0.0);
+}
+
+TEST(Optimizer, ReturnsConfigFromSearchSpace)
+{
+    RunSpec spec;
+    spec.instructions = 3000;
+    spec.warmup = 0;
+    spec.prewarm = 30000;
+    OptimizerSearchSpace space;
+    space.dl1Bytes = {32 << 10, 64 << 10};
+    space.l2Bytes = {2 << 20};
+    space.windowEntries = {32};
+    const auto profiles = std::vector<fo4::trace::BenchmarkProfile>{
+        fo4::trace::spec2000Profile("164.gzip")};
+    const auto best = optimizeStructures(6.0, scaledClock(6.0), profiles,
+                                         spec, space);
+    EXPECT_TRUE(best.options.dl1Bytes == (32u << 10) ||
+                best.options.dl1Bytes == (64u << 10));
+    EXPECT_GT(best.harmonicBipsAll, 0.0);
+}
+
+TEST(Optimizer, NeverWorseThanBaseline)
+{
+    RunSpec spec;
+    spec.instructions = 3000;
+    spec.warmup = 0;
+    spec.prewarm = 30000;
+    OptimizerSearchSpace space;
+    space.dl1Bytes = {8 << 10, 64 << 10};
+    space.l2Bytes = {2 << 20};
+    space.windowEntries = {32};
+    const auto profiles = std::vector<fo4::trace::BenchmarkProfile>{
+        fo4::trace::spec2000Profile("164.gzip")};
+    const auto clock = scaledClock(6.0);
+    const auto best =
+        optimizeStructures(6.0, clock, profiles, spec, space);
+    const auto baseline = runSuite(scaledCoreParams(6.0, {}), clock,
+                                   profiles, spec);
+    EXPECT_GE(best.harmonicBipsAll, baseline.harmonicBipsAll() - 1e-9);
+}
+
+TEST(IntelHistory, SevenGenerations)
+{
+    const auto gens = intelGenerations();
+    ASSERT_EQ(gens.size(), 7u);
+    EXPECT_EQ(gens.front().year, 1990);
+    EXPECT_EQ(gens.back().year, 2002);
+}
+
+TEST(IntelHistory, PeriodsInFo4ShrinkOverTime)
+{
+    const auto gens = intelGenerations();
+    for (std::size_t i = 1; i < gens.size(); ++i)
+        EXPECT_LT(gens[i].periodFo4(), gens[i - 1].periodFo4())
+            << gens[i].name;
+}
+
+TEST(IntelHistory, EndpointsMatchPaperFigureOne)
+{
+    const auto gens = intelGenerations();
+    // 33 MHz at 1000nm is ~84 FO4 per cycle (paper: 84).
+    EXPECT_NEAR(gens.front().periodFo4(), 84.2, 0.5);
+    // 2 GHz at 130nm is ~11 FO4 (paper quotes 12 with its rounding).
+    EXPECT_NEAR(gens.back().periodFo4(), 10.7, 0.5);
+}
+
+TEST(IntelHistory, DecompositionMatchesPaperNarrative)
+{
+    // "a factor of 60 over the past twelve years ... an 8-fold
+    //  improvement [technology] ... a factor of 7 [pipelining]".
+    const auto d = decomposeFrequencyGains();
+    EXPECT_NEAR(d.totalGain, 60.6, 1.0);
+    EXPECT_NEAR(d.technologyGain, 7.7, 0.2);
+    EXPECT_NEAR(d.pipeliningGain, 7.9, 0.3);
+    EXPECT_NEAR(d.totalGain, d.technologyGain * d.pipeliningGain, 1.0);
+}

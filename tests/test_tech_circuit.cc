@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the switch-level circuit simulator: gate logic levels,
+ * propagation ordering, and the FO4 reference measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/circuit.hh"
+#include "tech/fo4.hh"
+#include "tech/gates.hh"
+
+using namespace fo4::tech;
+
+namespace
+{
+
+DeviceParams
+params()
+{
+    return DeviceParams::at100nm();
+}
+
+} // namespace
+
+TEST(Circuit, InverterInverts)
+{
+    auto p = params();
+    Circuit c(p);
+    const auto in = c.addNode("in");
+    c.drive(in, rampStep(50.0, 0.0, p.vdd, 20.0));
+    const auto out = addInverter(c, in);
+    c.run(500.0);
+    // Input ended high; output must be low.
+    EXPECT_LT(c.voltage(out), 0.1 * p.vdd);
+}
+
+TEST(Circuit, InverterOutputInitiallyHigh)
+{
+    auto p = params();
+    Circuit c(p);
+    const auto in = c.addNode("in");
+    c.drive(in, [](double) { return 0.0; });
+    const auto out = addInverter(c, in);
+    c.run(500.0);
+    EXPECT_GT(c.voltage(out), 0.9 * p.vdd);
+}
+
+TEST(Circuit, ChainAlternates)
+{
+    auto p = params();
+    Circuit c(p);
+    const auto in = c.addNode("in");
+    c.drive(in, rampStep(50.0, 0.0, p.vdd, 20.0));
+    const auto n1 = addInverter(c, in);
+    const auto n2 = addInverter(c, n1);
+    const auto n3 = addInverter(c, n2);
+    c.run(800.0);
+    EXPECT_LT(c.voltage(n1), 0.1 * p.vdd);
+    EXPECT_GT(c.voltage(n2), 0.9 * p.vdd);
+    EXPECT_LT(c.voltage(n3), 0.1 * p.vdd);
+}
+
+TEST(Circuit, CrossingsAreOrderedAlongChain)
+{
+    auto p = params();
+    Circuit c(p);
+    const auto in = c.addNode("in");
+    c.drive(in, rampStep(300.0, 0.0, p.vdd, 20.0));
+    const auto n1 = addInverter(c, in);
+    const auto n2 = addInverter(c, n1);
+    c.run(900.0);
+    // Skip initialization transients: measure after the circuit settles.
+    const double t1 = c.firstCrossing(n1, false, 250.0);
+    const double t2 = c.firstCrossing(n2, true, 250.0);
+    ASSERT_GT(t1, 0.0);
+    ASSERT_GT(t2, 0.0);
+    EXPECT_GT(t2, t1);
+}
+
+TEST(Circuit, HeavierLoadIsSlower)
+{
+    auto p = params();
+    const auto delayWithLoad = [&](int fanout) {
+        Circuit c(p);
+        const auto in = c.addNode("in");
+        c.drive(in, rampStep(300.0, 0.0, p.vdd, 20.0));
+        const auto out = addInverter(c, in);
+        addFanoutLoad(c, out, fanout);
+        c.run(1200.0);
+        return c.firstCrossing(out, false, 250.0) - 300.0;
+    };
+    EXPECT_GT(delayWithLoad(8), delayWithLoad(2));
+    EXPECT_GT(delayWithLoad(2), delayWithLoad(0));
+}
+
+TEST(Circuit, WiderDriverIsFaster)
+{
+    auto p = params();
+    const auto delayWithScale = [&](double scale) {
+        Circuit c(p);
+        const auto in = c.addNode("in");
+        c.drive(in, rampStep(300.0, 0.0, p.vdd, 20.0));
+        // Fixed external load dominates, so a wider driver must win.
+        const auto out = addInverter(c, in, scale);
+        addFanoutLoad(c, out, 16);
+        c.run(1200.0);
+        return c.firstCrossing(out, false, 250.0) - 300.0;
+    };
+    EXPECT_GT(delayWithScale(1.0), delayWithScale(4.0));
+}
+
+TEST(Circuit, Nand2TruthTable)
+{
+    auto p = params();
+    // For each input combination, check the settled output level.
+    const bool cases[4][3] = {
+        {false, false, true},
+        {false, true, true},
+        {true, false, true},
+        {true, true, false},
+    };
+    for (const auto &tc : cases) {
+        Circuit c(p);
+        const auto a = c.addNode("a");
+        const auto b = c.addNode("b");
+        c.drive(a, [&, v = tc[0]](double) { return v ? p.vdd : 0.0; });
+        c.drive(b, [&, v = tc[1]](double) { return v ? p.vdd : 0.0; });
+        const auto out = addNand(c, {a, b});
+        c.run(500.0);
+        if (tc[2])
+            EXPECT_GT(c.voltage(out), 0.9 * p.vdd)
+                << "a=" << tc[0] << " b=" << tc[1];
+        else
+            EXPECT_LT(c.voltage(out), 0.1 * p.vdd)
+                << "a=" << tc[0] << " b=" << tc[1];
+    }
+}
+
+TEST(Circuit, TransmissionGatePassesWhenOn)
+{
+    auto p = params();
+    Circuit c(p);
+    const auto src = c.addNode("src");
+    c.drive(src, rampStep(50.0, 0.0, p.vdd, 20.0));
+    const auto dst = c.addNode("dst", 5.0);
+    addTransmissionGate(c, src, dst, c.vdd(), c.gnd());
+    c.run(500.0);
+    EXPECT_GT(c.voltage(dst), 0.9 * p.vdd);
+}
+
+TEST(Circuit, TransmissionGateBlocksWhenOff)
+{
+    auto p = params();
+    Circuit c(p);
+    const auto src = c.addNode("src");
+    c.drive(src, rampStep(50.0, 0.0, p.vdd, 20.0));
+    const auto dst = c.addNode("dst", 5.0);
+    addTransmissionGate(c, src, dst, c.gnd(), c.vdd());
+    c.run(500.0);
+    EXPECT_LT(c.voltage(dst), 0.1 * p.vdd);
+}
+
+TEST(Fo4, ReferenceDelayIsPositiveAndBalanced)
+{
+    const auto ref = measureFo4(params());
+    EXPECT_GT(ref.delayPs, 10.0);
+    EXPECT_LT(ref.delayPs, 200.0);
+    // The 2:1 P:N sizing should roughly balance rise and fall.
+    EXPECT_NEAR(ref.risePs / ref.fallPs, 1.0, 0.35);
+}
+
+TEST(Fo4, TechnologyScalingRules)
+{
+    const auto t100 = Technology::nm(100.0);
+    EXPECT_DOUBLE_EQ(t100.fo4Ps(), 36.0);
+    EXPECT_DOUBLE_EQ(t100.toPs(10.0), 360.0);
+    EXPECT_DOUBLE_EQ(t100.toFo4(72.0), 2.0);
+
+    const auto t180 = Technology::nm(180.0);
+    EXPECT_NEAR(t180.fo4Ps(), 64.8, 1e-9);
+}
+
+TEST(Fo4, FrequencyAtPaperOptimum)
+{
+    // Paper: 7.8 FO4 clock period at 100nm corresponds to ~3.6 GHz.
+    const auto t = tech100nm();
+    EXPECT_NEAR(t.frequencyGhz(7.8), 3.56, 0.05);
+}
+
+TEST(Fo4, EclNandPairSlowerThanOneFo4)
+{
+    // The Appendix A pair (4-NAND driving 5-NAND) must cost more than a
+    // single FO4 inverter delay: two gate levels, heavier input loads.
+    auto p = params();
+    const auto ref = measureFo4(p);
+
+    Circuit c(p);
+    const auto in = c.addNode("in");
+    c.drive(in, rampStep(400.0, 0.0, p.vdd, 30.0));
+    const auto shaped = addInverterChain(c, in, 2);
+    const auto nand4 = addNand(c, {shaped, c.vdd(), c.vdd(), c.vdd()});
+    const auto nand5 =
+        addNand(c, {nand4, c.vdd(), c.vdd(), c.vdd(), c.vdd()});
+    addFanoutLoad(c, nand5, 1);
+    c.run(1900.0);
+    const double tIn = c.firstCrossing(shaped, true, 300.0);
+    const double tOut = c.firstCrossing(nand5, true, 300.0);
+    ASSERT_GT(tOut, tIn);
+    EXPECT_GT(tOut - tIn, ref.delayPs);
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the pulse latch and the latch-overhead extraction (paper
+ * Section 2 / Table 1) and the ECL gate equivalence (Appendix A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/circuit.hh"
+#include "tech/ecl.hh"
+#include "tech/fo4.hh"
+#include "tech/gates.hh"
+#include "tech/latch.hh"
+
+using namespace fo4::tech;
+
+namespace
+{
+
+const DeviceParams &
+params()
+{
+    static const DeviceParams p = DeviceParams::at100nm();
+    return p;
+}
+
+const Fo4Reference &
+ref()
+{
+    static const Fo4Reference r = measureFo4(params());
+    return r;
+}
+
+} // namespace
+
+TEST(PulseLatch, TransparentWhileClockHigh)
+{
+    auto p = params();
+    Circuit c(p);
+    const auto d = c.addNode("d");
+    c.drive(d, rampStep(100.0, 0.0, p.vdd, 15.0));
+    const auto latch = addPulseLatch(c, d, c.vdd());
+    c.run(600.0);
+    EXPECT_GT(c.voltage(latch.q), 0.9 * p.vdd);
+}
+
+TEST(PulseLatch, OpaqueWhileClockLow)
+{
+    auto p = params();
+    Circuit c(p);
+    const auto d = c.addNode("d");
+    // Data rises only after the clock (never asserted) would have closed.
+    c.drive(d, rampStep(300.0, 0.0, p.vdd, 15.0));
+    const auto latch = addPulseLatch(c, d, c.gnd());
+    c.run(900.0);
+    EXPECT_LT(c.voltage(latch.q), 0.1 * p.vdd);
+}
+
+TEST(PulseLatch, HoldsCapturedValueAfterClockFalls)
+{
+    auto p = params();
+    Circuit c(p);
+    const auto clk = c.addNode("clk");
+    const double period = 600.0;
+    c.drive(clk, clockWave(0.0, period, p.vdd, 15.0));
+    const auto d = c.addNode("d");
+    c.drive(d, rampStep(100.0, 0.0, p.vdd, 15.0));
+    const auto latch = addPulseLatch(c, d, clk);
+    // Run to just before the next rising edge: value must persist through
+    // the opaque phase.
+    c.run(0.95 * period);
+    EXPECT_GT(c.voltage(latch.q), 0.9 * p.vdd);
+    EXPECT_GT(c.voltage(latch.x), 0.9 * p.vdd);
+}
+
+TEST(LatchTrial, EarlyDataIsCaptured)
+{
+    const double period = 40.0 * ref().delayPs;
+    const auto trial =
+        runLatchTrial(params(), period / 2.0 - 8.0 * ref().delayPs, period);
+    EXPECT_TRUE(trial.captured);
+    EXPECT_GT(trial.tdq, 0.0);
+    EXPECT_LT(trial.dArrival, trial.clkFall);
+}
+
+TEST(LatchTrial, LateDataIsRejected)
+{
+    const double period = 40.0 * ref().delayPs;
+    const auto trial =
+        runLatchTrial(params(), period / 2.0 + 5.0 * ref().delayPs, period);
+    EXPECT_FALSE(trial.captured);
+}
+
+TEST(LatchTiming, OverheadNearOneFo4)
+{
+    const auto timing = measureLatchTiming(params(), ref());
+    // Paper Table 1: latch overhead is 1 FO4.  Our switch-level model
+    // should land in the same neighbourhood.
+    EXPECT_GT(timing.overheadFo4, 0.5);
+    EXPECT_LT(timing.overheadFo4, 2.0);
+}
+
+TEST(LatchTiming, OverheadIsMinimalTdq)
+{
+    const auto timing = measureLatchTiming(params(), ref());
+    EXPECT_LE(timing.overheadPs, timing.nominalTdqPs + 1e-9);
+    EXPECT_GT(timing.overheadPs, 0.0);
+}
+
+TEST(LatchTiming, FailurePointNearClockEdge)
+{
+    const auto timing = measureLatchTiming(params(), ref());
+    // The last successful data arrival should be within a few FO4 of the
+    // falling clock edge (on either side).
+    EXPECT_LT(std::abs(timing.setupPs), 4.0 * ref().delayPs);
+}
+
+TEST(Ecl, LevelDelayIsOrderOneFo4)
+{
+    const double level = measureEclLevelFo4(params(), ref());
+    // Paper: 1.36 FO4.  Accept the same order of magnitude from the
+    // switch-level model; the bench prints both for comparison.
+    EXPECT_GT(level, 0.8);
+    EXPECT_LT(level, 3.5);
+}
+
+TEST(Ecl, KunkelSmithConversionsMatchPaper)
+{
+    // 8 gate levels -> ~10.9 FO4; 4 levels -> ~5.4 FO4 (paper Sec 4.2).
+    EXPECT_NEAR(eclLevelsToFo4(kunkelSmithScalarLevels), 10.88, 0.05);
+    EXPECT_NEAR(eclLevelsToFo4(kunkelSmithVectorLevels), 5.44, 0.05);
+}
+
+TEST(Ecl, ConversionScalesLinearly)
+{
+    EXPECT_DOUBLE_EQ(eclLevelsToFo4(2, 1.5), 3.0);
+    EXPECT_DOUBLE_EQ(eclLevelsToFo4(1, 2.0), 2.0);
+}

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator and the SPEC 2000 profile set:
+ * reproducibility, statistical properties, dependence structure and
+ * address behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/generator.hh"
+#include "trace/spec2000.hh"
+
+using namespace fo4::trace;
+using fo4::isa::MicroOp;
+using fo4::isa::OpClass;
+
+namespace
+{
+
+BenchmarkProfile
+testProfile()
+{
+    BenchmarkProfile p;
+    p.name = "test";
+    p.seed = 42;
+    return p;
+}
+
+} // namespace
+
+TEST(Generator, DeterministicAcrossInstances)
+{
+    const auto prof = testProfile();
+    SyntheticTraceGenerator a(prof), b(prof);
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp x = a.next();
+        const MicroOp y = b.next();
+        EXPECT_EQ(x.seq, y.seq);
+        EXPECT_EQ(x.cls, y.cls);
+        EXPECT_EQ(x.src1, y.src1);
+        EXPECT_EQ(x.src2, y.src2);
+        EXPECT_EQ(x.dst, y.dst);
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.taken, y.taken);
+    }
+}
+
+TEST(Generator, ResetRewindsExactly)
+{
+    SyntheticTraceGenerator gen(testProfile());
+    std::vector<MicroOp> first;
+    for (int i = 0; i < 2000; ++i)
+        first.push_back(gen.next());
+    gen.reset();
+    for (int i = 0; i < 2000; ++i) {
+        const MicroOp op = gen.next();
+        EXPECT_EQ(op.cls, first[i].cls);
+        EXPECT_EQ(op.addr, first[i].addr);
+        EXPECT_EQ(op.taken, first[i].taken);
+    }
+}
+
+TEST(Generator, SequenceNumbersAreContiguous)
+{
+    SyntheticTraceGenerator gen(testProfile());
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(gen.next().seq, i);
+}
+
+TEST(Generator, BlockSizeMatchesProfile)
+{
+    auto prof = testProfile();
+    prof.meanBlockSize = 8.0;
+    SyntheticTraceGenerator gen(prof);
+    std::uint64_t branches = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        branches += gen.next().isBranch();
+    const double mean_block =
+        static_cast<double>(n - branches) / static_cast<double>(branches);
+    EXPECT_NEAR(mean_block, 8.0, 0.8);
+}
+
+TEST(Generator, OpMixMatchesProfile)
+{
+    auto prof = testProfile();
+    prof.wIntAlu = 0.5;
+    prof.wLoad = 0.3;
+    prof.wStore = 0.2;
+    prof.wIntMult = 0.0;
+    SyntheticTraceGenerator gen(prof);
+    std::map<OpClass, int> counts;
+    int nonBranch = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.isBranch())
+            continue;
+        ++counts[op.cls];
+        ++nonBranch;
+    }
+    EXPECT_NEAR(counts[OpClass::IntAlu] / double(nonBranch), 0.5, 0.02);
+    EXPECT_NEAR(counts[OpClass::Load] / double(nonBranch), 0.3, 0.02);
+    EXPECT_NEAR(counts[OpClass::Store] / double(nonBranch), 0.2, 0.02);
+    EXPECT_EQ(counts[OpClass::FpAdd], 0);
+}
+
+TEST(Generator, LoadsCarryAddressesAndDest)
+{
+    SyntheticTraceGenerator gen(testProfile());
+    int loads = 0;
+    for (int i = 0; i < 20000 && loads < 500; ++i) {
+        const MicroOp op = gen.next();
+        if (!op.isLoad())
+            continue;
+        ++loads;
+        EXPECT_NE(op.addr, 0u);
+        EXPECT_NE(op.dst, fo4::isa::noReg);
+        EXPECT_NE(op.src1, fo4::isa::noReg);
+    }
+    EXPECT_GE(loads, 500);
+}
+
+TEST(Generator, StoresHaveNoDest)
+{
+    SyntheticTraceGenerator gen(testProfile());
+    int stores = 0;
+    for (int i = 0; i < 20000 && stores < 500; ++i) {
+        const MicroOp op = gen.next();
+        if (!op.isStore())
+            continue;
+        ++stores;
+        EXPECT_EQ(op.dst, fo4::isa::noReg);
+        EXPECT_NE(op.src1, fo4::isa::noReg);
+        EXPECT_NE(op.src2, fo4::isa::noReg);
+    }
+}
+
+TEST(Generator, BranchOutcomeMatchesTakenField)
+{
+    // Taken branches redirect the following PC; not-taken fall through.
+    SyntheticTraceGenerator gen(testProfile());
+    MicroOp prev = gen.next();
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (prev.isBranch()) {
+            if (prev.taken)
+                EXPECT_EQ(op.pc, prev.addr);
+            else
+                EXPECT_EQ(op.pc, prev.pc + 4);
+        }
+        prev = op;
+    }
+}
+
+TEST(Generator, MinimumDependenceDistanceHolds)
+{
+    auto prof = testProfile();
+    prof.meanDepDistance = 12.0;
+    prof.minDepDistance = 8.0;
+    prof.wLoad = 0.0;
+    prof.wStore = 0.0;
+    prof.src2Prob = 0.0;
+    SyntheticTraceGenerator gen(prof);
+
+    // Track the most recent producer sequence of every register; the gap
+    // between a consumer and its source's producer must respect the
+    // minimum (in producer count).
+    std::map<int, std::uint64_t> producerIndex; // reg -> producer ordinal
+    std::uint64_t producers = 0;
+    int checked = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.src1 != fo4::isa::noReg && producerIndex.count(op.src1) &&
+            producers > 64) {
+            const std::uint64_t gap = producers - producerIndex[op.src1];
+            EXPECT_GE(gap, 8u) << "at op " << i;
+            ++checked;
+        }
+        if (op.dst != fo4::isa::noReg) {
+            producerIndex[op.dst] = producers;
+            ++producers;
+        }
+    }
+    EXPECT_GT(checked, 1000);
+}
+
+TEST(Generator, WorkingSetBoundsZipfAddresses)
+{
+    auto prof = testProfile();
+    prof.strideFraction = 0.0;
+    prof.workingSetBytes = 64 * 1024;
+    SyntheticTraceGenerator gen(prof);
+    for (int i = 0; i < 50000; ++i) {
+        const MicroOp op = gen.next();
+        if (!fo4::isa::isMemory(op.cls))
+            continue;
+        EXPECT_GE(op.addr, 0x20000000u);
+        EXPECT_LT(op.addr, 0x20000000u + prof.workingSetBytes + 64);
+    }
+}
+
+TEST(Generator, StrideStreamsAdvanceMonotonically)
+{
+    auto prof = testProfile();
+    prof.strideFraction = 1.0;
+    prof.strideStreams = 1;
+    prof.lineStrideProb = 0.0;
+    SyntheticTraceGenerator gen(prof);
+    std::uint64_t last = 0;
+    int seen = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp op = gen.next();
+        if (!fo4::isa::isMemory(op.cls))
+            continue;
+        if (seen > 0 && op.addr > last) {
+            EXPECT_EQ(op.addr - last, 8u);
+        }
+        last = op.addr;
+        ++seen;
+    }
+    EXPECT_GT(seen, 1000);
+}
+
+TEST(Spec2000, HasEighteenProfilesInThreeClasses)
+{
+    const auto all = spec2000Profiles();
+    EXPECT_EQ(all.size(), 18u);
+    EXPECT_EQ(spec2000Profiles(BenchClass::Integer).size(), 9u);
+    EXPECT_EQ(spec2000Profiles(BenchClass::VectorFp).size(), 4u);
+    EXPECT_EQ(spec2000Profiles(BenchClass::NonVectorFp).size(), 5u);
+}
+
+TEST(Spec2000, NamesMatchPaperTableTwo)
+{
+    const char *expected[] = {
+        "164.gzip", "175.vpr", "176.gcc", "181.mcf", "197.parser",
+        "252.eon", "253.perlbmk", "256.bzip2", "300.twolf", "171.swim",
+        "172.mgrid", "173.applu", "183.equake", "177.mesa", "178.galgel",
+        "179.art", "188.ammp", "189.lucas"};
+    const auto all = spec2000Profiles();
+    ASSERT_EQ(all.size(), std::size(expected));
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i].name, expected[i]);
+}
+
+TEST(Spec2000, LookupByFullOrShortName)
+{
+    EXPECT_EQ(spec2000Profile("164.gzip").name, "164.gzip");
+    EXPECT_EQ(spec2000Profile("gzip").name, "164.gzip");
+    EXPECT_EQ(spec2000Profile("swim").cls, BenchClass::VectorFp);
+}
+
+TEST(Spec2000, VectorProfilesHaveMoreIlp)
+{
+    // The class distinction the paper relies on: vector FP exposes far
+    // longer dependence distances than integer codes.
+    double intMax = 0, vecMin = 1e9;
+    for (const auto &p : spec2000Profiles()) {
+        if (p.cls == BenchClass::Integer)
+            intMax = std::max(intMax, p.meanDepDistance);
+        if (p.cls == BenchClass::VectorFp)
+            vecMin = std::min(vecMin, p.meanDepDistance);
+    }
+    EXPECT_GT(vecMin, intMax);
+}
+
+TEST(Spec2000, SeedsAreUnique)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &p : spec2000Profiles())
+        seeds.insert(p.seed);
+    EXPECT_EQ(seeds.size(), 18u);
+}
+
+TEST(Spec2000, AllProfilesValidate)
+{
+    for (const auto &p : spec2000Profiles())
+        p.validate(); // panics on violation
+    SUCCEED();
+}
+
+TEST(Spec2000, AllProfilesGenerate)
+{
+    for (const auto &p : spec2000Profiles()) {
+        SyntheticTraceGenerator gen(p);
+        for (int i = 0; i < 1000; ++i)
+            gen.next();
+    }
+    SUCCEED();
+}
+
+TEST(VectorTrace, CyclesAndRenumbers)
+{
+    MicroOp a;
+    a.cls = OpClass::IntAlu;
+    MicroOp b;
+    b.cls = OpClass::Load;
+    VectorTrace trace({a, b});
+    EXPECT_EQ(trace.next().cls, OpClass::IntAlu);
+    EXPECT_EQ(trace.next().cls, OpClass::Load);
+    const MicroOp third = trace.next();
+    EXPECT_EQ(third.cls, OpClass::IntAlu); // wrapped
+    EXPECT_EQ(third.seq, 2u);              // but renumbered
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the circular buffer and saturating counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/circular_buffer.hh"
+#include "util/sat_counter.hh"
+
+using fo4::util::CircularBuffer;
+using fo4::util::SatCounter;
+
+TEST(CircularBuffer, StartsEmpty)
+{
+    CircularBuffer<int> buf(4);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_FALSE(buf.full());
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.free(), 4u);
+}
+
+TEST(CircularBuffer, FifoOrder)
+{
+    CircularBuffer<int> buf(3);
+    buf.pushBack(1);
+    buf.pushBack(2);
+    buf.pushBack(3);
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.front(), 1);
+    buf.popFront();
+    EXPECT_EQ(buf.front(), 2);
+    buf.popFront();
+    EXPECT_EQ(buf.front(), 3);
+}
+
+TEST(CircularBuffer, WrapsAround)
+{
+    CircularBuffer<int> buf(2);
+    for (int i = 0; i < 100; ++i) {
+        buf.pushBack(i);
+        EXPECT_EQ(buf.front(), i);
+        buf.popFront();
+    }
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(CircularBuffer, IndexedAccess)
+{
+    CircularBuffer<int> buf(4);
+    buf.pushBack(10);
+    buf.pushBack(20);
+    buf.popFront();
+    buf.pushBack(30);
+    buf.pushBack(40);
+    // Contents are now 20, 30, 40 with head wrapped.
+    EXPECT_EQ(buf.at(0), 20);
+    EXPECT_EQ(buf.at(1), 30);
+    EXPECT_EQ(buf.at(2), 40);
+}
+
+TEST(CircularBuffer, ClearResets)
+{
+    CircularBuffer<int> buf(2);
+    buf.pushBack(5);
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    buf.pushBack(7);
+    EXPECT_EQ(buf.front(), 7);
+}
+
+TEST(CircularBuffer, PushOnFullPanics)
+{
+    CircularBuffer<int> buf(1);
+    buf.pushBack(1);
+    EXPECT_DEATH(buf.pushBack(2), "full");
+}
+
+TEST(CircularBuffer, PopOnEmptyPanics)
+{
+    CircularBuffer<int> buf(1);
+    EXPECT_DEATH(buf.popFront(), "empty");
+}
+
+TEST(SatCounter, StartsWeaklyTaken)
+{
+    SatCounter<2> c;
+    EXPECT_EQ(c.value(), 2u);
+    EXPECT_TRUE(c.predictTaken());
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter<2> c;
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter<2> c;
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.predictTaken());
+}
+
+TEST(SatCounter, HysteresisNeedsTwoSteps)
+{
+    SatCounter<2> c(3); // strongly taken
+    c.train(false);
+    EXPECT_TRUE(c.predictTaken()); // still weakly taken
+    c.train(false);
+    EXPECT_FALSE(c.predictTaken());
+}
+
+TEST(SatCounter, OneBitFlipsImmediately)
+{
+    SatCounter<1> c(1);
+    EXPECT_TRUE(c.predictTaken());
+    c.train(false);
+    EXPECT_FALSE(c.predictTaken());
+    c.train(true);
+    EXPECT_TRUE(c.predictTaken());
+}
+
+TEST(SatCounter, ThreeBitThreshold)
+{
+    SatCounter<3> c(3);
+    EXPECT_FALSE(c.predictTaken()); // 3 < 4
+    c.increment();
+    EXPECT_TRUE(c.predictTaken()); // 4 >= 4
+}

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit and property tests for the RNG and sampling distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/random.hh"
+
+using fo4::util::DiscreteSampler;
+using fo4::util::Rng;
+using fo4::util::ZipfSampler;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(5);
+    std::map<std::uint64_t, int> seen;
+    for (int i = 0; i < 10000; ++i)
+        ++seen[rng.below(8)];
+    EXPECT_EQ(seen.size(), 8u);
+    for (const auto &[v, count] : seen)
+        EXPECT_GT(count, 900); // roughly uniform
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequencyTracksP)
+{
+    Rng rng(123);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory)
+{
+    Rng rng(77);
+    const double p = 0.25;
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean of failures-before-success is (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, GeometricWithPOneIsZero)
+{
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(31);
+    const int n = 100000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(DiscreteSampler, NormalizesProbabilities)
+{
+    DiscreteSampler s({2.0, 6.0, 2.0});
+    EXPECT_DOUBLE_EQ(s.probability(0), 0.2);
+    EXPECT_DOUBLE_EQ(s.probability(1), 0.6);
+    EXPECT_DOUBLE_EQ(s.probability(2), 0.2);
+}
+
+TEST(DiscreteSampler, EmpiricalFrequenciesMatch)
+{
+    DiscreteSampler s({1.0, 3.0, 6.0});
+    Rng rng(55);
+    const int n = 300000;
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < n; ++i)
+        ++counts[s.sample(rng)];
+    EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / double(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[2] / double(n), 0.6, 0.01);
+}
+
+TEST(DiscreteSampler, ZeroWeightNeverSampled)
+{
+    DiscreteSampler s({1.0, 0.0, 1.0});
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_NE(s.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, SingleOutcome)
+{
+    DiscreteSampler s({5.0});
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(s.sample(rng), 0u);
+}
+
+TEST(ZipfSampler, FirstRankMostFrequent)
+{
+    ZipfSampler z(100, 1.0);
+    Rng rng(6);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[z.sample(rng)];
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[10]);
+    EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero)
+{
+    ZipfSampler z(10, 0.0);
+    Rng rng(14);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c / double(n), 0.1, 0.01);
+}
+
+TEST(ZipfSampler, InRange)
+{
+    ZipfSampler z(5, 2.0);
+    Rng rng(21);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.sample(rng), 5u);
+}
+
+// Property sweep: geometric mean tracks (1-p)/p across p values.
+class GeometricSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(GeometricSweep, MeanMatches)
+{
+    const double p = GetParam();
+    Rng rng(static_cast<std::uint64_t>(p * 1e6) + 17);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(sum / n, expected, 0.05 * (expected + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, GeometricSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));

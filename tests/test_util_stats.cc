@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for counters, averages, histograms, stat sets and means.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/means.hh"
+#include "util/stats.hh"
+
+using namespace fo4::util;
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    ++c;
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Counter, Reset)
+{
+    Counter c;
+    c += 10;
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a;
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_DOUBLE_EQ(a.total(), 9.0);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(3);
+    h.sample(9); // clamps into last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(Histogram, MeanUsesRawValues)
+{
+    Histogram h(16);
+    h.sample(2);
+    h.sample(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(2);
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatSet, DumpContainsAllEntries)
+{
+    Counter instrs;
+    instrs += 100;
+    Counter cycles;
+    cycles += 50;
+    StatSet set;
+    set.addCounter("sim.instructions", instrs);
+    set.addCounter("sim.cycles", cycles);
+    set.addFormula("sim.ipc", [&] {
+        return double(instrs.value()) / double(cycles.value());
+    });
+
+    std::ostringstream os;
+    set.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("sim.instructions 100"), std::string::npos);
+    EXPECT_NE(text.find("sim.cycles 50"), std::string::npos);
+    EXPECT_NE(text.find("sim.ipc 2"), std::string::npos);
+}
+
+TEST(StatSet, LookupByName)
+{
+    Counter c;
+    c += 42;
+    StatSet set;
+    set.addCounter("x", c);
+    set.addFormula("twice", [&] { return 2.0 * double(c.value()); });
+    EXPECT_EQ(set.counter("x"), 42u);
+    EXPECT_DOUBLE_EQ(set.formula("twice"), 84.0);
+}
+
+TEST(StatSet, CounterReflectsLiveValue)
+{
+    Counter c;
+    StatSet set;
+    set.addCounter("live", c);
+    EXPECT_EQ(set.counter("live"), 0u);
+    c += 3;
+    EXPECT_EQ(set.counter("live"), 3u);
+}
+
+TEST(Means, HarmonicOfEqualValues)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Means, HarmonicDominatedBySmallValues)
+{
+    const double h = harmonicMean({1.0, 100.0});
+    EXPECT_LT(h, 2.0);
+    EXPECT_GT(h, 1.0);
+}
+
+TEST(Means, HarmonicKnownValue)
+{
+    // HM(1, 2, 4) = 3 / (1 + 0.5 + 0.25) = 12/7.
+    EXPECT_NEAR(harmonicMean({1.0, 2.0, 4.0}), 12.0 / 7.0, 1e-12);
+}
+
+TEST(Means, ArithmeticKnownValue)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Means, GeometricKnownValue)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Means, OrderingHarmonicLeGeometricLeArithmetic)
+{
+    const std::vector<double> v{1.5, 2.5, 7.0, 0.5};
+    const double h = harmonicMean(v);
+    const double g = geometricMean(v);
+    const double a = arithmeticMean(v);
+    EXPECT_LE(h, g + 1e-12);
+    EXPECT_LE(g, a + 1e-12);
+}
