@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixA_ecl.dir/bench_appendixA_ecl.cc.o"
+  "CMakeFiles/bench_appendixA_ecl.dir/bench_appendixA_ecl.cc.o.d"
+  "bench_appendixA_ecl"
+  "bench_appendixA_ecl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixA_ecl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

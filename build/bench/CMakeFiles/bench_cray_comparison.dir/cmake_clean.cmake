@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cray_comparison.dir/bench_cray_comparison.cc.o"
+  "CMakeFiles/bench_cray_comparison.dir/bench_cray_comparison.cc.o.d"
+  "bench_cray_comparison"
+  "bench_cray_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cray_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_segmented_wakeup.dir/bench_fig11_segmented_wakeup.cc.o"
+  "CMakeFiles/bench_fig11_segmented_wakeup.dir/bench_fig11_segmented_wakeup.cc.o.d"
+  "bench_fig11_segmented_wakeup"
+  "bench_fig11_segmented_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_segmented_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_critical_loops.cc" "bench/CMakeFiles/bench_fig8_critical_loops.dir/bench_fig8_critical_loops.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_critical_loops.dir/bench_fig8_critical_loops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/fo4_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/cacti/CMakeFiles/fo4_cacti.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fo4_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fo4_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/fo4_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fo4_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/fo4_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fo4_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fo4_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

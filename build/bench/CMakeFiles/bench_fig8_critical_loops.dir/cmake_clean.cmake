@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_critical_loops.dir/bench_fig8_critical_loops.cc.o"
+  "CMakeFiles/bench_fig8_critical_loops.dir/bench_fig8_critical_loops.cc.o.d"
+  "bench_fig8_critical_loops"
+  "bench_fig8_critical_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_critical_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

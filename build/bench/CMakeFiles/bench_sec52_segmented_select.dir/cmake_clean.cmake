@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_segmented_select.dir/bench_sec52_segmented_select.cc.o"
+  "CMakeFiles/bench_sec52_segmented_select.dir/bench_sec52_segmented_select.cc.o.d"
+  "bench_sec52_segmented_select"
+  "bench_sec52_segmented_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_segmented_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latch_lab.dir/latch_lab.cpp.o"
+  "CMakeFiles/latch_lab.dir/latch_lab.cpp.o.d"
+  "latch_lab"
+  "latch_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latch_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmented_window_demo.dir/segmented_window_demo.cpp.o"
+  "CMakeFiles/segmented_window_demo.dir/segmented_window_demo.cpp.o.d"
+  "segmented_window_demo"
+  "segmented_window_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmented_window_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo4_bp.dir/predictors.cc.o"
+  "CMakeFiles/fo4_bp.dir/predictors.cc.o.d"
+  "libfo4_bp.a"
+  "libfo4_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo4_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cacti/sram.cc" "src/cacti/CMakeFiles/fo4_cacti.dir/sram.cc.o" "gcc" "src/cacti/CMakeFiles/fo4_cacti.dir/sram.cc.o.d"
+  "/root/repo/src/cacti/structures.cc" "src/cacti/CMakeFiles/fo4_cacti.dir/structures.cc.o" "gcc" "src/cacti/CMakeFiles/fo4_cacti.dir/structures.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fo4_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/fo4_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

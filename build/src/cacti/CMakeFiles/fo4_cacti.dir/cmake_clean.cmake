@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo4_cacti.dir/sram.cc.o"
+  "CMakeFiles/fo4_cacti.dir/sram.cc.o.d"
+  "CMakeFiles/fo4_cacti.dir/structures.cc.o"
+  "CMakeFiles/fo4_cacti.dir/structures.cc.o.d"
+  "libfo4_cacti.a"
+  "libfo4_cacti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo4_cacti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/inorder_core.cc" "src/core/CMakeFiles/fo4_core.dir/inorder_core.cc.o" "gcc" "src/core/CMakeFiles/fo4_core.dir/inorder_core.cc.o.d"
+  "/root/repo/src/core/ooo_core.cc" "src/core/CMakeFiles/fo4_core.dir/ooo_core.cc.o" "gcc" "src/core/CMakeFiles/fo4_core.dir/ooo_core.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/fo4_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/fo4_core.dir/params.cc.o.d"
+  "/root/repo/src/core/window.cc" "src/core/CMakeFiles/fo4_core.dir/window.cc.o" "gcc" "src/core/CMakeFiles/fo4_core.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fo4_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fo4_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fo4_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/fo4_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fo4_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/fo4_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

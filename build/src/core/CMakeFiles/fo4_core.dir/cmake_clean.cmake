@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo4_core.dir/inorder_core.cc.o"
+  "CMakeFiles/fo4_core.dir/inorder_core.cc.o.d"
+  "CMakeFiles/fo4_core.dir/ooo_core.cc.o"
+  "CMakeFiles/fo4_core.dir/ooo_core.cc.o.d"
+  "CMakeFiles/fo4_core.dir/params.cc.o"
+  "CMakeFiles/fo4_core.dir/params.cc.o.d"
+  "CMakeFiles/fo4_core.dir/window.cc.o"
+  "CMakeFiles/fo4_core.dir/window.cc.o.d"
+  "libfo4_core.a"
+  "libfo4_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo4_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo4_isa.dir/latencies.cc.o"
+  "CMakeFiles/fo4_isa.dir/latencies.cc.o.d"
+  "CMakeFiles/fo4_isa.dir/microop.cc.o"
+  "CMakeFiles/fo4_isa.dir/microop.cc.o.d"
+  "libfo4_isa.a"
+  "libfo4_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo4_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

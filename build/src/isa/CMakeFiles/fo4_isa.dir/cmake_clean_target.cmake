@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfo4_isa.a"
+)

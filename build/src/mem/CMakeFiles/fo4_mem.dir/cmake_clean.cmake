@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo4_mem.dir/cache.cc.o"
+  "CMakeFiles/fo4_mem.dir/cache.cc.o.d"
+  "CMakeFiles/fo4_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/fo4_mem.dir/hierarchy.cc.o.d"
+  "libfo4_mem.a"
+  "libfo4_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo4_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

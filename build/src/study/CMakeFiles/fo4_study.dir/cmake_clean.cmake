@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo4_study.dir/intel_history.cc.o"
+  "CMakeFiles/fo4_study.dir/intel_history.cc.o.d"
+  "CMakeFiles/fo4_study.dir/optimizer.cc.o"
+  "CMakeFiles/fo4_study.dir/optimizer.cc.o.d"
+  "CMakeFiles/fo4_study.dir/runner.cc.o"
+  "CMakeFiles/fo4_study.dir/runner.cc.o.d"
+  "CMakeFiles/fo4_study.dir/scaling.cc.o"
+  "CMakeFiles/fo4_study.dir/scaling.cc.o.d"
+  "libfo4_study.a"
+  "libfo4_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo4_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/circuit.cc" "src/tech/CMakeFiles/fo4_tech.dir/circuit.cc.o" "gcc" "src/tech/CMakeFiles/fo4_tech.dir/circuit.cc.o.d"
+  "/root/repo/src/tech/clocking.cc" "src/tech/CMakeFiles/fo4_tech.dir/clocking.cc.o" "gcc" "src/tech/CMakeFiles/fo4_tech.dir/clocking.cc.o.d"
+  "/root/repo/src/tech/ecl.cc" "src/tech/CMakeFiles/fo4_tech.dir/ecl.cc.o" "gcc" "src/tech/CMakeFiles/fo4_tech.dir/ecl.cc.o.d"
+  "/root/repo/src/tech/fo4.cc" "src/tech/CMakeFiles/fo4_tech.dir/fo4.cc.o" "gcc" "src/tech/CMakeFiles/fo4_tech.dir/fo4.cc.o.d"
+  "/root/repo/src/tech/gates.cc" "src/tech/CMakeFiles/fo4_tech.dir/gates.cc.o" "gcc" "src/tech/CMakeFiles/fo4_tech.dir/gates.cc.o.d"
+  "/root/repo/src/tech/latch.cc" "src/tech/CMakeFiles/fo4_tech.dir/latch.cc.o" "gcc" "src/tech/CMakeFiles/fo4_tech.dir/latch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fo4_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

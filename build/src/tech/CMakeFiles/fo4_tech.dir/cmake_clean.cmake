@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo4_tech.dir/circuit.cc.o"
+  "CMakeFiles/fo4_tech.dir/circuit.cc.o.d"
+  "CMakeFiles/fo4_tech.dir/clocking.cc.o"
+  "CMakeFiles/fo4_tech.dir/clocking.cc.o.d"
+  "CMakeFiles/fo4_tech.dir/ecl.cc.o"
+  "CMakeFiles/fo4_tech.dir/ecl.cc.o.d"
+  "CMakeFiles/fo4_tech.dir/fo4.cc.o"
+  "CMakeFiles/fo4_tech.dir/fo4.cc.o.d"
+  "CMakeFiles/fo4_tech.dir/gates.cc.o"
+  "CMakeFiles/fo4_tech.dir/gates.cc.o.d"
+  "CMakeFiles/fo4_tech.dir/latch.cc.o"
+  "CMakeFiles/fo4_tech.dir/latch.cc.o.d"
+  "libfo4_tech.a"
+  "libfo4_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo4_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

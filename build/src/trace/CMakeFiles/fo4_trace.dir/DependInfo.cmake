@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/file_trace.cc" "src/trace/CMakeFiles/fo4_trace.dir/file_trace.cc.o" "gcc" "src/trace/CMakeFiles/fo4_trace.dir/file_trace.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/fo4_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/fo4_trace.dir/generator.cc.o.d"
+  "/root/repo/src/trace/profile.cc" "src/trace/CMakeFiles/fo4_trace.dir/profile.cc.o" "gcc" "src/trace/CMakeFiles/fo4_trace.dir/profile.cc.o.d"
+  "/root/repo/src/trace/spec2000.cc" "src/trace/CMakeFiles/fo4_trace.dir/spec2000.cc.o" "gcc" "src/trace/CMakeFiles/fo4_trace.dir/spec2000.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fo4_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fo4_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/fo4_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

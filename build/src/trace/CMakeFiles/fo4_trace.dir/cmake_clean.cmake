@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo4_trace.dir/file_trace.cc.o"
+  "CMakeFiles/fo4_trace.dir/file_trace.cc.o.d"
+  "CMakeFiles/fo4_trace.dir/generator.cc.o"
+  "CMakeFiles/fo4_trace.dir/generator.cc.o.d"
+  "CMakeFiles/fo4_trace.dir/profile.cc.o"
+  "CMakeFiles/fo4_trace.dir/profile.cc.o.d"
+  "CMakeFiles/fo4_trace.dir/spec2000.cc.o"
+  "CMakeFiles/fo4_trace.dir/spec2000.cc.o.d"
+  "libfo4_trace.a"
+  "libfo4_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo4_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fo4_trace.
+# This may be replaced when dependencies are built.

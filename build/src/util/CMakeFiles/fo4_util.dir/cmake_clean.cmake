@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo4_util.dir/config.cc.o"
+  "CMakeFiles/fo4_util.dir/config.cc.o.d"
+  "CMakeFiles/fo4_util.dir/csv.cc.o"
+  "CMakeFiles/fo4_util.dir/csv.cc.o.d"
+  "CMakeFiles/fo4_util.dir/logging.cc.o"
+  "CMakeFiles/fo4_util.dir/logging.cc.o.d"
+  "CMakeFiles/fo4_util.dir/means.cc.o"
+  "CMakeFiles/fo4_util.dir/means.cc.o.d"
+  "CMakeFiles/fo4_util.dir/random.cc.o"
+  "CMakeFiles/fo4_util.dir/random.cc.o.d"
+  "CMakeFiles/fo4_util.dir/stats.cc.o"
+  "CMakeFiles/fo4_util.dir/stats.cc.o.d"
+  "CMakeFiles/fo4_util.dir/table.cc.o"
+  "CMakeFiles/fo4_util.dir/table.cc.o.d"
+  "libfo4_util.a"
+  "libfo4_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo4_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_inorder.dir/test_core_inorder.cc.o"
+  "CMakeFiles/test_core_inorder.dir/test_core_inorder.cc.o.d"
+  "test_core_inorder"
+  "test_core_inorder.pdb"
+  "test_core_inorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ooo.dir/test_core_ooo.cc.o"
+  "CMakeFiles/test_core_ooo.dir/test_core_ooo.cc.o.d"
+  "test_core_ooo"
+  "test_core_ooo.pdb"
+  "test_core_ooo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_window.dir/test_core_window.cc.o"
+  "CMakeFiles/test_core_window.dir/test_core_window.cc.o.d"
+  "test_core_window"
+  "test_core_window.pdb"
+  "test_core_window[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_circuit.dir/test_tech_circuit.cc.o"
+  "CMakeFiles/test_tech_circuit.dir/test_tech_circuit.cc.o.d"
+  "test_tech_circuit"
+  "test_tech_circuit.pdb"
+  "test_tech_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_clocking.dir/test_tech_clocking.cc.o"
+  "CMakeFiles/test_tech_clocking.dir/test_tech_clocking.cc.o.d"
+  "test_tech_clocking"
+  "test_tech_clocking.pdb"
+  "test_tech_clocking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_clocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

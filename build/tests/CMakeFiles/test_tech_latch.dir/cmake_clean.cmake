@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_latch.dir/test_tech_latch.cc.o"
+  "CMakeFiles/test_tech_latch.dir/test_tech_latch.cc.o.d"
+  "test_tech_latch"
+  "test_tech_latch.pdb"
+  "test_tech_latch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_latch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

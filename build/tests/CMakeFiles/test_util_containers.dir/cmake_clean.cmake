@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_containers.dir/test_util_containers.cc.o"
+  "CMakeFiles/test_util_containers.dir/test_util_containers.cc.o.d"
+  "test_util_containers"
+  "test_util_containers.pdb"
+  "test_util_containers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

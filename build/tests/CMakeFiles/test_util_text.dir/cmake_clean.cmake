@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_text.dir/test_util_text.cc.o"
+  "CMakeFiles/test_util_text.dir/test_util_text.cc.o.d"
+  "test_util_text"
+  "test_util_text.pdb"
+  "test_util_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

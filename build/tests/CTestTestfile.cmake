@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util_random[1]_include.cmake")
+include("/root/repo/build/tests/test_util_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_util_containers[1]_include.cmake")
+include("/root/repo/build/tests/test_util_text[1]_include.cmake")
+include("/root/repo/build/tests/test_tech_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_tech_latch[1]_include.cmake")
+include("/root/repo/build/tests/test_tech_clocking[1]_include.cmake")
+include("/root/repo/build/tests/test_cacti[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_bp[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_core_window[1]_include.cmake")
+include("/root/repo/build/tests/test_core_ooo[1]_include.cmake")
+include("/root/repo/build/tests/test_core_inorder[1]_include.cmake")
+include("/root/repo/build/tests/test_study[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_file[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_core_window_fuzz[1]_include.cmake")
