@@ -14,13 +14,18 @@
 #include "study/scaling.hh"
 #include "trace/generator.hh"
 #include "util/config.hh"
+#include "util/status.hh"
 #include "util/table.hh"
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+customWorkload(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
+    cfg.checkKnown({"ilp", "mispredictable", "ws_kb", "instructions"});
 
     // Build a profile from three intuitive knobs.
     const double ilp = cfg.getDouble("ilp", 8.0);
@@ -37,7 +42,7 @@ main(int argc, char **argv)
     prof.correlatedBranchFraction = 0.0;
     prof.workingSetBytes = wsKb << 10;
     prof.seed = 1234;
-    prof.validate();
+    prof.validateOrThrow();
 
     std::printf("custom profile: mean dependence distance %.1f, %.0f%% "
                 "predictable branch sites, %llu KB working set\n\n",
@@ -79,4 +84,13 @@ main(int argc, char **argv)
     std::printf("(more ILP or more predictable branches move the optimum "
                 "deeper; the opposite moves it shallower)\n");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return fo4::util::runTopLevel(
+        [&] { return customWorkload(argc, argv); });
 }

@@ -15,13 +15,18 @@
 #include "tech/ecl.hh"
 #include "tech/latch.hh"
 #include "util/config.hh"
+#include "util/status.hh"
 #include "util/table.hh"
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+latchLab(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
+    cfg.checkKnown({"vdd", "vt", "sweep"});
 
     auto params = tech::DeviceParams::at100nm();
     params.vdd = cfg.getDouble("vdd", params.vdd);
@@ -74,4 +79,12 @@ main(int argc, char **argv)
                 "logic gives a %.1f FO4 period = %.2f GHz at 100nm\n",
                 clock.periodFo4(), clock.frequencyGhz());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return fo4::util::runTopLevel([&] { return latchLab(argc, argv); });
 }

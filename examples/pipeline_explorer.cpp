@@ -15,6 +15,7 @@
 #include "study/scaling.hh"
 #include "trace/spec2000.hh"
 #include "util/config.hh"
+#include "util/status.hh"
 #include "util/table.hh"
 
 namespace
@@ -34,18 +35,20 @@ pickProfiles(const fo4::util::Config &cfg)
             return spec2000Profiles(BenchClass::NonVectorFp);
         if (cls == "all")
             return spec2000Profiles();
-        fo4::util::fatal("unknown class '%s'", cls.c_str());
+        throw fo4::util::ConfigError(fo4::util::strprintf(
+            "unknown class '%s' (use integer, vfp, nvfp or all)",
+            cls.c_str()));
     }
     return {spec2000Profile(cfg.getString("bench", "176.gcc"))};
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+explore(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
+    cfg.checkKnown(
+        {"bench", "class", "overhead", "model", "instructions", "prewarm"});
     const auto profiles = pickProfiles(cfg);
     const double overhead = cfg.getDouble("overhead", 1.8);
 
@@ -93,4 +96,12 @@ main(int argc, char **argv)
                 "clock period %.1f FO4)\n",
                 bestT, bestBips, bestT + overhead);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return fo4::util::runTopLevel([&] { return explore(argc, argv); });
 }

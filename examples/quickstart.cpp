@@ -15,12 +15,17 @@
 #include "trace/generator.hh"
 #include "trace/spec2000.hh"
 #include "util/config.hh"
+#include "util/status.hh"
+
+namespace
+{
 
 int
-main(int argc, char **argv)
+quickstart(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
+    cfg.checkKnown({"bench", "instructions"});
     const auto prof =
         trace::spec2000Profile(cfg.getString("bench", "164.gzip"));
     const std::uint64_t n = cfg.getInt("instructions", 100000);
@@ -62,4 +67,12 @@ main(int argc, char **argv)
                     params.regReadStages, params.memLatencies.dl1);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return fo4::util::runTopLevel([&] { return quickstart(argc, argv); });
 }

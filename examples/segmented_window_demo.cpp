@@ -19,13 +19,18 @@
 #include "trace/spec2000.hh"
 #include "util/config.hh"
 #include "util/means.hh"
+#include "util/status.hh"
 #include "util/table.hh"
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+windowDemo(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
+    cfg.checkKnown({"t_useful", "instructions"});
     const double tUseful = cfg.getDouble("t_useful", 6.0);
     const std::uint64_t n = cfg.getInt("instructions", 80000);
 
@@ -83,4 +88,12 @@ main(int argc, char **argv)
     std::printf("\nthe segmented designs keep dependent issue back to "
                 "back, which a multi-cycle monolithic window cannot\n");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return fo4::util::runTopLevel([&] { return windowDemo(argc, argv); });
 }

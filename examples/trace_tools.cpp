@@ -17,13 +17,17 @@
 #include "trace/generator.hh"
 #include "trace/spec2000.hh"
 #include "util/config.hh"
-#include "util/logging.hh"
+#include "util/status.hh"
+
+namespace
+{
 
 int
-main(int argc, char **argv)
+traceTools(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
+    cfg.checkKnown({"file", "bench", "count", "instructions"});
     const std::string mode =
         cfg.positional().empty() ? "record" : cfg.positional()[0];
     const std::string path = cfg.getString("file", "/tmp/fo4pipe.fo4t");
@@ -80,6 +84,14 @@ main(int argc, char **argv)
         return 0;
     }
 
-    util::fatal("unknown mode '%s' (use record|info|replay)",
-                mode.c_str());
+    throw util::ConfigError(util::strprintf(
+        "unknown mode '%s' (use record|info|replay)", mode.c_str()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return fo4::util::runTopLevel([&] { return traceTools(argc, argv); });
 }

@@ -1,6 +1,7 @@
 #include "bp/predictors.hh"
 
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace fo4::bp
 {
@@ -173,7 +174,11 @@ makePredictor(const std::string &name)
         return std::make_unique<LocalHistory>();
     if (name == "tournament")
         return std::make_unique<Tournament>();
-    util::fatal("unknown branch predictor '%s'", name.c_str());
+    throw util::ConfigError(
+        util::strprintf("unknown branch predictor '%s' (expected one of "
+                        "perfect, taken, bimodal, gshare, local, "
+                        "tournament)",
+                        name.c_str()));
 }
 
 } // namespace fo4::bp

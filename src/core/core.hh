@@ -88,11 +88,18 @@ class Core
      * reset again before the timed simulation.  This stands in for the
      * hundreds of millions of instructions the paper executes before its
      * measurement window: the measured region starts with warm caches.
+     *
+     * `cycleLimit` is the watchdog budget: a run that has not committed
+     * its target within that many cycles throws a DeadlockError carrying
+     * a pipeline-state diagnostic dump.  0 selects the default budget of
+     * 1000 cycles per instruction plus 100k slack.  Invalid arguments
+     * (zero instructions) throw ConfigError.
      */
     virtual SimResult run(trace::TraceSource &trace,
                           std::uint64_t instructions,
                           std::uint64_t warmup = 0,
-                          std::uint64_t prewarm = 0) = 0;
+                          std::uint64_t prewarm = 0,
+                          std::uint64_t cycleLimit = 0) = 0;
 
     virtual const CoreParams &params() const = 0;
 };

@@ -2,14 +2,29 @@
 
 #include "bp/predictors.hh"
 #include "core/prewarm.hh"
+#include "isa/opclass.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace fo4::core
 {
 
+namespace
+{
+
+/** Reject invalid parameters before any member is constructed. */
+const CoreParams &
+validated(const CoreParams &params)
+{
+    params.validateOrThrow();
+    return params;
+}
+
+} // namespace
+
 InorderCore::InorderCore(const CoreParams &params,
                          std::unique_ptr<bp::BranchPredictor> predictor)
-    : prm(params), bpred(std::move(predictor)),
+    : prm(validated(params)), bpred(std::move(predictor)),
       memory(params.dl1, params.l2, params.memLatencies, params.memoryMode),
       // Unlike the decoupled out-of-order front end, a classic in-order
       // pipeline holds only the instructions inside its fetch/decode
@@ -19,7 +34,6 @@ InorderCore::InorderCore(const CoreParams &params,
                                      params.decodeStages + 2) *
             params.fetchWidth)
 {
-    prm.validate();
     FO4_ASSERT(bpred != nullptr, "core needs a branch predictor");
     frontDepth = prm.fetchStages + prm.decodeStages;
 }
@@ -134,9 +148,11 @@ InorderCore::doFetch(SimResult &result)
 
 SimResult
 InorderCore::run(trace::TraceSource &trace, std::uint64_t instructions,
-                 std::uint64_t warmup, std::uint64_t prewarm)
+                 std::uint64_t warmup, std::uint64_t prewarm,
+                 std::uint64_t cycleLimit)
 {
-    FO4_ASSERT(instructions > 0, "nothing to simulate");
+    if (instructions == 0)
+        throw util::ConfigError("nothing to simulate (instructions=0)");
     trace.reset();
     now = 0;
     fetchResumeCycle = 0;
@@ -156,7 +172,8 @@ InorderCore::run(trace::TraceSource &trace, std::uint64_t instructions,
     const std::uint64_t dl1Miss0 = memory.dl1().misses();
     const std::uint64_t l2Miss0 = memory.l2().misses();
 
-    const std::uint64_t cycleLimit = total * 1000 + 100000;
+    const std::uint64_t limit =
+        cycleLimit ? cycleLimit : total * 1000 + 100000;
     while (result.instructions < total) {
         doIssue(result);
         if (!warmupDone && result.instructions >= warmup) {
@@ -170,9 +187,10 @@ InorderCore::run(trace::TraceSource &trace, std::uint64_t instructions,
             break;
         doFetch(result);
         ++now;
-        FO4_ASSERT(static_cast<std::uint64_t>(now) < cycleLimit,
-                   "in-order simulation deadlock at %llu instructions",
-                   static_cast<unsigned long long>(result.instructions));
+        if (static_cast<std::uint64_t>(now) >= limit) {
+            source = nullptr;
+            throw util::DeadlockError(watchdogDump(result, total, limit));
+        }
     }
 
     // Account for the tail of the pipeline: the final instruction still
@@ -183,6 +201,30 @@ InorderCore::run(trace::TraceSource &trace, std::uint64_t instructions,
     result.l2Misses = memory.l2().misses() - l2Miss0;
     source = nullptr;
     return result - atWarmup;
+}
+
+util::DeadlockDump
+InorderCore::watchdogDump(const SimResult &result, std::uint64_t total,
+                          std::uint64_t limit) const
+{
+    util::DeadlockDump dump;
+    dump.model = "in-order";
+    dump.cycle = now;
+    dump.cycleLimit = limit;
+    dump.committed = result.instructions;
+    dump.target = total;
+    dump.queueOccupancy = queue.size();
+    if (!queue.empty()) {
+        const QueuedInst &front = queue.front();
+        dump.oldestStalled = util::strprintf(
+            "%s issueReady=%lld%s (fetch %s, resumes cycle %lld)",
+            isa::opClassName(front.op.cls),
+            static_cast<long long>(front.issueReady),
+            front.mispredicted ? " [mispredicted]" : "",
+            fetchHalted ? "halted" : "running",
+            static_cast<long long>(fetchResumeCycle));
+    }
+    return dump;
 }
 
 std::unique_ptr<Core>

@@ -17,6 +17,7 @@
 #include "core/core.hh"
 #include "mem/hierarchy.hh"
 #include "util/circular_buffer.hh"
+#include "util/status.hh"
 
 namespace fo4::core
 {
@@ -29,8 +30,8 @@ class InorderCore : public Core
                 std::unique_ptr<bp::BranchPredictor> predictor);
 
     SimResult run(trace::TraceSource &trace, std::uint64_t instructions,
-                  std::uint64_t warmup = 0,
-                  std::uint64_t prewarm = 0) override;
+                  std::uint64_t warmup = 0, std::uint64_t prewarm = 0,
+                  std::uint64_t cycleLimit = 0) override;
 
     const CoreParams &params() const override { return prm; }
 
@@ -44,6 +45,10 @@ class InorderCore : public Core
 
     void doIssue(SimResult &result);
     void doFetch(SimResult &result);
+    /** Pipeline-state snapshot for the deadlock watchdog. */
+    util::DeadlockDump watchdogDump(const SimResult &result,
+                                    std::uint64_t total,
+                                    std::uint64_t limit) const;
 
     CoreParams prm;
     std::unique_ptr<bp::BranchPredictor> bpred;

@@ -5,6 +5,7 @@
 #include "bp/predictors.hh"
 #include "core/prewarm.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace fo4::core
 {
@@ -13,6 +14,14 @@ namespace
 {
 
 constexpr std::uint64_t noProducer = ~0ull;
+
+/** Reject invalid parameters before any member is constructed. */
+const CoreParams &
+validated(const CoreParams &params)
+{
+    params.validateOrThrow();
+    return params;
+}
 
 std::uint64_t
 nextPowerOfTwo(std::uint64_t v)
@@ -27,11 +36,10 @@ nextPowerOfTwo(std::uint64_t v)
 
 OooCore::OooCore(const CoreParams &params,
                  std::unique_ptr<bp::BranchPredictor> predictor)
-    : prm(params), bpred(std::move(predictor)),
+    : prm(validated(params)), bpred(std::move(predictor)),
       memory(params.dl1, params.l2, params.memLatencies, params.memoryMode),
       window(params.window)
 {
-    prm.validate();
     FO4_ASSERT(bpred != nullptr, "core needs a branch predictor");
 
     frontDepth = prm.fetchStages + prm.decodeStages + prm.renameStages;
@@ -227,9 +235,11 @@ OooCore::doFetch(SimResult &result)
 
 SimResult
 OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
-             std::uint64_t warmup, std::uint64_t prewarm)
+             std::uint64_t warmup, std::uint64_t prewarm,
+             std::uint64_t cycleLimit)
 {
-    FO4_ASSERT(instructions > 0, "nothing to simulate");
+    if (instructions == 0)
+        throw util::ConfigError("nothing to simulate (instructions=0)");
     trace.reset();
     resetState();
     if (prewarm > 0)
@@ -243,7 +253,8 @@ OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
     const std::uint64_t dl1Miss0 = memory.dl1().misses();
     const std::uint64_t l2Miss0 = memory.l2().misses();
 
-    const std::uint64_t cycleLimit = total * 1000 + 100000;
+    const std::uint64_t limit =
+        cycleLimit ? cycleLimit : total * 1000 + 100000;
     while (result.instructions < total) {
         doCommit(result);
         if (!warmupDone && result.instructions >= warmup) {
@@ -259,10 +270,10 @@ OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
         doDispatch();
         doFetch(result);
         ++now;
-        FO4_ASSERT(static_cast<std::uint64_t>(now) < cycleLimit,
-                   "simulation deadlock: %llu of %llu committed",
-                   static_cast<unsigned long long>(result.instructions),
-                   static_cast<unsigned long long>(total));
+        if (static_cast<std::uint64_t>(now) >= limit) {
+            traceSource = nullptr;
+            throw util::DeadlockError(watchdogDump(result, total, limit));
+        }
     }
 
     result.cycles = static_cast<std::uint64_t>(now);
@@ -270,6 +281,40 @@ OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
     result.l2Misses = memory.l2().misses() - l2Miss0;
     traceSource = nullptr;
     return result - atWarmup;
+}
+
+util::DeadlockDump
+OooCore::watchdogDump(const SimResult &result, std::uint64_t total,
+                      std::uint64_t limit) const
+{
+    util::DeadlockDump dump;
+    dump.model = "out-of-order";
+    dump.cycle = now;
+    dump.cycleLimit = limit;
+    dump.committed = result.instructions;
+    dump.target = total;
+    dump.robOccupancy = dispatchSeq - commitSeq;
+    dump.windowOccupancy = window.size();
+    dump.frontEndOccupancy = fetchSeq - dispatchSeq;
+    dump.lsqOccupancy = lsqOccupancy;
+    if (commitSeq != dispatchSeq) {
+        const DynInst &oldest = slot(commitSeq);
+        dump.oldestStalled = util::strprintf(
+            "%s seq=%llu dispatchReady=%lld issue=%lld done=%lld",
+            isa::opClassName(oldest.op.cls),
+            static_cast<unsigned long long>(oldest.op.seq),
+            static_cast<long long>(oldest.dispatchReady),
+            static_cast<long long>(oldest.issueCycle),
+            static_cast<long long>(oldest.doneCycle));
+    } else if (dispatchSeq != fetchSeq) {
+        const DynInst &oldest = slot(dispatchSeq);
+        dump.oldestStalled = util::strprintf(
+            "%s seq=%llu waiting to dispatch (ready cycle %lld)",
+            isa::opClassName(oldest.op.cls),
+            static_cast<unsigned long long>(oldest.op.seq),
+            static_cast<long long>(oldest.dispatchReady));
+    }
+    return dump;
 }
 
 std::unique_ptr<Core>

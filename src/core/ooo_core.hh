@@ -35,6 +35,7 @@
 #include "isa/microop.hh"
 #include "mem/hierarchy.hh"
 #include "util/circular_buffer.hh"
+#include "util/status.hh"
 
 namespace fo4::core
 {
@@ -47,8 +48,8 @@ class OooCore : public Core, private WakeupOracle
             std::unique_ptr<bp::BranchPredictor> predictor);
 
     SimResult run(trace::TraceSource &trace, std::uint64_t instructions,
-                  std::uint64_t warmup = 0,
-                  std::uint64_t prewarm = 0) override;
+                  std::uint64_t warmup = 0, std::uint64_t prewarm = 0,
+                  std::uint64_t cycleLimit = 0) override;
 
     const CoreParams &params() const override { return prm; }
 
@@ -73,6 +74,10 @@ class OooCore : public Core, private WakeupOracle
                                      int stage) const override;
 
     void resetState();
+    /** Pipeline-state snapshot for the deadlock watchdog. */
+    util::DeadlockDump watchdogDump(const SimResult &result,
+                                    std::uint64_t total,
+                                    std::uint64_t limit) const;
     void doCommit(SimResult &result);
     void doIssue();
     void doDispatch();

@@ -1,7 +1,7 @@
 #include "core/params.hh"
 
 #include "isa/latencies.hh"
-#include "util/logging.hh"
+#include "util/status.hh"
 
 namespace fo4::core
 {
@@ -24,28 +24,76 @@ CoreParams::alpha21264()
     return p;
 }
 
-void
+util::Status
 CoreParams::validate() const
 {
-    FO4_ASSERT(fetchWidth >= 1 && renameWidth >= 1 && commitWidth >= 1,
-               "widths must be positive");
-    FO4_ASSERT(intIssueWidth >= 1 && fpIssueWidth >= 0 && memIssueWidth >= 1,
-               "issue widths must be sensible");
-    FO4_ASSERT(robSize >= 8, "ROB too small");
-    FO4_ASSERT(window.capacity >= 1, "window too small");
-    FO4_ASSERT(window.wakeupStages >= 1 &&
-                   window.wakeupStages <= window.capacity,
-               "wakeup stages out of range");
-    FO4_ASSERT(fetchStages >= 1 && decodeStages >= 0 && renameStages >= 1 &&
-                   regReadStages >= 1 && commitStages >= 1,
-               "stage depths must be positive");
-    FO4_ASSERT(issueLatency >= 1, "issue latency below one cycle");
-    for (int i = 0; i < isa::numOpClasses; ++i)
-        FO4_ASSERT(execCycles[i] >= 1, "zero execution latency for class %d",
-                   i);
-    FO4_ASSERT(extraMispredictPenalty >= 0 && extraLoadUse >= 0 &&
-                   extraWakeup >= 0,
-               "loop extensions cannot be negative");
+    util::ErrorCollector errs;
+    if (fetchWidth < 1 || renameWidth < 1 || commitWidth < 1) {
+        errs.addf("widths must be positive (fetch %d, rename %d, "
+                  "commit %d)",
+                  fetchWidth, renameWidth, commitWidth);
+    }
+    if (intIssueWidth < 1 || fpIssueWidth < 0 || memIssueWidth < 1) {
+        errs.addf("issue widths must be sensible (int %d, fp %d, mem %d)",
+                  intIssueWidth, fpIssueWidth, memIssueWidth);
+    }
+    if (robSize < 8)
+        errs.addf("ROB of %d entries too small (minimum 8)", robSize);
+    if (lsqSize < 1)
+        errs.addf("LSQ of %d entries too small", lsqSize);
+    if (fetchQueueSize < 1)
+        errs.addf("fetch queue of %d entries too small", fetchQueueSize);
+    if (window.capacity < 1)
+        errs.addf("window of %d entries too small", window.capacity);
+    if (window.wakeupStages < 1 ||
+        window.wakeupStages > window.capacity) {
+        errs.addf("wakeup stages %d out of range [1, %d]",
+                  window.wakeupStages, window.capacity);
+    }
+    if (fetchStages < 1 || decodeStages < 0 || renameStages < 1 ||
+        regReadStages < 1 || commitStages < 1) {
+        errs.addf("stage depths must be positive (fetch %d, decode %d, "
+                  "rename %d, regread %d, commit %d)",
+                  fetchStages, decodeStages, renameStages, regReadStages,
+                  commitStages);
+    }
+    if (issueLatency < 1)
+        errs.addf("issue latency %d below one cycle", issueLatency);
+    for (int i = 0; i < isa::numOpClasses; ++i) {
+        if (execCycles[i] < 1) {
+            errs.addf("execution latency %d for class %s below one cycle",
+                      execCycles[i],
+                      isa::opClassName(static_cast<isa::OpClass>(i)));
+        }
+    }
+    if (memLatencies.dl1 < 1 || memLatencies.l2 < 1 ||
+        memLatencies.memory < 1 || memLatencies.flat < 1) {
+        errs.addf("memory latencies must be at least one cycle (dl1 %d, "
+                  "l2 %d, memory %d, flat %d)",
+                  memLatencies.dl1, memLatencies.l2, memLatencies.memory,
+                  memLatencies.flat);
+    }
+    if (memLatencies.l2BusCycles < 0 || memLatencies.memBusCycles < 0) {
+        errs.addf("bus occupancies cannot be negative (l2 %d, mem %d)",
+                  memLatencies.l2BusCycles, memLatencies.memBusCycles);
+    }
+    if (const auto st = dl1.validate(); !st.isOk())
+        errs.addf("dl1: %s", st.message().c_str());
+    if (const auto st = l2.validate(); !st.isOk())
+        errs.addf("l2: %s", st.message().c_str());
+    if (extraMispredictPenalty < 0 || extraLoadUse < 0 || extraWakeup < 0) {
+        errs.addf("loop extensions cannot be negative (mispredict %d, "
+                  "load-use %d, wakeup %d)",
+                  extraMispredictPenalty, extraLoadUse, extraWakeup);
+    }
+    return errs.status(util::ErrorCode::InvalidConfig);
+}
+
+void
+CoreParams::validateOrThrow() const
+{
+    if (const auto st = validate(); !st.isOk())
+        throw util::ConfigError("core parameters: " + st.message());
 }
 
 } // namespace fo4::core

@@ -16,6 +16,7 @@
 
 #include "isa/opclass.hh"
 #include "mem/hierarchy.hh"
+#include "util/status.hh"
 
 namespace fo4::core
 {
@@ -100,8 +101,14 @@ struct CoreParams
         return execCycles[static_cast<int>(cls)];
     }
 
-    /** Sanity-check ranges; panics on nonsense. */
-    void validate() const;
+    /**
+     * Check every range rule (widths, capacities, stage depths,
+     * latencies, cache geometry) and report *all* violations at once.
+     */
+    util::Status validate() const;
+
+    /** Throw ConfigError listing every violation; no-op when valid. */
+    void validateOrThrow() const;
 };
 
 } // namespace fo4::core

@@ -16,13 +16,33 @@ isPowerOfTwo(std::uint64_t v)
 
 } // namespace
 
+util::Status
+CacheParams::validate() const
+{
+    util::ErrorCollector errs;
+    if (!isPowerOfTwo(lineBytes))
+        errs.addf("line size %u not a power of two", lineBytes);
+    if (associativity < 1)
+        errs.addf("associativity %u below one", associativity);
+    if (lineBytes > 0 && associativity >= 1) {
+        if (capacityBytes % (std::uint64_t(lineBytes) * associativity) != 0) {
+            errs.addf("capacity %llu not divisible into %u-way sets of "
+                      "%u-byte lines",
+                      static_cast<unsigned long long>(capacityBytes),
+                      associativity, lineBytes);
+        } else if (!isPowerOfTwo(sets())) {
+            errs.addf("set count %llu not a power of two",
+                      static_cast<unsigned long long>(sets()));
+        }
+    }
+    return errs.status(util::ErrorCode::InvalidConfig);
+}
+
 Cache::Cache(const CacheParams &params)
     : prm(params)
 {
-    FO4_ASSERT(isPowerOfTwo(prm.lineBytes), "line size not a power of two");
-    FO4_ASSERT(prm.capacityBytes % (prm.lineBytes * prm.associativity) == 0,
-               "capacity not divisible into sets");
-    FO4_ASSERT(isPowerOfTwo(prm.sets()), "set count not a power of two");
+    if (const auto st = prm.validate(); !st.isOk())
+        throw util::ConfigError("cache geometry: " + st.message());
     lines.resize(prm.sets() * prm.associativity);
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/stats.hh"
+#include "util/status.hh"
 
 namespace fo4::mem
 {
@@ -27,6 +28,9 @@ struct CacheParams
     {
         return capacityBytes / lineBytes / associativity;
     }
+
+    /** Check the geometry rules, reporting every violation at once. */
+    util::Status validate() const;
 };
 
 /** Tag-only set-associative cache. */

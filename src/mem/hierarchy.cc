@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace fo4::mem
 {
@@ -13,11 +14,12 @@ MemoryHierarchy::MemoryHierarchy(const CacheParams &dl1Params,
                                  MemoryMode mode)
     : dl1_(dl1Params), l2_(l2Params), lat(latencies), mode_(mode)
 {
-    FO4_ASSERT(lat.dl1 >= 1 && lat.l2 >= 1 && lat.memory >= 1 &&
-                   lat.flat >= 1,
-               "latencies must be at least one cycle");
-    FO4_ASSERT(lat.l2BusCycles >= 0 && lat.memBusCycles >= 0,
-               "bus occupancies cannot be negative");
+    if (lat.dl1 < 1 || lat.l2 < 1 || lat.memory < 1 || lat.flat < 1) {
+        throw util::ConfigError(
+            "memory latencies must be at least one cycle");
+    }
+    if (lat.l2BusCycles < 0 || lat.memBusCycles < 0)
+        throw util::ConfigError("bus occupancies cannot be negative");
 }
 
 int

@@ -1,8 +1,10 @@
 #include "study/runner.hh"
 
+#include "trace/file_trace.hh"
 #include "trace/generator.hh"
 #include "util/logging.hh"
 #include "util/means.hh"
+#include "util/table.hh"
 
 namespace fo4::study
 {
@@ -15,6 +17,8 @@ collect(const SuiteResult &suite, const trace::BenchClass *cls, bool ipc)
 {
     std::vector<double> values;
     for (const auto &b : suite.benchmarks) {
+        if (b.failed())
+            continue;
         if (cls && b.cls != *cls)
             continue;
         values.push_back(ipc ? b.sim.ipc() : b.bips);
@@ -23,6 +27,17 @@ collect(const SuiteResult &suite, const trace::BenchClass *cls, bool ipc)
 }
 
 } // namespace
+
+std::vector<const BenchResult *>
+SuiteResult::failures() const
+{
+    std::vector<const BenchResult *> out;
+    for (const auto &b : benchmarks) {
+        if (b.failed())
+            out.push_back(&b);
+    }
+    return out;
+}
 
 double
 SuiteResult::harmonicBips(trace::BenchClass cls) const
@@ -52,22 +67,115 @@ SuiteResult::harmonicIpcAll() const
     return values.empty() ? 0.0 : util::harmonicMean(values);
 }
 
+util::Status
+RunSpec::validate() const
+{
+    util::ErrorCollector errs;
+    if (instructions == 0)
+        errs.addf("instructions must be positive");
+    if (predictor.empty())
+        errs.addf("no branch predictor named");
+    return errs.status(util::ErrorCode::InvalidConfig);
+}
+
+BenchJob
+BenchJob::fromProfile(const trace::BenchmarkProfile &profile)
+{
+    BenchJob job;
+    job.name = profile.name;
+    job.cls = profile.cls;
+    job.profile = profile;
+    return job;
+}
+
+BenchJob
+BenchJob::fromTraceFile(const std::string &name, trace::BenchClass cls,
+                        const std::string &path)
+{
+    BenchJob job;
+    job.name = name;
+    job.cls = cls;
+    job.tracePath = path;
+    return job;
+}
+
+BenchResult
+runJob(const core::CoreParams &params, const tech::ClockModel &clock,
+       const BenchJob &job, const RunSpec &spec)
+{
+    if (!job.profile && job.tracePath.empty()) {
+        throw util::ConfigError(
+            util::strprintf("job '%s' has neither a profile nor a trace "
+                            "file",
+                            job.name.c_str()));
+    }
+
+    // Build the instruction stream; a corrupt trace file or invalid
+    // profile surfaces here as TraceError/ConfigError.
+    std::unique_ptr<trace::TraceSource> source;
+    if (job.profile) {
+        source =
+            std::make_unique<trace::SyntheticTraceGenerator>(*job.profile);
+    } else {
+        source = std::make_unique<trace::FileTrace>(job.tracePath);
+    }
+
+    const core::CoreParams &effective = job.params ? *job.params : params;
+    auto core = spec.model == CoreModel::OutOfOrder
+                    ? core::makeOooCore(effective, spec.predictor)
+                    : core::makeInorderCore(effective, spec.predictor);
+
+    BenchResult result;
+    result.name = job.name;
+    result.cls = job.cls;
+    result.sim =
+        core->run(*source, spec.instructions, spec.warmup, spec.prewarm,
+                  job.cycleLimit ? *job.cycleLimit : spec.cycleLimit);
+    result.bips = clock.bips(result.sim.ipc());
+    return result;
+}
+
 BenchResult
 runBenchmark(const core::CoreParams &params, const tech::ClockModel &clock,
              const trace::BenchmarkProfile &profile, const RunSpec &spec)
 {
-    trace::SyntheticTraceGenerator gen(profile);
-    auto core = spec.model == CoreModel::OutOfOrder
-                    ? core::makeOooCore(params, spec.predictor)
-                    : core::makeInorderCore(params, spec.predictor);
+    return runJob(params, clock, BenchJob::fromProfile(profile), spec);
+}
 
-    BenchResult result;
-    result.name = profile.name;
-    result.cls = profile.cls;
-    result.sim = core->run(gen, spec.instructions, spec.warmup,
-                           spec.prewarm);
-    result.bips = clock.bips(result.sim.ipc());
-    return result;
+SuiteResult
+runSuite(const core::CoreParams &params, const tech::ClockModel &clock,
+         const std::vector<BenchJob> &jobs, const RunSpec &spec)
+{
+    // Suite-level misconfiguration is the caller's bug, not a benchmark
+    // fault, so it throws instead of degrading.
+    if (jobs.empty())
+        throw util::ConfigError("no benchmarks to run");
+    if (const auto st = spec.validate(); !st.isOk())
+        throw util::ConfigError("run spec: " + st.message());
+    params.validateOrThrow();
+    if (const auto st = clock.validate(); !st.isOk())
+        throw util::ConfigError("clock model: " + st.message());
+
+    SuiteResult suite;
+    for (const auto &job : jobs) {
+        try {
+            suite.benchmarks.push_back(runJob(params, clock, job, spec));
+        } catch (const util::SimError &e) {
+            BenchResult failed;
+            failed.name = job.name;
+            failed.cls = job.cls;
+            failed.error = e.toStatus();
+            suite.benchmarks.push_back(std::move(failed));
+        } catch (const std::exception &e) {
+            BenchResult failed;
+            failed.name = job.name;
+            failed.cls = job.cls;
+            failed.error =
+                util::Status(util::ErrorCode::Internal, e.what());
+            suite.benchmarks.push_back(std::move(failed));
+        }
+    }
+    return suite;
 }
 
 SuiteResult
@@ -75,12 +183,45 @@ runSuite(const core::CoreParams &params, const tech::ClockModel &clock,
          const std::vector<trace::BenchmarkProfile> &profiles,
          const RunSpec &spec)
 {
-    FO4_ASSERT(!profiles.empty(), "no profiles to run");
-    SuiteResult suite;
+    std::vector<BenchJob> jobs;
+    jobs.reserve(profiles.size());
     for (const auto &profile : profiles)
-        suite.benchmarks.push_back(
-            runBenchmark(params, clock, profile, spec));
-    return suite;
+        jobs.push_back(BenchJob::fromProfile(profile));
+    return runSuite(params, clock, jobs, spec);
+}
+
+void
+printSuite(std::ostream &os, const SuiteResult &suite)
+{
+    util::TextTable table;
+    table.setHeader({"benchmark", "class", "status", "IPC", "BIPS"});
+    for (const auto &b : suite.benchmarks) {
+        if (b.failed()) {
+            table.addRow({b.name, trace::benchClassName(b.cls),
+                          util::strprintf(
+                              "FAILED [%s]",
+                              util::errorCodeName(b.error.code())),
+                          "-", "-"});
+        } else {
+            table.addRow({b.name, trace::benchClassName(b.cls), "ok",
+                          util::TextTable::num(b.sim.ipc()),
+                          util::TextTable::num(b.bips)});
+        }
+    }
+    table.print(os);
+
+    const auto failed = suite.failures();
+    if (!failed.empty()) {
+        os << "\n" << failed.size() << " of " << suite.benchmarks.size()
+           << " benchmarks failed:\n";
+        for (const auto *b : failed)
+            os << "  " << b->name << ": " << b->error.toString() << "\n";
+    }
+
+    os << "\nharmonic mean over " << suite.succeeded() << " of "
+       << suite.benchmarks.size()
+       << " benchmarks: IPC=" << util::TextTable::num(suite.harmonicIpcAll())
+       << " BIPS=" << util::TextTable::num(suite.harmonicBipsAll()) << "\n";
 }
 
 } // namespace fo4::study

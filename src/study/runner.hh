@@ -3,17 +3,28 @@
  * Experiment runner: simulates a benchmark suite on a core configuration
  * and aggregates per-class performance the way the paper reports it
  * (harmonic means of BIPS = IPC x frequency).
+ *
+ * Fault isolation: one broken benchmark (a corrupt trace file, a
+ * pathological parameter override that deadlocks, an invalid profile)
+ * must not take down a suite that may have hours of simulation behind
+ * it.  runSuite() therefore catches SimErrors per benchmark, records
+ * the typed error in that BenchResult, and aggregates the survivors;
+ * only suite-level misconfiguration (no jobs, invalid base parameters)
+ * throws.
  */
 
 #ifndef FO4_STUDY_RUNNER_HH
 #define FO4_STUDY_RUNNER_HH
 
+#include <optional>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/core.hh"
 #include "tech/clocking.hh"
 #include "trace/spec2000.hh"
+#include "util/status.hh"
 
 namespace fo4::study
 {
@@ -32,6 +43,10 @@ struct BenchResult
     trace::BenchClass cls = trace::BenchClass::Integer;
     core::SimResult sim;
     double bips = 0.0;
+    /** Why the benchmark produced no result; Ok when it succeeded. */
+    util::Status error;
+
+    bool failed() const { return !error.isOk(); }
 };
 
 /** A whole suite's outcome. */
@@ -39,7 +54,18 @@ struct SuiteResult
 {
     std::vector<BenchResult> benchmarks;
 
-    /** Harmonic mean of BIPS over one class; 0 if the class is absent. */
+    /** Benchmarks that failed, in run order. */
+    std::vector<const BenchResult *> failures() const;
+
+    std::size_t succeeded() const
+    {
+        return benchmarks.size() - failures().size();
+    }
+
+    /**
+     * Harmonic mean of BIPS over one class; 0 if the class is absent.
+     * Failed benchmarks are excluded from every aggregate.
+     */
     double harmonicBips(trace::BenchClass cls) const;
 
     /** Harmonic mean of BIPS over every benchmark. */
@@ -63,22 +89,73 @@ struct RunSpec
     /** Instructions streamed functionally through caches and predictor
      *  first (stands in for the paper's 500M-instruction skip). */
     std::uint64_t prewarm = 500000;
+    /** Watchdog budget in cycles; 0 picks the core's default. */
+    std::uint64_t cycleLimit = 0;
+
+    /** Report every problem with the spec (all at once). */
+    util::Status validate() const;
 };
 
 /**
- * Run every profile on a fresh core built from `params`, converting IPC
- * to BIPS with `clock`.
+ * One unit of work in a suite: a named instruction stream plus optional
+ * per-job overrides.  The stream comes from a synthetic profile or from
+ * a recorded trace file; either may fail independently of its siblings.
  */
+struct BenchJob
+{
+    std::string name;
+    trace::BenchClass cls = trace::BenchClass::Integer;
+
+    /** Synthetic source: generate the stream from this profile. */
+    std::optional<trace::BenchmarkProfile> profile;
+    /** File source: replay this recorded trace (used when no profile). */
+    std::string tracePath;
+
+    /** Per-job core parameters (otherwise the suite's base params). */
+    std::optional<core::CoreParams> params;
+    /** Per-job watchdog budget (otherwise the spec's). */
+    std::optional<std::uint64_t> cycleLimit;
+
+    static BenchJob fromProfile(const trace::BenchmarkProfile &profile);
+    static BenchJob fromTraceFile(const std::string &name,
+                                  trace::BenchClass cls,
+                                  const std::string &path);
+};
+
+/**
+ * Run every job on a fresh core built from `params`, converting IPC to
+ * BIPS with `clock`.  A job that raises a SimError is recorded as a
+ * failure in its BenchResult and the suite continues; see failures().
+ * Throws ConfigError if the job list is empty or params/spec/clock are
+ * themselves invalid.
+ */
+SuiteResult runSuite(const core::CoreParams &params,
+                     const tech::ClockModel &clock,
+                     const std::vector<BenchJob> &jobs,
+                     const RunSpec &spec);
+
+/** Convenience overload: every profile becomes a plain job. */
 SuiteResult runSuite(const core::CoreParams &params,
                      const tech::ClockModel &clock,
                      const std::vector<trace::BenchmarkProfile> &profiles,
                      const RunSpec &spec);
 
-/** Run one profile. */
+/** Run one job; throws SimError on failure instead of recording it. */
+BenchResult runJob(const core::CoreParams &params,
+                   const tech::ClockModel &clock, const BenchJob &job,
+                   const RunSpec &spec);
+
+/** Run one profile; throws SimError on failure. */
 BenchResult runBenchmark(const core::CoreParams &params,
                          const tech::ClockModel &clock,
                          const trace::BenchmarkProfile &profile,
                          const RunSpec &spec);
+
+/**
+ * Print the per-benchmark table (failed rows show their error code),
+ * failure details, and harmonic means over the survivors.
+ */
+void printSuite(std::ostream &os, const SuiteResult &suite);
 
 } // namespace fo4::study
 

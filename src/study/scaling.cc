@@ -2,6 +2,7 @@
 
 #include "isa/latencies.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace fo4::study
 {
@@ -20,7 +21,10 @@ core::CoreParams
 scaledCoreParams(double tUseful, const ScalingOptions &options,
                  const cacti::StructureModel &model)
 {
-    FO4_ASSERT(tUseful > 0.0, "t_useful must be positive");
+    if (tUseful <= 0.0) {
+        throw util::ConfigError(
+            util::strprintf("t_useful must be positive, got %g", tUseful));
+    }
 
     // Only t_useful matters for cycle quantization; overhead changes the
     // frequency, not the latencies (paper Section 3.3).
@@ -98,7 +102,7 @@ scaledCoreParams(double tUseful, const ScalingOptions &options,
             p.memLatencies.l2 += wireCycles;
     }
 
-    p.validate();
+    p.validateOrThrow();
     return p;
 }
 

@@ -22,6 +22,25 @@ OverheadModel::fromKurdMeasurements(Technology measuredAt, double latchFo4)
     return m;
 }
 
+util::Status
+ClockModel::validate() const
+{
+    util::ErrorCollector errs;
+    if (!(tUsefulFo4 > 0.0))
+        errs.addf("t_useful %.2f FO4 must be positive", tUsefulFo4);
+    if (overhead.latchFo4 < 0.0 || overhead.skewFo4 < 0.0 ||
+        overhead.jitterFo4 < 0.0) {
+        errs.addf("overheads cannot be negative (latch %.2f, skew %.2f, "
+                  "jitter %.2f FO4)",
+                  overhead.latchFo4, overhead.skewFo4, overhead.jitterFo4);
+    }
+    if (!(tech.drawnGateLengthNm > 0.0)) {
+        errs.addf("drawn gate length %.1f nm must be positive",
+                  tech.drawnGateLengthNm);
+    }
+    return errs.status(util::ErrorCode::InvalidConfig);
+}
+
 int
 ClockModel::latencyCycles(double latencyFo4) const
 {

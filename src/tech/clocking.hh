@@ -15,6 +15,7 @@
 #define FO4_TECH_CLOCKING_HH
 
 #include "tech/fo4.hh"
+#include "util/status.hh"
 
 namespace fo4::tech
 {
@@ -66,6 +67,9 @@ struct ClockModel
 
     /** BIPS for a given IPC at this clock. */
     double bips(double ipc) const { return ipc * frequencyGhz(); }
+
+    /** Check every range rule, reporting all violations at once. */
+    util::Status validate() const;
 };
 
 } // namespace fo4::tech

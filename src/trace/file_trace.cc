@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace fo4::trace
 {
@@ -12,6 +13,7 @@ namespace
 
 constexpr char magic[8] = {'F', 'O', '4', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t version = 1;
+constexpr long headerBytes = 16;
 
 /** Fixed-size on-disk record (little-endian, packed by hand). */
 struct Record
@@ -26,6 +28,13 @@ struct Record
     std::uint8_t taken;
 };
 static_assert(sizeof(Record) == 32, "trace record must be 32 bytes");
+
+/** Closes the stream on every exit path, including thrown TraceErrors. */
+struct FileCloser
+{
+    std::FILE *f;
+    ~FileCloser() { std::fclose(f); }
+};
 
 Record
 toRecord(const isa::MicroOp &op)
@@ -43,10 +52,26 @@ toRecord(const isa::MicroOp &op)
 }
 
 isa::MicroOp
-fromRecord(const Record &r)
+fromRecord(const Record &r, const std::string &path, std::size_t index)
 {
-    FO4_ASSERT(r.cls < isa::numOpClasses, "corrupt trace: bad op class %u",
-               r.cls);
+    if (r.cls >= isa::numOpClasses) {
+        throw util::TraceError(
+            util::ErrorCode::TraceCorrupt,
+            util::strprintf("corrupt trace '%s': record %zu has op class "
+                            "%u out of range [0, %d)",
+                            path.c_str(), index, r.cls,
+                            isa::numOpClasses));
+    }
+    for (const std::int16_t reg : {r.src1, r.src2, r.dst}) {
+        if (reg != isa::noReg && (reg < 0 || reg >= isa::numArchRegs)) {
+            throw util::TraceError(
+                util::ErrorCode::TraceCorrupt,
+                util::strprintf("corrupt trace '%s': record %zu names "
+                                "register %d outside [0, %d)",
+                                path.c_str(), index, reg,
+                                isa::numArchRegs));
+        }
+    }
     isa::MicroOp op;
     op.seq = r.seq;
     op.pc = r.pc;
@@ -65,11 +90,16 @@ void
 recordTrace(const std::string &path, TraceSource &source,
             std::uint64_t count)
 {
-    FO4_ASSERT(count > 0, "recording an empty trace");
+    if (count == 0)
+        throw util::ConfigError("recording an empty trace");
     std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        util::fatal("cannot open trace file '%s' for writing",
-                    path.c_str());
+    if (!f) {
+        throw util::TraceError(
+            util::ErrorCode::TraceIo,
+            util::strprintf("cannot open trace file '%s' for writing",
+                            path.c_str()));
+    }
+    FileCloser closer{f};
 
     std::fwrite(magic, sizeof(magic), 1, f);
     const std::uint32_t header[2] = {version, sizeof(Record)};
@@ -79,40 +109,108 @@ recordTrace(const std::string &path, TraceSource &source,
     for (std::uint64_t i = 0; i < count; ++i) {
         const Record r = toRecord(source.next());
         if (std::fwrite(&r, sizeof(r), 1, f) != 1) {
-            std::fclose(f);
-            util::fatal("short write to trace file '%s'", path.c_str());
+            throw util::TraceError(
+                util::ErrorCode::TraceIo,
+                util::strprintf("short write to trace file '%s'",
+                                path.c_str()));
         }
     }
-    std::fclose(f);
 }
 
 FileTrace::FileTrace(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        util::fatal("cannot open trace file '%s'", path.c_str());
+    if (!f) {
+        throw util::TraceError(
+            util::ErrorCode::TraceIo,
+            util::strprintf("cannot open trace file '%s'", path.c_str()));
+    }
+    FileCloser closer{f};
+
+    std::fseek(f, 0, SEEK_END);
+    const long fileBytes = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+
+    if (fileBytes < headerBytes) {
+        throw util::TraceError(
+            util::ErrorCode::TraceFormat,
+            util::strprintf("trace file '%s' is truncated: %ld bytes, "
+                            "shorter than the %ld-byte header",
+                            path.c_str(), fileBytes, headerBytes));
+    }
 
     char m[8];
     std::uint32_t header[2];
     if (std::fread(m, sizeof(m), 1, f) != 1 ||
-        std::fread(header, sizeof(header), 1, f) != 1 ||
-        std::memcmp(m, magic, sizeof(magic)) != 0) {
-        std::fclose(f);
-        util::fatal("'%s' is not a fo4pipe trace file", path.c_str());
+        std::fread(header, sizeof(header), 1, f) != 1) {
+        throw util::TraceError(
+            util::ErrorCode::TraceIo,
+            util::strprintf("cannot read header of trace file '%s'",
+                            path.c_str()));
     }
-    if (header[0] != version || header[1] != sizeof(Record)) {
-        std::fclose(f);
-        util::fatal("trace file '%s' has unsupported version %u",
-                    path.c_str(), header[0]);
+    if (std::memcmp(m, magic, sizeof(magic)) != 0) {
+        throw util::TraceError(
+            util::ErrorCode::TraceFormat,
+            util::strprintf("'%s' is not a fo4pipe trace file",
+                            path.c_str()));
+    }
+    if (header[0] != version) {
+        throw util::TraceError(
+            util::ErrorCode::TraceFormat,
+            util::strprintf("trace file '%s' has unsupported version %u "
+                            "(expected %u)",
+                            path.c_str(), header[0], version));
+    }
+    if (header[1] != sizeof(Record)) {
+        throw util::TraceError(
+            util::ErrorCode::TraceFormat,
+            util::strprintf("trace file '%s' declares %u-byte records "
+                            "(expected %zu)",
+                            path.c_str(), header[1], sizeof(Record)));
     }
 
+    // A trailing partial record means the file was truncated mid-write;
+    // silently dropping it would replay a different instruction stream
+    // than was recorded.
+    const long payloadBytes = fileBytes - headerBytes;
+    const long leftover = payloadBytes % static_cast<long>(sizeof(Record));
+    const long records = payloadBytes / static_cast<long>(sizeof(Record));
+    if (leftover != 0) {
+        throw util::TraceError(
+            util::ErrorCode::TraceCorrupt,
+            util::strprintf("trace file '%s' is truncated: %ld stray "
+                            "bytes after %ld complete records",
+                            path.c_str(), leftover, records));
+    }
+    if (records == 0) {
+        throw util::TraceError(
+            util::ErrorCode::TraceCorrupt,
+            util::strprintf("trace file '%s' contains no instructions",
+                            path.c_str()));
+    }
+
+    ops.reserve(static_cast<std::size_t>(records));
     Record r;
-    while (std::fread(&r, sizeof(r), 1, f) == 1)
-        ops.push_back(fromRecord(r));
-    std::fclose(f);
-    if (ops.empty())
-        util::fatal("trace file '%s' contains no instructions",
-                    path.c_str());
+    for (long i = 0; i < records; ++i) {
+        if (std::fread(&r, sizeof(r), 1, f) != 1) {
+            throw util::TraceError(
+                util::ErrorCode::TraceIo,
+                util::strprintf("short read of record %ld from trace "
+                                "file '%s'",
+                                i, path.c_str()));
+        }
+        ops.push_back(fromRecord(r, path, static_cast<std::size_t>(i)));
+    }
+}
+
+util::Expected<FileTrace>
+FileTrace::load(const std::string &path)
+{
+    try {
+        return FileTrace(path);
+    } catch (const util::SimError &e) {
+        return e.toStatus();
+    }
 }
 
 isa::MicroOp

@@ -17,22 +17,34 @@
 #include <vector>
 
 #include "trace/trace.hh"
+#include "util/status.hh"
 
 namespace fo4::trace
 {
 
-/** Write `count` instructions from a source to a trace file. */
+/**
+ * Write `count` instructions from a source to a trace file.  Throws
+ * TraceError on I/O failure.
+ */
 void recordTrace(const std::string &path, TraceSource &source,
                  std::uint64_t count);
 
 /**
  * Replays a recorded trace file, cycling (with renumbered sequence
  * numbers) when the recording is exhausted, like VectorTrace.
+ *
+ * A file that cannot be opened, fails format checks (magic, version,
+ * record size) or carries a damaged payload (partial trailing record,
+ * out-of-range op class, empty body) raises a typed TraceError instead
+ * of terminating the process.
  */
 class FileTrace : public TraceSource
 {
   public:
     explicit FileTrace(const std::string &path);
+
+    /** Non-throwing variant for callers that prefer a Status. */
+    static util::Expected<FileTrace> load(const std::string &path);
 
     isa::MicroOp next() override;
     void reset() override;

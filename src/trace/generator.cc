@@ -33,7 +33,7 @@ SyntheticTraceGenerator::SyntheticTraceGenerator(
     const BenchmarkProfile &profile)
     : prof(profile), rng(profile.seed)
 {
-    prof.validate();
+    prof.validateOrThrow();
     rebuild();
 }
 

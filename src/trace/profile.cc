@@ -1,6 +1,6 @@
 #include "trace/profile.hh"
 
-#include "util/logging.hh"
+#include "util/status.hh"
 
 namespace fo4::trace
 {
@@ -19,29 +19,49 @@ benchClassName(BenchClass cls)
     return "?";
 }
 
-void
+util::Status
 BenchmarkProfile::validate() const
 {
-    FO4_ASSERT(!name.empty(), "profile has no name");
+    util::ErrorCollector errs;
+    if (name.empty())
+        errs.addf("profile has no name");
     const double mix = wIntAlu + wIntMult + wFpAdd + wFpMult + wFpDiv +
                        wFpSqrt + wLoad + wStore;
-    FO4_ASSERT(mix > 0.0, "profile '%s' has an empty op mix", name.c_str());
-    FO4_ASSERT(meanDepDistance >= 1.0,
-               "profile '%s': dependence distance below 1", name.c_str());
-    FO4_ASSERT(meanBlockSize >= 1.0, "profile '%s': block size below 1",
-               name.c_str());
-    FO4_ASSERT(staticBranches >= 1, "profile '%s': no static branches",
-               name.c_str());
-    FO4_ASSERT(src2Prob >= 0.0 && src2Prob <= 1.0,
-               "profile '%s': src2Prob out of range", name.c_str());
-    FO4_ASSERT(strideFraction >= 0.0 && strideFraction <= 1.0,
-               "profile '%s': strideFraction out of range", name.c_str());
-    FO4_ASSERT(biasedBranchFraction + patternBranchFraction +
-                       correlatedBranchFraction <=
-                   1.0 + 1e-9,
-               "profile '%s': branch fractions exceed 1", name.c_str());
-    FO4_ASSERT(workingSetBytes >= 64, "profile '%s': working set too small",
-               name.c_str());
+    if (mix <= 0.0)
+        errs.addf("empty op mix (weights sum to %g)", mix);
+    if (meanDepDistance < 1.0)
+        errs.addf("meanDepDistance %g below 1", meanDepDistance);
+    if (meanBlockSize < 1.0)
+        errs.addf("meanBlockSize %g below 1", meanBlockSize);
+    if (staticBranches < 1)
+        errs.addf("staticBranches %d below 1", staticBranches);
+    if (src2Prob < 0.0 || src2Prob > 1.0)
+        errs.addf("src2Prob %g outside [0, 1]", src2Prob);
+    if (strideFraction < 0.0 || strideFraction > 1.0)
+        errs.addf("strideFraction %g outside [0, 1]", strideFraction);
+    if (biasedBranchFraction + patternBranchFraction +
+            correlatedBranchFraction >
+        1.0 + 1e-9) {
+        errs.addf("branch fractions sum to %g, above 1",
+                  biasedBranchFraction + patternBranchFraction +
+                      correlatedBranchFraction);
+    }
+    if (workingSetBytes < 64) {
+        errs.addf("working set of %llu bytes is smaller than one cache "
+                  "line",
+                  static_cast<unsigned long long>(workingSetBytes));
+    }
+    return errs.status(util::ErrorCode::InvalidConfig);
+}
+
+void
+BenchmarkProfile::validateOrThrow() const
+{
+    if (const auto st = validate(); !st.isOk()) {
+        throw util::ConfigError(
+            util::strprintf("profile '%s': %s", name.c_str(),
+                            st.message().c_str()));
+    }
 }
 
 } // namespace fo4::trace

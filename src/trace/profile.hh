@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/status.hh"
+
 namespace fo4::trace
 {
 
@@ -99,8 +101,15 @@ struct BenchmarkProfile
     /** Seed for the benchmark's instruction stream. */
     std::uint64_t seed = 1;
 
-    /** Validate ranges; panics on nonsense values. */
-    void validate() const;
+    /**
+     * Check every field range and report all violations at once in the
+     * returned Status, so a hand-written profile can be fixed in one
+     * pass rather than one abort at a time.
+     */
+    util::Status validate() const;
+
+    /** Throw ConfigError (with the full violation list) if invalid. */
+    void validateOrThrow() const;
 };
 
 } // namespace fo4::trace

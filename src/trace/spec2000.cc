@@ -1,6 +1,6 @@
 #include "trace/spec2000.hh"
 
-#include "util/logging.hh"
+#include "util/status.hh"
 
 namespace fo4::trace
 {
@@ -289,7 +289,7 @@ spec2000Profiles()
     }
 
     for (const auto &p : all)
-        p.validate();
+        p.validateOrThrow();
     return all;
 }
 
@@ -313,7 +313,8 @@ spec2000Profile(const std::string &name)
             return p;
         }
     }
-    util::fatal("unknown SPEC 2000 profile '%s'", name.c_str());
+    throw util::ConfigError(
+        util::strprintf("unknown SPEC 2000 profile '%s'", name.c_str()));
 }
 
 } // namespace fo4::trace

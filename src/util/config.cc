@@ -1,8 +1,10 @@
 #include "util/config.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace fo4::util
 {
@@ -35,6 +37,24 @@ Config::has(const std::string &key) const
     return values.count(key) > 0;
 }
 
+std::vector<std::string>
+Config::checkKnown(std::initializer_list<const char *> known) const
+{
+    std::vector<std::string> unknown;
+    for (const auto &[key, value] : values) {
+        const bool found = std::any_of(known.begin(), known.end(),
+                                       [&key](const char *k) {
+                                           return key == k;
+                                       });
+        if (!found) {
+            warn("unknown config key '%s=%s' (misspelled?) is ignored",
+                 key.c_str(), value.c_str());
+            unknown.push_back(key);
+        }
+    }
+    return unknown;
+}
+
 std::string
 Config::getString(const std::string &key, const std::string &fallback) const
 {
@@ -50,9 +70,11 @@ Config::getInt(const std::string &key, std::int64_t fallback) const
         return fallback;
     char *end = nullptr;
     const long long v = std::strtoll(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0')
-        fatal("config key '%s': '%s' is not an integer",
-              key.c_str(), it->second.c_str());
+    if (end == it->second.c_str() || *end != '\0') {
+        throw ConfigError(strprintf("config key '%s': '%s' is not an "
+                                    "integer",
+                                    key.c_str(), it->second.c_str()));
+    }
     return v;
 }
 
@@ -64,9 +86,11 @@ Config::getDouble(const std::string &key, double fallback) const
         return fallback;
     char *end = nullptr;
     const double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0')
-        fatal("config key '%s': '%s' is not a number",
-              key.c_str(), it->second.c_str());
+    if (end == it->second.c_str() || *end != '\0') {
+        throw ConfigError(strprintf("config key '%s': '%s' is not a "
+                                    "number",
+                                    key.c_str(), it->second.c_str()));
+    }
     return v;
 }
 
@@ -81,7 +105,8 @@ Config::getBool(const std::string &key, bool fallback) const
         return true;
     if (v == "0" || v == "false" || v == "no" || v == "off")
         return false;
-    fatal("config key '%s': '%s' is not a boolean", key.c_str(), v.c_str());
+    throw ConfigError(strprintf("config key '%s': '%s' is not a boolean",
+                                key.c_str(), v.c_str()));
 }
 
 } // namespace fo4::util

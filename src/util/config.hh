@@ -8,6 +8,7 @@
 #define FO4_UTIL_CONFIG_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -31,6 +32,15 @@ class Config
 
     bool has(const std::string &key) const;
 
+    /**
+     * Compare the stored keys against the program's known key set and
+     * warn() about each unknown one, so a misspelling like `t_usefull=6`
+     * is flagged instead of silently ignored.  Returns the unknown keys.
+     */
+    std::vector<std::string>
+    checkKnown(std::initializer_list<const char *> known) const;
+
+    /** Typed accessors; a malformed value throws ConfigError. */
     std::string getString(const std::string &key,
                           const std::string &fallback) const;
     std::int64_t getInt(const std::string &key, std::int64_t fallback) const;

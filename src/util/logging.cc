@@ -33,6 +33,30 @@ logLevel()
     return globalLevel;
 }
 
+std::string
+vstrprintf(const char *fmt, va_list args)
+{
+    va_list probe;
+    va_copy(probe, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    if (n <= 0)
+        return std::string();
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vstrprintf(fmt, args);
+    va_end(args);
+    return out;
+}
+
 void
 assertFailed(const char *cond, const char *file, int line)
 {

@@ -2,8 +2,13 @@
  * @file
  * Error and status reporting helpers, following the gem5 convention:
  * panic() for internal invariant violations (simulator bugs), fatal() for
- * unrecoverable user errors (bad configuration), warn()/inform() for
+ * unrecoverable user errors in CLI-only code, warn()/inform() for
  * non-fatal status messages.
+ *
+ * Library code reports recoverable failures (bad configuration, corrupt
+ * traces, watchdog expiry) by throwing the SimError hierarchy in
+ * util/status.hh instead of calling fatal(); CLIs restore the old
+ * print-and-exit behaviour with util::runTopLevel().
  */
 
 #ifndef FO4_UTIL_LOGGING_HH
@@ -46,6 +51,13 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Print the location header of a failed assertion (used by FO4_ASSERT). */
 void assertFailed(const char *cond, const char *file, int line);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
 
 /**
  * Assert a simulator invariant with a formatted message.  Compiled in all

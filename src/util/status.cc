@@ -1,0 +1,129 @@
+#include "util/status.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fo4::util
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "Ok";
+      case ErrorCode::InvalidConfig:
+        return "InvalidConfig";
+      case ErrorCode::UnknownKey:
+        return "UnknownKey";
+      case ErrorCode::TraceIo:
+        return "TraceIo";
+      case ErrorCode::TraceFormat:
+        return "TraceFormat";
+      case ErrorCode::TraceCorrupt:
+        return "TraceCorrupt";
+      case ErrorCode::Deadlock:
+        return "Deadlock";
+      case ErrorCode::Internal:
+        return "Internal";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    return strprintf("[%s] %s", errorCodeName(code_), message_.c_str());
+}
+
+void
+ErrorCollector::addf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    messages_.push_back(vstrprintf(fmt, args));
+    va_end(args);
+}
+
+std::string
+ErrorCollector::joined() const
+{
+    std::string out;
+    for (const auto &m : messages_) {
+        if (!out.empty())
+            out += "; ";
+        out += m;
+    }
+    return out;
+}
+
+Status
+ErrorCollector::status(ErrorCode code) const
+{
+    if (empty())
+        return Status::ok();
+    return Status(code, joined());
+}
+
+TraceError::TraceError(ErrorCode code, const std::string &message)
+    : SimError(code, message)
+{
+    FO4_ASSERT(code == ErrorCode::TraceIo ||
+                   code == ErrorCode::TraceFormat ||
+                   code == ErrorCode::TraceCorrupt,
+               "TraceError built with non-trace code %s",
+               errorCodeName(code));
+}
+
+std::string
+DeadlockDump::toString() const
+{
+    std::string out = strprintf(
+        "watchdog: %s simulation made no progress to %llu instructions "
+        "within %llu cycles\n",
+        model.c_str(), static_cast<unsigned long long>(target),
+        static_cast<unsigned long long>(cycleLimit));
+    out += strprintf("  cycle %lld, committed %llu of %llu\n",
+                     static_cast<long long>(cycle),
+                     static_cast<unsigned long long>(committed),
+                     static_cast<unsigned long long>(target));
+    if (model == "in-order") {
+        out += strprintf("  issue queue: %llu entries\n",
+                         static_cast<unsigned long long>(queueOccupancy));
+    } else {
+        out += strprintf(
+            "  ROB: %llu entries, issue window: %llu entries, "
+            "front end: %llu in flight, LSQ: %lld entries\n",
+            static_cast<unsigned long long>(robOccupancy),
+            static_cast<unsigned long long>(windowOccupancy),
+            static_cast<unsigned long long>(frontEndOccupancy),
+            static_cast<long long>(lsqOccupancy));
+    }
+    if (!oldestStalled.empty())
+        out += "  oldest stalled op: " + oldestStalled + "\n";
+    return out;
+}
+
+DeadlockError::DeadlockError(DeadlockDump dump)
+    : SimError(ErrorCode::Deadlock, dump.toString()), dump_(std::move(dump))
+{
+}
+
+int
+runTopLevel(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "error [%s]: %s\n", errorCodeName(e.code()),
+                     e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return 2;
+    }
+}
+
+} // namespace fo4::util

@@ -12,8 +12,11 @@
 #include "trace/file_trace.hh"
 #include "trace/generator.hh"
 #include "trace/spec2000.hh"
+#include "util/status.hh"
 
 using namespace fo4::trace;
+using fo4::util::ErrorCode;
+using fo4::util::TraceError;
 
 namespace
 {
@@ -96,15 +99,41 @@ TEST(FileTrace, RejectsGarbageFiles)
 {
     TempFile tmp("garbage.fo4t");
     std::FILE *f = std::fopen(tmp.path().c_str(), "wb");
-    std::fputs("this is not a trace", f);
+    std::fputs("this is definitely not a trace file", f);
     std::fclose(f);
-    EXPECT_DEATH({ FileTrace t(tmp.path()); }, "not a fo4pipe trace");
+    try {
+        FileTrace t(tmp.path());
+        FAIL() << "garbage file accepted";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::TraceFormat);
+        EXPECT_NE(std::string(e.what()).find("not a fo4pipe trace"),
+                  std::string::npos);
+    }
 }
 
 TEST(FileTrace, RejectsMissingFiles)
 {
-    EXPECT_DEATH({ FileTrace t("/nonexistent/path/x.fo4t"); },
-                 "cannot open");
+    try {
+        FileTrace t("/nonexistent/path/x.fo4t");
+        FAIL() << "missing file accepted";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::TraceIo);
+    }
+}
+
+TEST(FileTrace, LoadReturnsStatusInsteadOfThrowing)
+{
+    const auto missing = FileTrace::load("/nonexistent/path/x.fo4t");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), ErrorCode::TraceIo);
+
+    TempFile tmp("load_ok.fo4t");
+    auto prof = spec2000Profile("164.gzip");
+    SyntheticTraceGenerator gen(prof);
+    recordTrace(tmp.path(), gen, 64);
+    auto loaded = FileTrace::load(tmp.path());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded.value().recordedInstructions(), 64u);
 }
 
 TEST(FileTrace, DrivesTheCore)
