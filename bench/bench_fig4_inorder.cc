@@ -8,6 +8,7 @@
  */
 
 #include "bench/common.hh"
+#include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
 #include "trace/spec2000.hh"
@@ -33,16 +34,18 @@ main(int argc, char **argv)
     t.setHeader({"t_useful", "int(0 ovh)", "vfp(0 ovh)", "nvfp(0 ovh)",
                  "int(1.8)", "vfp(1.8)", "nvfp(1.8)"});
 
+    // One simulation per depth serves both halves: overhead changes
+    // frequency, not cycle counts (paper Section 3.3).
+    study::SweepOptions sweep;
+    sweep.overhead = tech::OverheadModel::uniform(0);
+    sweep.threads = bench::jobsFromArgs(argc, argv);
+    const auto points = study::sweepScaling(ts, sweep, profiles, spec);
+
     std::vector<double> intZero, intPaper;
-    for (const double u : ts) {
-        const auto params = study::scaledCoreParams(u, {});
-        // One simulation serves both halves: overhead changes frequency,
-        // not cycle counts (paper Section 3.3).
-        const auto suite = runSuite(
-            params, study::scaledClock(u, tech::OverheadModel::uniform(0)),
-            profiles, spec);
-        const auto clk0 =
-            study::scaledClock(u, tech::OverheadModel::uniform(0));
+    for (const auto &point : points) {
+        const double u = point.tUseful;
+        const auto &suite = point.suite;
+        const auto &clk0 = point.clock;
         const auto clk18 = study::scaledClock(u);
 
         auto bips = [&](trace::BenchClass cls, const tech::ClockModel &c) {

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "bench/common.hh"
+#include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
 #include "trace/spec2000.hh"
@@ -47,11 +48,15 @@ main(int argc, char **argv)
     t.setHeader({"t_useful", "period", "GHz", "int", "vector-fp",
                  "non-vector-fp", "all"});
 
+    study::SweepOptions sweep;
+    sweep.threads = bench::jobsFromArgs(argc, argv);
+    const auto points = study::sweepScaling(ts, sweep, profiles, spec);
+
     std::vector<double> intB, vfpB, nvfpB, allB;
-    for (const double u : ts) {
-        const auto params = study::scaledCoreParams(u, {});
-        const auto clock = study::scaledClock(u);
-        const auto suite = runSuite(params, clock, profiles, spec);
+    for (const auto &point : points) {
+        const double u = point.tUseful;
+        const auto &clock = point.clock;
+        const auto &suite = point.suite;
         if (csv) {
             for (const auto &b : suite.benchmarks) {
                 csv->writeRow({util::TextTable::num(u, 0),

@@ -10,6 +10,7 @@
  */
 
 #include "bench/common.hh"
+#include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
 #include "trace/spec2000.hh"
@@ -33,12 +34,12 @@ main(int argc, char **argv)
     const std::vector<double> overheads{0, 1, 2, 3, 4, 5, 6};
 
     // One simulation per t_useful; BIPS recomputed per overhead.
+    study::SweepOptions sweep;
+    sweep.threads = bench::jobsFromArgs(argc, argv);
+    const auto points = study::sweepScaling(ts, sweep, profiles, spec);
     std::vector<double> ipcAt;
-    for (const double u : ts) {
-        const auto suite = runSuite(study::scaledCoreParams(u, {}),
-                                    study::scaledClock(u), profiles, spec);
-        ipcAt.push_back(suite.harmonicIpc(trace::BenchClass::Integer));
-    }
+    for (const auto &point : points)
+        ipcAt.push_back(point.suite.harmonicIpc(trace::BenchClass::Integer));
 
     util::TextTable t;
     std::vector<std::string> header{"t_useful"};

@@ -8,6 +8,7 @@
 
 #include "bench/common.hh"
 #include "study/optimizer.hh"
+#include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
 #include "trace/spec2000.hh"
@@ -33,14 +34,17 @@ main(int argc, char **argv)
     t.setHeader({"t_useful", "alpha caps (BIPS)", "optimized (BIPS)",
                  "gain", "dl1(KB)", "l2(KB)", "window"});
 
+    const int jobs = bench::jobsFromArgs(argc, argv);
+    const study::ParallelRunner runner(jobs);
+
     std::vector<double> base, tuned;
     double gainSum = 0;
     for (const double u : ts) {
         const auto clock = study::scaledClock(u);
-        const auto baseline = runSuite(study::scaledCoreParams(u, {}),
-                                       clock, profiles, spec);
-        const auto best =
-            study::optimizeStructures(u, clock, profiles, spec);
+        const auto baseline = runner.runSuite(study::scaledCoreParams(u, {}),
+                                              clock, profiles, spec);
+        const auto best = study::optimizeStructures(u, clock, profiles,
+                                                    spec, {}, jobs);
         base.push_back(baseline.harmonicBipsAll());
         tuned.push_back(best.harmonicBipsAll);
         const double gain = tuned.back() / base.back() - 1.0;

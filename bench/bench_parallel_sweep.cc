@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Wall-clock benchmark of the parallel sweep engine on a Fig 5-sized
+ * workload: the full 2..16 FO4 useful-time sweep over the SPEC 2000
+ * integer suite, serial versus `jobs` worker threads.
+ *
+ * Three things are measured and reported:
+ *
+ *  1. serial wall-clock (jobs=1 — the exact engine every figure bench
+ *     used before the parallel runner existed, since a 1-thread pool
+ *     runs tasks inline on the waiting thread);
+ *  2. parallel wall-clock at the requested thread count, plus the
+ *     resulting speedup;
+ *  3. byte-identity: study::serializeSuite of every sweep point must
+ *     match the serial rendering exactly, or the bench fails.
+ *
+ * Speedup naturally tops out at the machine's core count — the grid
+ * cells are pure CPU work — so the hardware thread count is printed
+ * next to the measurement.  On a 1-core host the expected speedup is
+ * ~1.0x and the identity check is the interesting part.
+ *
+ *   ./bench_parallel_sweep [jobs=4] [instructions=20000] ...
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hh"
+#include "study/parallel.hh"
+#include "trace/spec2000.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point begin, Clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+int
+parallelSweep(int argc, char **argv)
+{
+    using namespace fo4;
+    bench::banner("parallel-sweep",
+                  "engine check: N-thread sweep is faster than and "
+                  "bit-identical to the serial sweep");
+
+    auto spec = bench::specFromArgs(argc, argv, 20000, 2500, 200000);
+    spec.cycleLimit = 10000000;
+    int jobs = bench::jobsFromArgs(argc, argv);
+    if (jobs == 1)
+        jobs = 4; // measuring jobs=1 against itself is pointless
+    const study::ParallelRunner runner(jobs);
+
+    const auto ts = bench::usefulSweep();
+    const auto profiles =
+        trace::spec2000Profiles(trace::BenchClass::Integer);
+    std::printf("grid: %zu clock periods x %zu benchmarks, "
+                "%llu instructions each\n",
+                ts.size(), profiles.size(),
+                static_cast<unsigned long long>(spec.instructions));
+    std::printf("hardware threads: %d, sweep threads: %d\n\n",
+                util::ThreadPool::hardwareThreads(), runner.threads());
+
+    study::SweepOptions serialOpt;
+    serialOpt.threads = 1;
+    const auto t0 = Clock::now();
+    const auto serial = study::sweepScaling(ts, serialOpt, profiles, spec);
+    const auto t1 = Clock::now();
+
+    study::SweepOptions parallelOpt;
+    parallelOpt.threads = runner.threads();
+    const auto t2 = Clock::now();
+    const auto parallel =
+        study::sweepScaling(ts, parallelOpt, profiles, spec);
+    const auto t3 = Clock::now();
+
+    const double serialSec = seconds(t0, t1);
+    const double parallelSec = seconds(t2, t3);
+    std::printf("serial   (jobs=1):  %7.2f s\n", serialSec);
+    std::printf("parallel (jobs=%d): %7.2f s\n", runner.threads(),
+                parallelSec);
+    std::printf("speedup: %.2fx\n", serialSec / parallelSec);
+
+    std::size_t mismatched = 0;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (study::serializeSuite(parallel[i].suite) !=
+            study::serializeSuite(serial[i].suite))
+            ++mismatched;
+    }
+    if (mismatched) {
+        std::printf("FAIL: %zu of %zu sweep points differ from the "
+                    "serial result\n",
+                    mismatched, ts.size());
+        return 1;
+    }
+    bench::verdict("all " + std::to_string(ts.size()) +
+                   " sweep points byte-identical to the serial engine");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return fo4::util::runTopLevel([&] { return parallelSweep(argc, argv); });
+}

@@ -40,6 +40,18 @@ specFromArgs(int argc, char **argv, std::uint64_t instructions = 80000,
     return spec;
 }
 
+/**
+ * Worker-thread count for the sweep engine, from `jobs=N` (or
+ * `--jobs=N`).  Defaults to serial; `jobs=0` uses every hardware
+ * thread.  Results are identical at any value (see study/parallel.hh).
+ */
+inline int
+jobsFromArgs(int argc, char **argv)
+{
+    return static_cast<int>(
+        util::Config::fromArgs(argc, argv).getInt("jobs", 1));
+}
+
 /** The t_useful sweep the paper uses (2..16 FO4). */
 inline std::vector<double>
 usefulSweep()

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
 #include "trace/spec2000.hh"
@@ -47,10 +48,11 @@ explore(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown(
-        {"bench", "class", "overhead", "model", "instructions", "prewarm"});
+    cfg.checkKnown({"bench", "class", "overhead", "model", "instructions",
+                    "prewarm", "jobs"});
     const auto profiles = pickProfiles(cfg);
     const double overhead = cfg.getDouble("overhead", 1.8);
+    const int jobs = static_cast<int>(cfg.getInt("jobs", 1));
 
     study::RunSpec spec;
     spec.instructions = cfg.getInt("instructions", 80000);
@@ -61,34 +63,34 @@ explore(int argc, char **argv)
                      : study::CoreModel::OutOfOrder;
 
     std::printf("sweeping t_useful = 2..16 FO4, overhead %.1f FO4, %zu "
-                "benchmark(s), %s core\n\n",
+                "benchmark(s), %s core, %d worker thread(s)\n\n",
                 overhead, profiles.size(),
                 spec.model == study::CoreModel::InOrder ? "in-order"
-                                                        : "out-of-order");
+                                                        : "out-of-order",
+                study::ParallelRunner(jobs).threads());
+
+    std::vector<double> ts;
+    for (double u = 2; u <= 16; u += 1)
+        ts.push_back(u);
+    study::SweepOptions sweep;
+    sweep.overhead = tech::OverheadModel::uniform(overhead);
+    sweep.threads = jobs;
+    const auto points = study::sweepScaling(ts, sweep, profiles, spec);
 
     util::TextTable t;
     t.setHeader({"t_useful", "period(FO4)", "GHz", "hmean IPC",
                  "hmean BIPS"});
     double bestT = 0, bestBips = 0;
-    for (double u = 2; u <= 16; u += 1) {
-        const auto params = study::scaledCoreParams(u, {});
-        const auto clock =
-            study::scaledClock(u, tech::OverheadModel::uniform(overhead));
-        const auto suite = runSuite(params, clock, profiles, spec);
-
-        // Recompute BIPS under the requested overhead.
-        double denom = 0;
-        for (const auto &b : suite.benchmarks)
-            denom += 1.0 / clock.bips(b.sim.ipc());
-        const double bips = profiles.size() / denom;
+    for (const auto &point : points) {
+        const double bips = point.suite.harmonicBipsAll();
         if (bips > bestBips) {
             bestBips = bips;
-            bestT = u;
+            bestT = point.tUseful;
         }
-        t.addRow({util::TextTable::num(u, 0),
-                  util::TextTable::num(clock.periodFo4(), 1),
-                  util::TextTable::num(clock.frequencyGhz(), 2),
-                  util::TextTable::num(suite.harmonicIpcAll(), 3),
+        t.addRow({util::TextTable::num(point.tUseful, 0),
+                  util::TextTable::num(point.clock.periodFo4(), 1),
+                  util::TextTable::num(point.clock.frequencyGhz(), 2),
+                  util::TextTable::num(point.suite.harmonicIpcAll(), 3),
                   util::TextTable::num(bips, 3)});
     }
     t.print(std::cout);

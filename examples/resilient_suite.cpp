@@ -7,12 +7,13 @@
  * with its typed error code; the deadlock comes with the watchdog's
  * pipeline-state dump.
  *
- *   ./resilient_suite [instructions=40000] [dir=/tmp]
+ *   ./resilient_suite [instructions=40000] [dir=/tmp] [jobs=4]
  */
 
 #include <cstdio>
 #include <iostream>
 
+#include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
 #include "trace/file_trace.hh"
@@ -56,7 +57,7 @@ resilientSuite(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown({"instructions", "dir"});
+    cfg.checkKnown({"instructions", "dir", "jobs"});
 
     study::RunSpec spec;
     spec.instructions = cfg.getInt("instructions", 40000);
@@ -88,9 +89,14 @@ resilientSuite(int argc, char **argv)
     hung.cycleLimit = 10; // far below any real completion time
     jobs.push_back(hung);
 
-    std::printf("running %zu benchmarks (2 sabotaged on purpose)\n\n",
-                jobs.size());
-    const auto suite = study::runSuite(params, clock, jobs, spec);
+    // Fault isolation holds under parallel execution too: a deadlocked
+    // or corrupt job fails alone no matter which worker ran it.
+    const study::ParallelRunner runner(
+        static_cast<int>(cfg.getInt("jobs", 1)));
+    std::printf("running %zu benchmarks (2 sabotaged on purpose) on %d "
+                "worker thread(s)\n\n",
+                jobs.size(), runner.threads());
+    const auto suite = runner.runSuite(params, clock, jobs, spec);
     study::printSuite(std::cout, suite);
 
     // The suite ran to the end; the broken jobs are data, not a crash.

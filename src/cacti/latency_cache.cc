@@ -1,0 +1,92 @@
+#include "cacti/latency_cache.hh"
+
+#include <cstring>
+
+namespace fo4::cacti
+{
+
+namespace
+{
+
+/** FNV-1a over a value's bytes; doubles here are set, not computed, so
+ *  bitwise identity is the right equality for calibration constants. */
+std::uint64_t
+fnv1a(const void *data, std::size_t size, std::uint64_t hash)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+fingerprint(const ModelParams &p)
+{
+    const double fields[] = {
+        p.decodePerLog4, p.decodeFixed,   p.wordlinePerBit,
+        p.wordlineFixed, p.bitlinePerRow, p.senseFixed,
+        p.outputPerLog4, p.outputFixed,   p.routePerSqrtKb,
+        p.camMatchPerRow, p.camMatchFixed, p.comparePerLog2,
+        p.portGrowth,
+    };
+    return fnv1a(fields, sizeof(fields), 14695981039346656037ull);
+}
+
+} // namespace
+
+std::size_t
+LatencyCache::KeyHash::operator()(const Key &k) const
+{
+    std::uint64_t h = k.paramsFingerprint;
+    h = fnv1a(&k.kind, sizeof(k.kind), h);
+    h = fnv1a(&k.capacity, sizeof(k.capacity), h);
+    return static_cast<std::size_t>(h);
+}
+
+LatencyCache &
+LatencyCache::global()
+{
+    static LatencyCache instance;
+    return instance;
+}
+
+double
+LatencyCache::latencyFo4(const StructureModel &model, StructureKind kind,
+                         std::uint64_t capacity)
+{
+    const Key key{fingerprint(model.params()), kind, capacity};
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = table.find(key);
+        if (it != table.end()) {
+            ++counters.hits;
+            return it->second;
+        }
+        ++counters.misses;
+    }
+    // Compute outside the lock: the subarray search is the slow part,
+    // and concurrent first lookups of the same key are idempotent.
+    const double latency = model.latencyFo4(kind, capacity);
+    std::lock_guard<std::mutex> lock(mutex);
+    table.emplace(key, latency);
+    return latency;
+}
+
+LatencyCacheStats
+LatencyCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+void
+LatencyCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    table.clear();
+    counters = LatencyCacheStats{};
+}
+
+} // namespace fo4::cacti

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Process-wide memoization of structure access latencies.  A sweep
+ * evaluates the same (structure, capacity, calibration) points at every
+ * clock period — the Cacti-style subarray search behind latencyFo4() is
+ * pure, so each distinct point is computed once and shared by every
+ * sweep point and every worker thread thereafter.
+ *
+ * The quantized form, cycles = ceil(latency_fo4 / t_useful), is derived
+ * from the cached FO4 figure by ClockModel::latencyCycles; caching the
+ * clock-independent latency therefore covers every (clock period,
+ * capacity, calibration) combination the sweep grid touches.
+ *
+ * Thread safety: a single mutex guards the table.  Entries are values
+ * (doubles), so a hit copies out under the lock and never hands out a
+ * reference that rehashing could invalidate.
+ */
+
+#ifndef FO4_CACTI_LATENCY_CACHE_HH
+#define FO4_CACTI_LATENCY_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "cacti/structures.hh"
+
+namespace fo4::cacti
+{
+
+/** Hit/miss counters, for tests and the engineering benches. */
+struct LatencyCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t lookups() const { return hits + misses; }
+};
+
+/** Memo table over StructureModel::latencyFo4. */
+class LatencyCache
+{
+  public:
+    /** The shared process-wide instance. */
+    static LatencyCache &global();
+
+    /**
+     * Anchored latency of `kind` at `capacity` under `model`'s
+     * calibration; identical to model.latencyFo4(kind, capacity), but
+     * computed at most once per distinct (calibration, kind, capacity).
+     */
+    double latencyFo4(const StructureModel &model, StructureKind kind,
+                      std::uint64_t capacity);
+
+    LatencyCacheStats stats() const;
+
+    /** Forget everything (tests; also resets the counters). */
+    void clear();
+
+  private:
+    struct Key
+    {
+        std::uint64_t paramsFingerprint;
+        StructureKind kind;
+        std::uint64_t capacity;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return paramsFingerprint == o.paramsFingerprint &&
+                   kind == o.kind && capacity == o.capacity;
+        }
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const;
+    };
+
+    mutable std::mutex mutex;
+    std::unordered_map<Key, double, KeyHash> table;
+    LatencyCacheStats counters;
+};
+
+} // namespace fo4::cacti
+
+#endif // FO4_CACTI_LATENCY_CACHE_HH

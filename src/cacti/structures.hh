@@ -59,6 +59,9 @@ class StructureModel
     /** The Alpha 21264 capacity used as the anchor point. */
     static std::uint64_t alphaCapacity(StructureKind kind);
 
+    /** The calibration constants this model was built with. */
+    const ModelParams &params() const { return prm; }
+
     /**
      * The access time in FO4 implied by the paper for the Alpha capacity.
      * Derived by fitting Table 3 rows to cycles = ceil(latency/t_useful):

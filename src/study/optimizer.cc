@@ -1,5 +1,6 @@
 #include "study/optimizer.hh"
 
+#include "study/parallel.hh"
 #include "util/logging.hh"
 
 namespace fo4::study
@@ -12,10 +13,11 @@ double
 evaluate(double tUseful, const tech::ClockModel &clock,
          const ScalingOptions &options,
          const std::vector<trace::BenchmarkProfile> &profiles,
-         const RunSpec &spec, SuiteResult &out)
+         const RunSpec &spec, const ParallelRunner &runner,
+         SuiteResult &out)
 {
     const core::CoreParams params = scaledCoreParams(tUseful, options);
-    out = runSuite(params, clock, profiles, spec);
+    out = runner.runSuite(params, clock, profiles, spec);
     return out.harmonicBipsAll();
 }
 
@@ -24,15 +26,17 @@ evaluate(double tUseful, const tech::ClockModel &clock,
 OptimizedConfig
 optimizeStructures(double tUseful, const tech::ClockModel &clock,
                    const std::vector<trace::BenchmarkProfile> &profiles,
-                   const RunSpec &spec, const OptimizerSearchSpace &space)
+                   const RunSpec &spec, const OptimizerSearchSpace &space,
+                   int threads)
 {
     FO4_ASSERT(!space.dl1Bytes.empty() && !space.l2Bytes.empty() &&
                    !space.windowEntries.empty(),
                "empty search space");
 
+    const ParallelRunner runner(threads);
     OptimizedConfig best;
-    best.harmonicBipsAll =
-        evaluate(tUseful, clock, best.options, profiles, spec, best.result);
+    best.harmonicBipsAll = evaluate(tUseful, clock, best.options, profiles,
+                                    spec, runner, best.result);
 
     // Greedy passes: DL1, then L2, then window.
     for (const std::uint64_t dl1 : space.dl1Bytes) {
@@ -40,7 +44,8 @@ optimizeStructures(double tUseful, const tech::ClockModel &clock,
         candidate.dl1Bytes = dl1;
         SuiteResult result;
         const double bips =
-            evaluate(tUseful, clock, candidate, profiles, spec, result);
+            evaluate(tUseful, clock, candidate, profiles, spec, runner,
+                     result);
         if (bips > best.harmonicBipsAll) {
             best.options = candidate;
             best.result = std::move(result);
@@ -52,7 +57,8 @@ optimizeStructures(double tUseful, const tech::ClockModel &clock,
         candidate.l2Bytes = l2;
         SuiteResult result;
         const double bips =
-            evaluate(tUseful, clock, candidate, profiles, spec, result);
+            evaluate(tUseful, clock, candidate, profiles, spec, runner,
+                     result);
         if (bips > best.harmonicBipsAll) {
             best.options = candidate;
             best.result = std::move(result);
@@ -64,7 +70,8 @@ optimizeStructures(double tUseful, const tech::ClockModel &clock,
         candidate.windowEntries = window;
         SuiteResult result;
         const double bips =
-            evaluate(tUseful, clock, candidate, profiles, spec, result);
+            evaluate(tUseful, clock, candidate, profiles, spec, runner,
+                     result);
         if (bips > best.harmonicBipsAll) {
             best.options = candidate;
             best.result = std::move(result);

@@ -41,6 +41,11 @@ struct OptimizedConfig
  * capacity is selected by rerunning the suite over its candidate values
  * (others held fixed), verifying the incumbent against neighbours,
  * exactly as the paper describes its "best configuration" validation.
+ *
+ * `threads` fans each candidate's suite across that many workers (1 =
+ * serial).  The greedy decisions themselves stay sequential, and the
+ * per-suite results are thread-count invariant, so the chosen
+ * configuration is identical at any thread count.
  */
 OptimizedConfig optimizeStructures(double tUseful,
                                    const tech::ClockModel &clock,
@@ -48,7 +53,8 @@ OptimizedConfig optimizeStructures(double tUseful,
                                        &profiles,
                                    const RunSpec &spec,
                                    const OptimizerSearchSpace &space =
-                                       OptimizerSearchSpace{});
+                                       OptimizerSearchSpace{},
+                                   int threads = 1);
 
 } // namespace fo4::study
 

@@ -1,0 +1,120 @@
+#include "study/parallel.hh"
+
+#include "util/thread_pool.hh"
+
+namespace fo4::study
+{
+
+namespace
+{
+
+std::vector<BenchJob>
+jobsFromProfiles(const std::vector<trace::BenchmarkProfile> &profiles)
+{
+    std::vector<BenchJob> jobs;
+    jobs.reserve(profiles.size());
+    for (const auto &profile : profiles)
+        jobs.push_back(BenchJob::fromProfile(profile));
+    return jobs;
+}
+
+} // namespace
+
+ParallelRunner::ParallelRunner(int threads)
+    : nThreads(threads <= 0 ? util::ThreadPool::hardwareThreads() : threads)
+{
+}
+
+std::vector<SuiteResult>
+ParallelRunner::runGrid(const std::vector<GridPoint> &points,
+                        const std::vector<BenchJob> &jobs,
+                        const RunSpec &spec) const
+{
+    // Fail fast on any misconfigured point before fanning anything out,
+    // with the serial runner's exact validation and exception.
+    for (const auto &point : points)
+        validateSuiteInputs(point.params, point.clock, jobs, spec);
+
+    // Preallocate every result slot: each cell writes results[p][j] and
+    // nothing else, so the merge order is the grid order no matter
+    // which worker finishes first.
+    std::vector<SuiteResult> results(points.size());
+    for (auto &suite : results)
+        suite.benchmarks.resize(jobs.size());
+
+    util::ThreadPool pool(nThreads);
+    util::TaskGroup group(pool);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            group.submit([&, p, j] {
+                results[p].benchmarks[j] = runJobIsolated(
+                    points[p].params, points[p].clock, jobs[j], spec);
+            });
+        }
+    }
+    group.wait();
+    return results;
+}
+
+SuiteResult
+ParallelRunner::runSuite(const core::CoreParams &params,
+                         const tech::ClockModel &clock,
+                         const std::vector<BenchJob> &jobs,
+                         const RunSpec &spec) const
+{
+    std::vector<GridPoint> point(1);
+    point[0].params = params;
+    point[0].clock = clock;
+    return std::move(runGrid(point, jobs, spec).front());
+}
+
+SuiteResult
+ParallelRunner::runSuite(const core::CoreParams &params,
+                         const tech::ClockModel &clock,
+                         const std::vector<trace::BenchmarkProfile>
+                             &profiles,
+                         const RunSpec &spec) const
+{
+    return runSuite(params, clock, jobsFromProfiles(profiles), spec);
+}
+
+std::vector<SweepPointResult>
+sweepScaling(const std::vector<double> &tUseful, const SweepOptions &options,
+             const std::vector<BenchJob> &jobs, const RunSpec &spec)
+{
+    // Derive every point's configuration up front (and serially): the
+    // scaling math is cheap after the latency cache warms, and invalid
+    // points must throw before any cell simulates.
+    std::vector<GridPoint> points;
+    points.reserve(tUseful.size());
+    for (const double u : tUseful) {
+        GridPoint point;
+        point.params = scaledCoreParams(u, options.scaling);
+        point.clock = scaledClock(u, options.overhead);
+        points.push_back(std::move(point));
+    }
+
+    const ParallelRunner runner(options.threads);
+    auto suites = runner.runGrid(points, jobs, spec);
+
+    std::vector<SweepPointResult> out;
+    out.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SweepPointResult r;
+        r.tUseful = tUseful[i];
+        r.clock = points[i].clock;
+        r.suite = std::move(suites[i]);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::vector<SweepPointResult>
+sweepScaling(const std::vector<double> &tUseful, const SweepOptions &options,
+             const std::vector<trace::BenchmarkProfile> &profiles,
+             const RunSpec &spec)
+{
+    return sweepScaling(tUseful, options, jobsFromProfiles(profiles), spec);
+}
+
+} // namespace fo4::study

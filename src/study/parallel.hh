@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Parallel sweep-execution engine.  Every figure in the paper is a
+ * (benchmark x clock-period) grid of independent simulations; this
+ * module fans that grid across a util::ThreadPool and merges the
+ * results back in grid order.
+ *
+ * Determinism contract (tested by test_parallel_runner):
+ *
+ *  - each grid cell is simulated by study::runJobIsolated, the exact
+ *    code path of the serial runSuite, on a private core, trace source
+ *    and RNG — cells share no mutable state;
+ *  - each cell writes only its own preallocated result slot, so the
+ *    merged SuiteResult is ordered by job index, never by completion
+ *    order — including failed rows, whose position and typed error are
+ *    identical to the serial run's;
+ *  - therefore runSuite/runGrid/sweepScaling produce results that are
+ *    bit-for-bit identical (serializeSuite-equal) at every thread
+ *    count, 1 thread being exactly the serial engine.
+ *
+ * Fault isolation is per cell: a DeadlockError or corrupt trace in one
+ * cell is recorded in that cell's BenchResult and no sibling — in the
+ * same suite or any other sweep point — is disturbed.  Suite-level
+ * misconfiguration (empty job list, invalid params/spec/clock) throws
+ * before any work is fanned out, exactly like the serial runner.
+ */
+
+#ifndef FO4_STUDY_PARALLEL_HH
+#define FO4_STUDY_PARALLEL_HH
+
+#include <vector>
+
+#include "study/runner.hh"
+#include "study/scaling.hh"
+
+namespace fo4::study
+{
+
+/** One fully-specified sweep point: a core configuration and its clock. */
+struct GridPoint
+{
+    core::CoreParams params;
+    tech::ClockModel clock;
+};
+
+/**
+ * Fans suites and sweep grids across a fixed number of threads.
+ * `threads == 1` (the default) is strictly serial; `threads <= 0`
+ * selects the hardware thread count.
+ */
+class ParallelRunner
+{
+  public:
+    explicit ParallelRunner(int threads = 1);
+
+    /** Actual parallelism this runner fans out to (>= 1). */
+    int threads() const { return nThreads; }
+
+    /** Parallel drop-in for study::runSuite: same validation, same
+     *  per-job isolation, same result, faster. */
+    SuiteResult runSuite(const core::CoreParams &params,
+                         const tech::ClockModel &clock,
+                         const std::vector<BenchJob> &jobs,
+                         const RunSpec &spec) const;
+
+    /** Convenience overload: every profile becomes a plain job. */
+    SuiteResult runSuite(const core::CoreParams &params,
+                         const tech::ClockModel &clock,
+                         const std::vector<trace::BenchmarkProfile>
+                             &profiles,
+                         const RunSpec &spec) const;
+
+    /**
+     * Run the full (point x job) grid: one SuiteResult per GridPoint, in
+     * point order.  All cells of all points share one fan-out, so a
+     * point with a slow benchmark does not serialize the points after
+     * it.  Throws ConfigError if any point's inputs are invalid (before
+     * any simulation starts).
+     */
+    std::vector<SuiteResult> runGrid(const std::vector<GridPoint> &points,
+                                     const std::vector<BenchJob> &jobs,
+                                     const RunSpec &spec) const;
+
+  private:
+    int nThreads;
+};
+
+/** One solved point of a scaling sweep. */
+struct SweepPointResult
+{
+    double tUseful = 0.0;
+    tech::ClockModel clock;
+    SuiteResult suite;
+};
+
+/** Knobs of sweepScaling beyond the t_useful axis. */
+struct SweepOptions
+{
+    /** Structure capacities, memory system, window — per Section 3. */
+    ScalingOptions scaling;
+    /** Clocking overhead applied at every point (Table 1 default). */
+    tech::OverheadModel overhead = tech::OverheadModel::paperDefault();
+    /** Worker threads; 1 = serial, <= 0 = hardware thread count. */
+    int threads = 1;
+};
+
+/**
+ * The paper's standard experiment: scale the pipeline to each t_useful,
+ * run every job at every depth, and return the points in sweep order.
+ * This is the parallel engine behind the figure benches (Fig 4/5/6)
+ * and pipeline_explorer.
+ */
+std::vector<SweepPointResult>
+sweepScaling(const std::vector<double> &tUseful, const SweepOptions &options,
+             const std::vector<BenchJob> &jobs, const RunSpec &spec);
+
+/** Convenience overload for profile lists. */
+std::vector<SweepPointResult>
+sweepScaling(const std::vector<double> &tUseful, const SweepOptions &options,
+             const std::vector<trace::BenchmarkProfile> &profiles,
+             const RunSpec &spec);
+
+} // namespace fo4::study
+
+#endif // FO4_STUDY_PARALLEL_HH

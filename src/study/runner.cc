@@ -142,9 +142,32 @@ runBenchmark(const core::CoreParams &params, const tech::ClockModel &clock,
     return runJob(params, clock, BenchJob::fromProfile(profile), spec);
 }
 
-SuiteResult
-runSuite(const core::CoreParams &params, const tech::ClockModel &clock,
-         const std::vector<BenchJob> &jobs, const RunSpec &spec)
+BenchResult
+runJobIsolated(const core::CoreParams &params,
+               const tech::ClockModel &clock, const BenchJob &job,
+               const RunSpec &spec)
+{
+    try {
+        return runJob(params, clock, job, spec);
+    } catch (const util::SimError &e) {
+        BenchResult failed;
+        failed.name = job.name;
+        failed.cls = job.cls;
+        failed.error = e.toStatus();
+        return failed;
+    } catch (const std::exception &e) {
+        BenchResult failed;
+        failed.name = job.name;
+        failed.cls = job.cls;
+        failed.error = util::Status(util::ErrorCode::Internal, e.what());
+        return failed;
+    }
+}
+
+void
+validateSuiteInputs(const core::CoreParams &params,
+                    const tech::ClockModel &clock,
+                    const std::vector<BenchJob> &jobs, const RunSpec &spec)
 {
     // Suite-level misconfiguration is the caller's bug, not a benchmark
     // fault, so it throws instead of degrading.
@@ -155,26 +178,18 @@ runSuite(const core::CoreParams &params, const tech::ClockModel &clock,
     params.validateOrThrow();
     if (const auto st = clock.validate(); !st.isOk())
         throw util::ConfigError("clock model: " + st.message());
+}
+
+SuiteResult
+runSuite(const core::CoreParams &params, const tech::ClockModel &clock,
+         const std::vector<BenchJob> &jobs, const RunSpec &spec)
+{
+    validateSuiteInputs(params, clock, jobs, spec);
 
     SuiteResult suite;
-    for (const auto &job : jobs) {
-        try {
-            suite.benchmarks.push_back(runJob(params, clock, job, spec));
-        } catch (const util::SimError &e) {
-            BenchResult failed;
-            failed.name = job.name;
-            failed.cls = job.cls;
-            failed.error = e.toStatus();
-            suite.benchmarks.push_back(std::move(failed));
-        } catch (const std::exception &e) {
-            BenchResult failed;
-            failed.name = job.name;
-            failed.cls = job.cls;
-            failed.error =
-                util::Status(util::ErrorCode::Internal, e.what());
-            suite.benchmarks.push_back(std::move(failed));
-        }
-    }
+    suite.benchmarks.reserve(jobs.size());
+    for (const auto &job : jobs)
+        suite.benchmarks.push_back(runJobIsolated(params, clock, job, spec));
     return suite;
 }
 
@@ -188,6 +203,29 @@ runSuite(const core::CoreParams &params, const tech::ClockModel &clock,
     for (const auto &profile : profiles)
         jobs.push_back(BenchJob::fromProfile(profile));
     return runSuite(params, clock, jobs, spec);
+}
+
+std::string
+serializeSuite(const SuiteResult &suite)
+{
+    std::string out;
+    out.reserve(suite.benchmarks.size() * 160);
+    for (const auto &b : suite.benchmarks) {
+        out += util::strprintf(
+            "%s|%d|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%a|%s|%s\n",
+            b.name.c_str(), static_cast<int>(b.cls),
+            static_cast<unsigned long long>(b.sim.instructions),
+            static_cast<unsigned long long>(b.sim.cycles),
+            static_cast<unsigned long long>(b.sim.branches),
+            static_cast<unsigned long long>(b.sim.mispredicts),
+            static_cast<unsigned long long>(b.sim.loads),
+            static_cast<unsigned long long>(b.sim.stores),
+            static_cast<unsigned long long>(b.sim.dl1Misses),
+            static_cast<unsigned long long>(b.sim.l2Misses), b.bips,
+            util::errorCodeName(b.error.code()),
+            b.error.message().c_str());
+    }
+    return out;
 }
 
 void

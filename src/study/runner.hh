@@ -145,6 +145,36 @@ BenchResult runJob(const core::CoreParams &params,
                    const tech::ClockModel &clock, const BenchJob &job,
                    const RunSpec &spec);
 
+/**
+ * Run one job with the suite's fault isolation: any SimError (or other
+ * exception) is captured in the returned BenchResult instead of
+ * propagating.  This is the one per-job code path shared by the serial
+ * runSuite and the parallel sweep engine, which is what makes their
+ * results bit-for-bit identical.
+ */
+BenchResult runJobIsolated(const core::CoreParams &params,
+                           const tech::ClockModel &clock,
+                           const BenchJob &job, const RunSpec &spec);
+
+/**
+ * Validate the suite-level inputs of runSuite (job list, spec, params,
+ * clock), throwing ConfigError exactly as runSuite would.  Exposed so
+ * the parallel engine can fail fast before fanning out.
+ */
+void validateSuiteInputs(const core::CoreParams &params,
+                         const tech::ClockModel &clock,
+                         const std::vector<BenchJob> &jobs,
+                         const RunSpec &spec);
+
+/**
+ * Canonical byte-exact rendering of a suite: every field of every row,
+ * doubles in hexfloat so no precision is lost.  Two SuiteResults are
+ * bit-for-bit identical iff their serializations compare equal — the
+ * determinism contract of the parallel engine is stated (and tested)
+ * in terms of this string.
+ */
+std::string serializeSuite(const SuiteResult &suite);
+
 /** Run one profile; throws SimError on failure. */
 BenchResult runBenchmark(const core::CoreParams &params,
                          const tech::ClockModel &clock,

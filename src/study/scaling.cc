@@ -1,5 +1,6 @@
 #include "study/scaling.hh"
 
+#include "cacti/latency_cache.hh"
 #include "isa/latencies.hh"
 #include "util/logging.hh"
 #include "util/status.hh"
@@ -33,6 +34,14 @@ scaledCoreParams(double tUseful, const ScalingOptions &options,
     core::CoreParams p = core::CoreParams::alpha21264();
     using SK = cacti::StructureKind;
 
+    // Structure latencies are pure functions of (calibration, kind,
+    // capacity); the process-wide memo computes each distinct point
+    // once across the whole sweep grid.
+    const auto lat = [&model](SK kind, std::uint64_t capacity) {
+        return cacti::LatencyCache::global().latencyFo4(model, kind,
+                                                        capacity);
+    };
+
     // Functional-unit latencies: 21264 cycles x 17.4 FO4, re-quantized.
     for (int i = 0; i < isa::numOpClasses; ++i) {
         p.execCycles[i] =
@@ -41,16 +50,13 @@ scaledCoreParams(double tUseful, const ScalingOptions &options,
 
     // Pipeline segment depths from structure access times.
     p.fetchStages =
-        clock.latencyCycles(model.latencyFo4(SK::BranchPredictor,
-                                             model.alphaCapacity(
-                                                 SK::BranchPredictor)));
+        clock.latencyCycles(lat(SK::BranchPredictor,
+                                model.alphaCapacity(SK::BranchPredictor)));
     p.decodeStages = clock.latencyCycles(options.baseStageFo4);
     p.renameStages = clock.latencyCycles(
-        model.latencyFo4(SK::RenameTable,
-                         model.alphaCapacity(SK::RenameTable)));
+        lat(SK::RenameTable, model.alphaCapacity(SK::RenameTable)));
     p.regReadStages = clock.latencyCycles(
-        model.latencyFo4(SK::RegisterFile,
-                         model.alphaCapacity(SK::RegisterFile)));
+        lat(SK::RegisterFile, model.alphaCapacity(SK::RegisterFile)));
     p.commitStages = clock.latencyCycles(options.baseStageFo4);
 
     // Issue window: a monolithic window's wakeup loop is its access
@@ -63,7 +69,7 @@ scaledCoreParams(double tUseful, const ScalingOptions &options,
         p.issueLatency = 1;
     } else {
         p.issueLatency = clock.latencyCycles(
-            model.latencyFo4(SK::IssueWindow, options.windowEntries));
+            lat(SK::IssueWindow, options.windowEntries));
     }
 
     // Memory system.
@@ -76,9 +82,9 @@ scaledCoreParams(double tUseful, const ScalingOptions &options,
         p.dl1.capacityBytes = options.dl1Bytes;
         p.l2.capacityBytes = options.l2Bytes;
         p.memLatencies.dl1 = clock.latencyCycles(
-            model.latencyFo4(SK::DL1, options.dl1Bytes));
+            lat(SK::DL1, options.dl1Bytes));
         p.memLatencies.l2 = clock.latencyCycles(
-            model.latencyFo4(SK::L2, options.l2Bytes));
+            lat(SK::L2, options.l2Bytes));
         p.memLatencies.memory =
             clock.latencyCycles(cacti::modernMemoryFo4());
         // The L1<->L2 fill bus is on-chip and clocked with the core, so

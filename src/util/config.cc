@@ -14,7 +14,14 @@ Config::fromArgs(int argc, const char *const *argv)
 {
     Config cfg;
     for (int i = 1; i < argc; ++i) {
-        const std::string token = argv[i];
+        std::string token = argv[i];
+        // GNU-style spelling of the same keys: --jobs=4 == jobs=4.  A
+        // bare "--flag" becomes flag=1 so boolean knobs read naturally.
+        if (token.rfind("--", 0) == 0) {
+            token.erase(0, 2);
+            if (token.find('=') == std::string::npos)
+                token += "=1";
+        }
         const auto eq = token.find('=');
         if (eq == std::string::npos) {
             cfg.args.push_back(token);

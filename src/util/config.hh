@@ -23,8 +23,9 @@ class Config
     Config() = default;
 
     /**
-     * Parse argv-style "key=value" tokens.  Tokens without '=' are
-     * collected as positional arguments.
+     * Parse argv-style "key=value" tokens.  A leading "--" is stripped
+     * ("--jobs=4" == "jobs=4"; a bare "--flag" means flag=1).  Tokens
+     * without '=' are collected as positional arguments.
      */
     static Config fromArgs(int argc, const char *const *argv);
 

@@ -1,0 +1,152 @@
+#include "util/thread_pool.hh"
+
+namespace fo4::util
+{
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? static_cast<int>(n) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+    : count(threads <= 0 ? hardwareThreads() : threads)
+{
+    // The waiting thread helps, so a pool of `count` needs count - 1
+    // dedicated workers; count == 1 runs everything on the waiter.
+    workers.reserve(static_cast<std::size_t>(count - 1));
+    for (int i = 0; i < count - 1; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    available.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.push_back(std::move(task));
+    }
+    available.notify_one();
+}
+
+bool
+ThreadPool::runOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (queue.empty())
+            return false;
+        task = std::move(queue.front());
+        queue.pop_front();
+    }
+    task(); // task wrappers never throw (TaskGroup captures)
+    return true;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            available.wait(lock,
+                           [this] { return stopping || !queue.empty(); });
+            if (stopping && queue.empty())
+                return;
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+    }
+}
+
+TaskGroup::~TaskGroup()
+{
+    // A group abandoned early (e.g. by an exception in the submitting
+    // scope) must still not let tasks outlive it; drain, don't rethrow.
+    drain();
+}
+
+void
+TaskGroup::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++pending;
+    }
+    pool.enqueue([this, task = std::move(task)]() noexcept {
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        finishTask(error);
+    });
+}
+
+void
+TaskGroup::finishTask(std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (error && !firstError)
+        firstError = error;
+    --pending;
+    // Notify on every completion, not only the last: a waiter that went
+    // to sleep because the queue looked empty must re-poll it, since a
+    // finishing task may have submitted new (nested) work.  The notify
+    // happens while the lock is held: once a waiter can observe
+    // pending == 0 (it checks under this mutex) the notify call has
+    // already returned, so the group — and this condvar — may be
+    // destroyed immediately after without racing us.
+    drained.notify_all();
+}
+
+void
+TaskGroup::drain()
+{
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (pending == 0)
+                return;
+        }
+        if (pool.runOne())
+            continue;
+        // Nothing queued; our stragglers are running on workers.  Sleep
+        // until one of them completes, then re-check the queue — the
+        // finishing task may have submitted nested work.
+        std::unique_lock<std::mutex> lock(mutex);
+        if (pending > 0)
+            drained.wait(lock);
+    }
+}
+
+void
+TaskGroup::wait()
+{
+    drain();
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        std::swap(error, firstError);
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace fo4::util

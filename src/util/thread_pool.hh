@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A fixed-size worker pool with structured fan-out.  Deliberately
+ * work-stealing-free: there is one shared FIFO queue, so the assignment
+ * of tasks to workers is scheduling-dependent but the *set* of tasks
+ * executed, and anything they write to disjoint slots, is not.
+ *
+ * The intended usage is structured: create a TaskGroup, submit the
+ * fan-out, wait().  wait() is a *helping* wait — the waiting thread
+ * drains queued tasks itself instead of blocking, which gives two
+ * properties the sweep engine relies on:
+ *
+ *  - a ThreadPool built with `threads == 1` spawns no workers at all;
+ *    every task runs inline, in submission order, on the thread that
+ *    calls wait().  The serial path and the parallel path are therefore
+ *    the same code;
+ *  - a task may itself create a TaskGroup on the same pool and wait on
+ *    it (nested fan-out) without deadlocking, because waiting threads
+ *    keep executing queued work.
+ *
+ * Exceptions thrown by a task are captured; TaskGroup::wait() rethrows
+ * the first one after every task in the group has finished, so a
+ * throwing task never abandons its siblings mid-flight and never takes
+ * down a worker thread.
+ */
+
+#ifndef FO4_UTIL_THREAD_POOL_HH
+#define FO4_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fo4::util
+{
+
+class TaskGroup;
+
+/** Fixed-size pool; `threads` counts the helping waiter, so `threads`
+ *  is the true parallelism and 1 means strictly serial execution. */
+class ThreadPool
+{
+  public:
+    /** `threads` <= 0 selects hardwareThreads(). */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Configured parallelism (workers + the helping waiter). */
+    int threadCount() const { return count; }
+
+    /** std::thread::hardware_concurrency with a sane floor of 1. */
+    static int hardwareThreads();
+
+  private:
+    friend class TaskGroup;
+
+    /** Enqueue one task (TaskGroup wraps bookkeeping around it). */
+    void enqueue(std::function<void()> task);
+
+    /** Pop and run one queued task inline; false if the queue is empty. */
+    bool runOne();
+
+    void workerLoop();
+
+    int count = 1;
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable available;
+    bool stopping = false;
+};
+
+/**
+ * One structured fan-out: submit N tasks, then wait() for all of them.
+ * The group records the first exception any task throws and rethrows it
+ * from wait() once the whole group has drained.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool(pool) {}
+
+    /** Waits for stragglers, swallowing any unretrieved exception (a
+     *  caller that cares must call wait() itself). */
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Add one task to the group and make it runnable. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Help execute queued tasks until every task of this group has
+     * completed, then rethrow the first captured exception, if any.
+     */
+    void wait();
+
+  private:
+    void drain();
+    void finishTask(std::exception_ptr error);
+
+    ThreadPool &pool;
+    std::mutex mutex;
+    std::condition_variable drained;
+    std::size_t pending = 0;
+    std::exception_ptr firstError;
+};
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_THREAD_POOL_HH

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/core.hh"
+#include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
 #include "trace/file_trace.hh"
@@ -323,6 +324,74 @@ TEST(SuiteIsolation, BrokenJobsDoNotSinkTheSuite)
     EXPECT_NE(report.find("FAILED [TraceCorrupt]"), std::string::npos);
     EXPECT_NE(report.find("FAILED [Deadlock]"), std::string::npos);
     EXPECT_NE(report.find("3 of 5"), std::string::npos);
+}
+
+TEST(SuiteIsolation, ConcurrentFaultsStayIsolatedPerJob)
+{
+    // The parallel engine must not let one worker's fault leak into a
+    // sibling running at the same time: inject a corrupt trace and
+    // three watchdog deadlocks among nine healthy jobs and fan the lot
+    // across 8 threads, repeatedly.
+    TempFile corrupt("concurrent_corrupt.fo4t");
+    auto bytes = healthyTraceBytes(corrupt.path(), 512);
+    bytes[16 + 32 * 40 + 30] = static_cast<char>(0xEE);
+    writeFile(corrupt.path(), bytes);
+
+    std::vector<study::BenchJob> jobs;
+    int sabotaged = 0;
+    for (const char *name : {"164.gzip", "175.vpr", "176.gcc", "181.mcf",
+                             "197.parser", "252.eon", "253.perlbmk",
+                             "256.bzip2", "300.twolf"}) {
+        jobs.push_back(study::BenchJob::fromProfile(
+            trace::spec2000Profile(name)));
+        // Every third job is followed by a saboteur so the failures are
+        // spread across the grid, not clustered at one end.
+        if (jobs.size() % 3 == 0 && sabotaged < 3) {
+            if (++sabotaged == 2) {
+                jobs.push_back(study::BenchJob::fromTraceFile(
+                    "corrupt", trace::BenchClass::Integer,
+                    corrupt.path()));
+            } else {
+                auto hung = study::BenchJob::fromProfile(
+                    trace::spec2000Profile("164.gzip"));
+                hung.name = util::strprintf("hung-%d", sabotaged);
+                hung.cycleLimit = 20;
+                jobs.push_back(hung);
+            }
+        }
+    }
+
+    study::RunSpec spec;
+    spec.instructions = 2000;
+    spec.warmup = 250;
+    spec.prewarm = 20000;
+    spec.cycleLimit = 1000000;
+
+    const auto params = study::scaledCoreParams(6.0, {});
+    const auto clock = study::scaledClock(6.0);
+    const auto reference =
+        study::serializeSuite(study::runSuite(params, clock, jobs, spec));
+
+    const study::ParallelRunner runner(8);
+    for (int round = 0; round < 3; ++round) {
+        const auto suite = runner.runSuite(params, clock, jobs, spec);
+        ASSERT_EQ(suite.benchmarks.size(), jobs.size());
+        EXPECT_EQ(suite.succeeded(), jobs.size() - 3);
+
+        const auto failures = suite.failures();
+        ASSERT_EQ(failures.size(), 3u);
+        EXPECT_EQ(failures[0]->name, "hung-1");
+        EXPECT_EQ(failures[0]->error.code(), ErrorCode::Deadlock);
+        EXPECT_EQ(failures[1]->name, "corrupt");
+        EXPECT_EQ(failures[1]->error.code(), ErrorCode::TraceCorrupt);
+        EXPECT_EQ(failures[2]->name, "hung-3");
+        EXPECT_EQ(failures[2]->error.code(), ErrorCode::Deadlock);
+
+        // And not just the failure pattern: the whole suite is
+        // bit-for-bit the serial run, every round.
+        EXPECT_EQ(study::serializeSuite(suite), reference)
+            << "round " << round;
+    }
 }
 
 TEST(SuiteIsolation, SuiteLevelMisconfigurationStillThrows)
