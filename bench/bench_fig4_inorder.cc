@@ -94,6 +94,7 @@ main(int argc, char **argv)
                     "curve peaks over a mid-depth plateau";
     if (!bench::onPlateau(p18, 6))
         v += "; WARNING: 6 FO4 fell off the plateau";
+    bench::printLatencyCacheStats(bench::verboseFromArgs(argc, argv));
     bench::verdict(v);
     return 0;
 }

@@ -5,12 +5,19 @@
  * logic per stage, with the 1.8 FO4 overhead.  Optimal t_useful is 6 FO4
  * for integer codes, 4 FO4 for vector FP and 5 FO4 for non-vector FP;
  * the corresponding integer clock period is 7.8 FO4 (~3.6 GHz at 100nm).
+ *
+ * Durability: `checkpoint=PATH` journals every finished grid cell, so a
+ * crash or Ctrl-C loses at most the in-flight cells and a rerun with the
+ * same arguments resumes where it stopped (pass `resume=0` to discard an
+ * existing journal and start over).  Ctrl-C cancels cooperatively: the
+ * sweep drains, flushes the journal, and exits with status 130.
  */
 
-#include <fstream>
+#include <cstdio>
+#include <memory>
 
 #include "bench/common.hh"
-#include "study/parallel.hh"
+#include "study/checkpoint.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
 #include "trace/spec2000.hh"
@@ -19,8 +26,11 @@
 
 using namespace fo4;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+fig5(int argc, char **argv)
 {
     bench::banner(
         "E7 / Figure 5",
@@ -32,14 +42,45 @@ main(int argc, char **argv)
     const auto profiles = trace::spec2000Profiles();
     const auto ts = bench::usefulSweep();
 
+    const util::Config cfg = util::Config::fromArgs(argc, argv);
+    cfg.checkKnown({"instructions", "warmup", "prewarm", "jobs", "csv",
+                    "checkpoint", "resume", "attempts", "verbose"});
+    const std::string csvPath = cfg.getString("csv", "");
+    const std::string checkpointPath = cfg.getString("checkpoint", "");
+    const bool resume = cfg.getBool("resume", true);
+    const bool verbose = cfg.getBool("verbose", false);
+
+    // Ctrl-C drains the sweep, flushes the journal, exits 130.
+    util::CancelToken cancel;
+    bench::installSigintCancel(cancel);
+
+    if (!checkpointPath.empty() && !resume)
+        std::remove(checkpointPath.c_str());
+
+    study::CheckpointOptions copts;
+    copts.journalPath = checkpointPath;
+    copts.threads = bench::jobsFromArgs(argc, argv);
+    copts.cancel = &cancel;
+    copts.retry.maxAttempts =
+        static_cast<int>(cfg.getPositiveInt("attempts", 1));
+    study::CheckpointedRunner runner(std::move(copts));
+
+    const auto points =
+        runner.sweepScaling(ts, study::SweepOptions{}, profiles, spec);
+    if (verbose) {
+        const auto &rep = runner.report();
+        std::printf("cells: %zu total, %zu replayed from checkpoint, %zu "
+                    "simulated, %zu retried attempts%s\n",
+                    rep.totalCells, rep.replayedCells, rep.executedCells,
+                    rep.retriedAttempts,
+                    rep.tornTailDiscarded ? " (torn tail discarded)" : "");
+    }
+
     // Optional machine-readable series for replotting: csv=/path/out.csv
-    const std::string csvPath =
-        util::Config::fromArgs(argc, argv).getString("csv", "");
-    std::ofstream csvFile;
-    std::unique_ptr<util::CsvWriter> csv;
+    // (written atomically — the file appears only when complete).
+    std::unique_ptr<util::AtomicCsvFile> csv;
     if (!csvPath.empty()) {
-        csvFile.open(csvPath);
-        csv = std::make_unique<util::CsvWriter>(csvFile);
+        csv = std::make_unique<util::AtomicCsvFile>(csvPath);
         csv->writeRow({"t_useful", "period_fo4", "ghz", "benchmark",
                        "class", "ipc", "bips"});
     }
@@ -47,10 +88,6 @@ main(int argc, char **argv)
     util::TextTable t;
     t.setHeader({"t_useful", "period", "GHz", "int", "vector-fp",
                  "non-vector-fp", "all"});
-
-    study::SweepOptions sweep;
-    sweep.threads = bench::jobsFromArgs(argc, argv);
-    const auto points = study::sweepScaling(ts, sweep, profiles, spec);
 
     std::vector<double> intB, vfpB, nvfpB, allB;
     for (const auto &point : points) {
@@ -81,6 +118,8 @@ main(int argc, char **argv)
                   util::TextTable::num(nvfpB.back(), 3),
                   util::TextTable::num(allB.back(), 3)});
     }
+    if (csv)
+        csv->commit();
     t.print(std::cout);
 
     const double optInt = bench::argmax(ts, intB);
@@ -103,6 +142,8 @@ main(int argc, char **argv)
                 study::scaledClock(6).periodFo4(),
                 study::scaledClock(6).frequencyGhz());
 
+    bench::printLatencyCacheStats(verbose);
+
     std::string v = "vector FP prefers the deepest pipeline, integer the "
                     "shallowest of the three optima, non-vector FP in "
                     "between; vector FP outperforms the other classes "
@@ -116,4 +157,12 @@ main(int argc, char **argv)
     }
     bench::verdict(v);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return fo4::util::runTopLevel([&] { return fig5(argc, argv); });
 }

@@ -83,6 +83,7 @@ main(int argc, char **argv)
                 "%.2fx (deeper gains more)\n",
                 deepGain, shallowGain);
 
+    bench::printLatencyCacheStats(bench::verboseFromArgs(argc, argv));
     bench::verdict("the optimum moves by at most a couple of FO4 across "
                    "overheads 1..5, and overhead reduction helps deep "
                    "pipelines more than shallow ones");

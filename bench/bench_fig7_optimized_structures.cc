@@ -69,6 +69,7 @@ main(int argc, char **argv)
                 "capacities: %.0f FO4 (paper: 6 both ways)\n",
                 bench::argmax(ts, base), bench::argmax(ts, tuned));
 
+    bench::printLatencyCacheStats(bench::verboseFromArgs(argc, argv));
     bench::verdict("optimization lifts the whole curve without moving "
                    "the optimal logic depth away from ~6 FO4");
     return 0;

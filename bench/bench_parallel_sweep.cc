@@ -99,6 +99,7 @@ parallelSweep(int argc, char **argv)
                     mismatched, ts.size());
         return 1;
     }
+    bench::printLatencyCacheStats(bench::verboseFromArgs(argc, argv));
     bench::verdict("all " + std::to_string(ts.size()) +
                    " sweep points byte-identical to the serial engine");
     return 0;

@@ -2,22 +2,33 @@
  * @file
  * Shared plumbing for the experiment harnesses: a uniform banner, the
  * standard run-length knobs (override with instructions= warmup=
- * prewarm= key=value arguments), and paper-vs-model table helpers.
+ * prewarm= key=value arguments), SIGINT-driven cooperative cancellation,
+ * and paper-vs-model table helpers.
  */
 
 #ifndef FO4_BENCH_COMMON_HH
 #define FO4_BENCH_COMMON_HH
 
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "cacti/latency_cache.hh"
 #include "study/runner.hh"
+#include "util/cancel.hh"
 #include "util/config.hh"
 #include "util/table.hh"
 
 namespace fo4::bench
 {
+
+/** Ctrl-C → cooperative cancellation (see util::installSigintCancel). */
+inline void
+installSigintCancel(util::CancelToken &token)
+{
+    util::installSigintCancel(token);
+}
 
 /** Print the experiment banner: id, claim being reproduced. */
 inline void
@@ -42,14 +53,42 @@ specFromArgs(int argc, char **argv, std::uint64_t instructions = 80000,
 
 /**
  * Worker-thread count for the sweep engine, from `jobs=N` (or
- * `--jobs=N`).  Defaults to serial; `jobs=0` uses every hardware
- * thread.  Results are identical at any value (see study/parallel.hh).
+ * `--jobs=N`).  Defaults to serial; N must be >= 1 — `jobs=0` and
+ * negative values are rejected with a typed ConfigError rather than
+ * silently picking a thread count.  Results are identical at any value
+ * (see study/parallel.hh).
  */
 inline int
 jobsFromArgs(int argc, char **argv)
 {
     return static_cast<int>(
-        util::Config::fromArgs(argc, argv).getInt("jobs", 1));
+        util::Config::fromArgs(argc, argv).getPositiveInt("jobs", 1));
+}
+
+/** The `verbose=`/`--verbose` flag (engineering diagnostics). */
+inline bool
+verboseFromArgs(int argc, char **argv)
+{
+    return util::Config::fromArgs(argc, argv).getBool("verbose", false);
+}
+
+/**
+ * Under verbose=, print the structure-latency cache counters — the
+ * sweep memoization working shows up as a high hit count and exactly
+ * one insert per distinct (calibration, structure, capacity) point.
+ */
+inline void
+printLatencyCacheStats(bool verbose)
+{
+    if (!verbose)
+        return;
+    const auto s = cacti::LatencyCache::global().stats();
+    std::printf("\nlatency cache: %llu lookups (%llu hits, %llu misses), "
+                "%llu inserts\n",
+                static_cast<unsigned long long>(s.lookups()),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.inserts));
 }
 
 /** The t_useful sweep the paper uses (2..16 FO4). */

@@ -6,11 +6,18 @@
  *
  *   ./pipeline_explorer [bench=176.gcc | class=integer] [overhead=1.8]
  *                       [model=ooo|inorder] [instructions=80000]
+ *                       [checkpoint=/path/run.journal] [resume=1]
+ *
+ * With checkpoint= every finished grid cell is journaled; an interrupted
+ * sweep (Ctrl-C exits with status 130 after flushing) resumes from the
+ * journal on the next run with the same arguments.  resume=0 discards an
+ * existing journal and starts over.
  */
 
 #include <cstdio>
 #include <iostream>
 
+#include "study/checkpoint.hh"
 #include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
@@ -49,10 +56,13 @@ explore(int argc, char **argv)
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
     cfg.checkKnown({"bench", "class", "overhead", "model", "instructions",
-                    "prewarm", "jobs"});
+                    "prewarm", "jobs", "checkpoint", "resume"});
     const auto profiles = pickProfiles(cfg);
     const double overhead = cfg.getDouble("overhead", 1.8);
-    const int jobs = static_cast<int>(cfg.getInt("jobs", 1));
+    const int jobs = static_cast<int>(cfg.getPositiveInt("jobs", 1));
+    const std::string checkpoint = cfg.getString("checkpoint", "");
+    if (!checkpoint.empty() && !cfg.getBool("resume", true))
+        std::remove(checkpoint.c_str());
 
     study::RunSpec spec;
     spec.instructions = cfg.getInt("instructions", 80000);
@@ -62,20 +72,34 @@ explore(int argc, char **argv)
                      ? study::CoreModel::InOrder
                      : study::CoreModel::OutOfOrder;
 
+    // Ctrl-C cancels cooperatively: drain, flush the journal, exit 130.
+    util::CancelToken cancel;
+    util::installSigintCancel(cancel);
+
+    study::CheckpointOptions copts;
+    copts.journalPath = checkpoint;
+    copts.threads = jobs;
+    copts.cancel = &cancel;
+    study::CheckpointedRunner runner(std::move(copts));
+
     std::printf("sweeping t_useful = 2..16 FO4, overhead %.1f FO4, %zu "
                 "benchmark(s), %s core, %d worker thread(s)\n\n",
                 overhead, profiles.size(),
                 spec.model == study::CoreModel::InOrder ? "in-order"
                                                         : "out-of-order",
-                study::ParallelRunner(jobs).threads());
+                runner.threads());
 
     std::vector<double> ts;
     for (double u = 2; u <= 16; u += 1)
         ts.push_back(u);
     study::SweepOptions sweep;
     sweep.overhead = tech::OverheadModel::uniform(overhead);
-    sweep.threads = jobs;
-    const auto points = study::sweepScaling(ts, sweep, profiles, spec);
+    const auto points = runner.sweepScaling(ts, sweep, profiles, spec);
+    if (runner.report().resumed) {
+        std::printf("resumed from checkpoint: %zu of %zu cells replayed\n",
+                    runner.report().replayedCells,
+                    runner.report().totalCells);
+    }
 
     util::TextTable t;
     t.setHeader({"t_useful", "period(FO4)", "GHz", "hmean IPC",

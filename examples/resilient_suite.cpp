@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "study/checkpoint.hh"
 #include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
@@ -89,14 +90,25 @@ resilientSuite(int argc, char **argv)
     hung.cycleLimit = 10; // far below any real completion time
     jobs.push_back(hung);
 
+    // Ctrl-C aborts the suite cooperatively (exit 130) instead of
+    // killing the process mid-write.
+    util::CancelToken cancel;
+    util::installSigintCancel(cancel);
+
     // Fault isolation holds under parallel execution too: a deadlocked
-    // or corrupt job fails alone no matter which worker ran it.
-    const study::ParallelRunner runner(
-        static_cast<int>(cfg.getInt("jobs", 1)));
+    // or corrupt job fails alone no matter which worker ran it.  The
+    // checkpointed runner (journalless here) threads the cancel token
+    // down to every simulation's per-cycle check.
+    study::CheckpointOptions copts;
+    copts.threads = static_cast<int>(cfg.getPositiveInt("jobs", 1));
+    copts.cancel = &cancel;
+    study::CheckpointedRunner runner(std::move(copts));
     std::printf("running %zu benchmarks (2 sabotaged on purpose) on %d "
                 "worker thread(s)\n\n",
                 jobs.size(), runner.threads());
-    const auto suite = runner.runSuite(params, clock, jobs, spec);
+    const auto suite =
+        runner.runGrid({study::GridPoint{params, clock}}, jobs, spec)
+            .front();
     study::printSuite(std::cout, suite);
 
     // The suite ran to the end; the broken jobs are data, not a crash.

@@ -70,7 +70,8 @@ LatencyCache::latencyFo4(const StructureModel &model, StructureKind kind,
     // and concurrent first lookups of the same key are idempotent.
     const double latency = model.latencyFo4(kind, capacity);
     std::lock_guard<std::mutex> lock(mutex);
-    table.emplace(key, latency);
+    if (table.emplace(key, latency).second)
+        ++counters.inserts;
     return latency;
 }
 

@@ -28,11 +28,17 @@
 namespace fo4::cacti
 {
 
-/** Hit/miss counters, for tests and the engineering benches. */
+/** Hit/miss/insert counters, for tests and the engineering benches. */
 struct LatencyCacheStats
 {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /**
+     * Entries actually added to the table.  Under concurrency this can
+     * lag `misses`: two threads may miss on the same key, both compute,
+     * and only the first emplace inserts.  Serially, inserts == misses.
+     */
+    std::uint64_t inserts = 0;
     std::uint64_t lookups() const { return hits + misses; }
 };
 

@@ -12,6 +12,7 @@
 
 #include "core/params.hh"
 #include "trace/trace.hh"
+#include "util/cancel.hh"
 
 namespace fo4::core
 {
@@ -94,12 +95,20 @@ class Core
      * a pipeline-state diagnostic dump.  0 selects the default budget of
      * 1000 cycles per instruction plus 100k slack.  Invalid arguments
      * (zero instructions) throw ConfigError.
+     *
+     * `cancel` hooks the simulation into cooperative cancellation: the
+     * token is polled alongside the per-cycle watchdog check, and a
+     * cancellation request makes the run throw util::CancelledError at
+     * the next cycle boundary — mid-simulation, not just between jobs,
+     * so a Ctrl-C never waits behind a multi-second cell.  nullptr
+     * (the default) disables the check.
      */
     virtual SimResult run(trace::TraceSource &trace,
                           std::uint64_t instructions,
                           std::uint64_t warmup = 0,
                           std::uint64_t prewarm = 0,
-                          std::uint64_t cycleLimit = 0) = 0;
+                          std::uint64_t cycleLimit = 0,
+                          const util::CancelToken *cancel = nullptr) = 0;
 
     virtual const CoreParams &params() const = 0;
 };

@@ -149,7 +149,7 @@ InorderCore::doFetch(SimResult &result)
 SimResult
 InorderCore::run(trace::TraceSource &trace, std::uint64_t instructions,
                  std::uint64_t warmup, std::uint64_t prewarm,
-                 std::uint64_t cycleLimit)
+                 std::uint64_t cycleLimit, const util::CancelToken *cancel)
 {
     if (instructions == 0)
         throw util::ConfigError("nothing to simulate (instructions=0)");
@@ -190,6 +190,18 @@ InorderCore::run(trace::TraceSource &trace, std::uint64_t instructions,
         if (static_cast<std::uint64_t>(now) >= limit) {
             source = nullptr;
             throw util::DeadlockError(watchdogDump(result, total, limit));
+        }
+        // Cancellation rides the watchdog check: same cadence, same
+        // cleanup, but a CancelledError — the run is abandoned, not
+        // diagnosed as hung.
+        if (cancel && cancel->cancelled()) {
+            source = nullptr;
+            throw util::CancelledError(util::strprintf(
+                "in-order simulation cancelled at cycle %lld after "
+                "%llu of %llu instructions",
+                static_cast<long long>(now),
+                static_cast<unsigned long long>(result.instructions),
+                static_cast<unsigned long long>(total)));
         }
     }
 

@@ -31,7 +31,8 @@ class InorderCore : public Core
 
     SimResult run(trace::TraceSource &trace, std::uint64_t instructions,
                   std::uint64_t warmup = 0, std::uint64_t prewarm = 0,
-                  std::uint64_t cycleLimit = 0) override;
+                  std::uint64_t cycleLimit = 0,
+                  const util::CancelToken *cancel = nullptr) override;
 
     const CoreParams &params() const override { return prm; }
 

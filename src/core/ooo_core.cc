@@ -236,7 +236,7 @@ OooCore::doFetch(SimResult &result)
 SimResult
 OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
              std::uint64_t warmup, std::uint64_t prewarm,
-             std::uint64_t cycleLimit)
+             std::uint64_t cycleLimit, const util::CancelToken *cancel)
 {
     if (instructions == 0)
         throw util::ConfigError("nothing to simulate (instructions=0)");
@@ -273,6 +273,18 @@ OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
         if (static_cast<std::uint64_t>(now) >= limit) {
             traceSource = nullptr;
             throw util::DeadlockError(watchdogDump(result, total, limit));
+        }
+        // Cancellation rides the watchdog check: same cadence, same
+        // cleanup, but a CancelledError — the run is abandoned, not
+        // diagnosed as hung.
+        if (cancel && cancel->cancelled()) {
+            traceSource = nullptr;
+            throw util::CancelledError(util::strprintf(
+                "out-of-order simulation cancelled at cycle %lld after "
+                "%llu of %llu instructions",
+                static_cast<long long>(now),
+                static_cast<unsigned long long>(result.instructions),
+                static_cast<unsigned long long>(total)));
         }
     }
 

@@ -49,7 +49,8 @@ class OooCore : public Core, private WakeupOracle
 
     SimResult run(trace::TraceSource &trace, std::uint64_t instructions,
                   std::uint64_t warmup = 0, std::uint64_t prewarm = 0,
-                  std::uint64_t cycleLimit = 0) override;
+                  std::uint64_t cycleLimit = 0,
+                  const util::CancelToken *cancel = nullptr) override;
 
     const CoreParams &params() const override { return prm; }
 

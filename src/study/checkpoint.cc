@@ -1,0 +1,651 @@
+#include "study/checkpoint.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "study/scaling.hh"
+#include "util/journal.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/thread_pool.hh"
+
+namespace fo4::study
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Identity fingerprint.
+//
+// Every input that can influence a result byte is rendered into one
+// canonical text (doubles in hexfloat, strings length-prefixed so no
+// concatenation can collide) and hashed with FNV-1a.  Anything *not*
+// rendered here — thread count, retry policy, journal path — is
+// asserted by the determinism contract to be unable to change results,
+// and therefore must not block a resume.
+// ---------------------------------------------------------------------
+
+class IdentityHasher
+{
+  public:
+    void
+    i(long long v)
+    {
+        text += util::strprintf("i%lld;", v);
+    }
+
+    void
+    u(unsigned long long v)
+    {
+        text += util::strprintf("u%llu;", v);
+    }
+
+    void
+    d(double v)
+    {
+        text += util::strprintf("d%a;", v);
+    }
+
+    void
+    s(const std::string &v)
+    {
+        text += util::strprintf("s%zu:", v.size());
+        text += v;
+        text += ';';
+    }
+
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = 14695981039346656037ull;
+        for (const char c : text) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+
+  private:
+    std::string text;
+};
+
+void
+hashCacheParams(IdentityHasher &h, const mem::CacheParams &c)
+{
+    h.u(c.capacityBytes);
+    h.u(c.lineBytes);
+    h.u(c.associativity);
+}
+
+void
+hashCoreParams(IdentityHasher &h, const core::CoreParams &p)
+{
+    h.i(p.fetchWidth);
+    h.i(p.renameWidth);
+    h.i(p.commitWidth);
+    h.i(p.intIssueWidth);
+    h.i(p.fpIssueWidth);
+    h.i(p.memIssueWidth);
+    h.i(p.robSize);
+    h.i(p.lsqSize);
+    h.i(p.fetchQueueSize);
+    h.i(p.window.capacity);
+    h.i(p.window.wakeupStages);
+    h.i(static_cast<int>(p.window.select));
+    for (const int cap : p.window.preselectCap)
+        h.i(cap);
+    h.i(p.fetchStages);
+    h.i(p.decodeStages);
+    h.i(p.renameStages);
+    h.i(p.regReadStages);
+    h.i(p.commitStages);
+    h.i(p.issueLatency);
+    for (const int cycles : p.execCycles)
+        h.i(cycles);
+    h.i(p.memLatencies.dl1);
+    h.i(p.memLatencies.l2);
+    h.i(p.memLatencies.memory);
+    h.i(p.memLatencies.flat);
+    h.i(p.memLatencies.l2BusCycles);
+    h.i(p.memLatencies.memBusCycles);
+    h.i(static_cast<int>(p.memoryMode));
+    hashCacheParams(h, p.dl1);
+    hashCacheParams(h, p.l2);
+    h.i(p.extraMispredictPenalty);
+    h.i(p.extraLoadUse);
+    h.i(p.extraWakeup);
+}
+
+void
+hashClock(IdentityHasher &h, const tech::ClockModel &c)
+{
+    h.d(c.tech.drawnGateLengthNm);
+    h.d(c.tUsefulFo4);
+    h.d(c.overhead.latchFo4);
+    h.d(c.overhead.skewFo4);
+    h.d(c.overhead.jitterFo4);
+}
+
+void
+hashProfile(IdentityHasher &h, const trace::BenchmarkProfile &p)
+{
+    h.s(p.name);
+    h.i(static_cast<int>(p.cls));
+    h.d(p.wIntAlu);
+    h.d(p.wIntMult);
+    h.d(p.wFpAdd);
+    h.d(p.wFpMult);
+    h.d(p.wFpDiv);
+    h.d(p.wFpSqrt);
+    h.d(p.wLoad);
+    h.d(p.wStore);
+    h.d(p.meanDepDistance);
+    h.d(p.minDepDistance);
+    h.d(p.src2Prob);
+    h.d(p.fpSourceAffinity);
+    h.d(p.fpLoadFraction);
+    h.d(p.meanBlockSize);
+    h.i(p.staticBranches);
+    h.d(p.biasedBranchFraction);
+    h.d(p.strongBias);
+    h.d(p.patternBranchFraction);
+    h.d(p.correlatedBranchFraction);
+    h.d(p.takenBiasFraction);
+    h.d(p.branchDepDistance);
+    h.u(p.workingSetBytes);
+    h.d(p.strideFraction);
+    h.i(p.strideStreams);
+    h.d(p.lineStrideProb);
+    h.d(p.zipfExponent);
+    h.u(p.seed);
+}
+
+void
+hashJob(IdentityHasher &h, const BenchJob &job)
+{
+    h.s(job.name);
+    h.i(static_cast<int>(job.cls));
+    h.i(job.profile.has_value());
+    if (job.profile)
+        hashProfile(h, *job.profile);
+    h.s(job.tracePath);
+    h.i(job.params.has_value());
+    if (job.params)
+        hashCoreParams(h, *job.params);
+    h.i(job.cycleLimit.has_value());
+    if (job.cycleLimit)
+        h.u(*job.cycleLimit);
+}
+
+void
+hashSpec(IdentityHasher &h, const RunSpec &spec)
+{
+    h.i(static_cast<int>(spec.model));
+    h.s(spec.predictor);
+    h.u(spec.instructions);
+    h.u(spec.warmup);
+    h.u(spec.prewarm);
+    h.u(spec.cycleLimit);
+}
+
+// ---------------------------------------------------------------------
+// Cell record encoding (journal payloads).
+//
+// Binary little-endian; doubles as raw bit patterns so a replayed
+// BenchResult is bit-for-bit the one that was journaled.
+// ---------------------------------------------------------------------
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v));
+    out.push_back(static_cast<char>(v >> 8));
+    out.push_back(static_cast<char>(v >> 16));
+    out.push_back(static_cast<char>(v >> 24));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v));
+    putU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+/** Bounds-checked reader over a record payload. */
+class Cursor
+{
+  public:
+    Cursor(const std::string &data, const std::string &path)
+        : p(reinterpret_cast<const unsigned char *>(data.data())),
+          remaining(data.size()), path(path)
+    {
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                                static_cast<std::uint32_t>(p[1]) << 8 |
+                                static_cast<std::uint32_t>(p[2]) << 16 |
+                                static_cast<std::uint32_t>(p[3]) << 24;
+        p += 4;
+        remaining -= 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | static_cast<std::uint64_t>(u32()) << 32;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(p), n);
+        p += n;
+        remaining -= n;
+        return s;
+    }
+
+    void
+    done() const
+    {
+        if (remaining != 0) {
+            throw util::JournalError(
+                util::ErrorCode::JournalCorrupt,
+                util::strprintf("journal '%s': cell record has %zu "
+                                "trailing bytes",
+                                path.c_str(), remaining));
+        }
+    }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (remaining < n) {
+            throw util::JournalError(
+                util::ErrorCode::JournalCorrupt,
+                util::strprintf("journal '%s': cell record truncated "
+                                "(need %zu bytes, have %zu)",
+                                path.c_str(), n, remaining));
+        }
+    }
+
+    const unsigned char *p;
+    std::size_t remaining;
+    const std::string &path;
+};
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+doubleFromBits(std::uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+encodeCell(std::size_t point, std::size_t job, const BenchResult &r)
+{
+    std::string out;
+    out.reserve(96 + r.name.size() + r.error.message().size());
+    putU32(out, static_cast<std::uint32_t>(point));
+    putU32(out, static_cast<std::uint32_t>(job));
+    putStr(out, r.name);
+    putU32(out, static_cast<std::uint32_t>(r.cls));
+    putU64(out, r.sim.instructions);
+    putU64(out, r.sim.cycles);
+    putU64(out, r.sim.branches);
+    putU64(out, r.sim.mispredicts);
+    putU64(out, r.sim.loads);
+    putU64(out, r.sim.stores);
+    putU64(out, r.sim.dl1Misses);
+    putU64(out, r.sim.l2Misses);
+    putU64(out, doubleBits(r.bips));
+    putU32(out, static_cast<std::uint32_t>(r.error.code()));
+    putStr(out, r.error.message());
+    return out;
+}
+
+struct CellRecord
+{
+    std::size_t point = 0;
+    std::size_t job = 0;
+    BenchResult result;
+};
+
+CellRecord
+decodeCell(const std::string &payload, const std::string &path)
+{
+    Cursor c(payload, path);
+    CellRecord cell;
+    cell.point = c.u32();
+    cell.job = c.u32();
+    cell.result.name = c.str();
+    cell.result.cls = static_cast<trace::BenchClass>(c.u32());
+    cell.result.sim.instructions = c.u64();
+    cell.result.sim.cycles = c.u64();
+    cell.result.sim.branches = c.u64();
+    cell.result.sim.mispredicts = c.u64();
+    cell.result.sim.loads = c.u64();
+    cell.result.sim.stores = c.u64();
+    cell.result.sim.dl1Misses = c.u64();
+    cell.result.sim.l2Misses = c.u64();
+    cell.result.bips = doubleFromBits(c.u64());
+    const auto code = static_cast<util::ErrorCode>(c.u32());
+    const std::string message = c.str();
+    c.done();
+    cell.result.error = code == util::ErrorCode::Ok
+                            ? util::Status::ok()
+                            : util::Status(code, message);
+    return cell;
+}
+
+std::vector<BenchJob>
+jobsFromProfiles(const std::vector<trace::BenchmarkProfile> &profiles)
+{
+    std::vector<BenchJob> jobs;
+    jobs.reserve(profiles.size());
+    for (const auto &profile : profiles)
+        jobs.push_back(BenchJob::fromProfile(profile));
+    return jobs;
+}
+
+} // namespace
+
+std::uint64_t
+gridFingerprint(const std::vector<GridPoint> &points,
+                const std::vector<BenchJob> &jobs, const RunSpec &spec)
+{
+    IdentityHasher h;
+    h.u(points.size());
+    for (const auto &point : points) {
+        hashCoreParams(h, point.params);
+        hashClock(h, point.clock);
+    }
+    h.u(jobs.size());
+    for (const auto &job : jobs)
+        hashJob(h, job);
+    hashSpec(h, spec);
+    return h.hash();
+}
+
+bool
+RetryPolicy::transientCode(util::ErrorCode code)
+{
+    return code == util::ErrorCode::TraceIo ||
+           code == util::ErrorCode::Internal;
+}
+
+double
+RetryPolicy::delayMs(int attempt, std::uint64_t cellKey) const
+{
+    FO4_ASSERT(attempt >= 2, "delayMs precedes a *re*try (attempt >= 2)");
+    double delay = baseDelayMs;
+    for (int k = 2; k < attempt; ++k)
+        delay *= backoffFactor;
+    delay = std::min(delay, maxDelayMs);
+
+    // Deterministic jitter: the same (seed, cell, attempt) always draws
+    // the same factor, so a reproduction of a retried run backs off
+    // identically.
+    util::Rng rng(jitterSeed ^ (cellKey * 0x9e3779b97f4a7c15ull) ^
+                  static_cast<std::uint64_t>(attempt));
+    const double factor = 1.0 + jitterFraction * (rng.uniform() - 0.5);
+    return delay * factor;
+}
+
+util::Status
+RetryPolicy::validate() const
+{
+    util::ErrorCollector errs;
+    if (maxAttempts < 1)
+        errs.addf("maxAttempts must be >= 1 (got %d)", maxAttempts);
+    if (baseDelayMs < 0.0)
+        errs.addf("baseDelayMs must be >= 0 (got %g)", baseDelayMs);
+    if (backoffFactor < 1.0)
+        errs.addf("backoffFactor must be >= 1 (got %g)", backoffFactor);
+    if (maxDelayMs < 0.0)
+        errs.addf("maxDelayMs must be >= 0 (got %g)", maxDelayMs);
+    if (jitterFraction < 0.0 || jitterFraction > 1.0)
+        errs.addf("jitterFraction must be in [0, 1] (got %g)",
+                  jitterFraction);
+    return errs.status(util::ErrorCode::InvalidConfig);
+}
+
+CheckpointedRunner::CheckpointedRunner(CheckpointOptions options)
+    : opts(std::move(options)),
+      nThreads(opts.threads <= 0 ? util::ThreadPool::hardwareThreads()
+                                 : opts.threads)
+{
+}
+
+std::vector<SuiteResult>
+CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
+                            const std::vector<BenchJob> &jobs,
+                            const RunSpec &spec)
+{
+    // Same fail-fast validation as the plain engine, plus the policy.
+    for (const auto &point : points)
+        validateSuiteInputs(point.params, point.clock, jobs, spec);
+    if (const auto st = opts.retry.validate(); !st.isOk())
+        throw util::ConfigError("retry policy: " + st.message());
+
+    const std::size_t nJobs = jobs.size();
+    lastReport = CheckpointReport{};
+    lastReport.totalCells = points.size() * nJobs;
+
+    std::vector<SuiteResult> results(points.size());
+    for (auto &suite : results)
+        suite.benchmarks.resize(nJobs);
+    std::vector<char> done(points.size() * nJobs, 0);
+
+    // --- recovery: replay the journal, bind to it for appends ---
+    std::optional<util::JournalWriter> writer;
+    std::mutex journalMutex;
+    const std::uint64_t fingerprint = gridFingerprint(points, jobs, spec);
+    if (!opts.journalPath.empty()) {
+        if (util::journalExists(opts.journalPath)) {
+            auto recovered = util::readJournal(opts.journalPath);
+            if (recovered.fingerprint != fingerprint) {
+                throw util::JournalError(
+                    util::ErrorCode::ResumeMismatch,
+                    util::strprintf(
+                        "journal '%s' was written by a run with "
+                        "different inputs (journal identity %016llx, "
+                        "this run %016llx); refusing to merge — delete "
+                        "the journal or restore the original "
+                        "parameters",
+                        opts.journalPath.c_str(),
+                        static_cast<unsigned long long>(
+                            recovered.fingerprint),
+                        static_cast<unsigned long long>(fingerprint)));
+            }
+            lastReport.resumed = true;
+            lastReport.tornTailDiscarded = recovered.tornTail;
+            for (const auto &record : recovered.records) {
+                auto cell = decodeCell(record, opts.journalPath);
+                if (cell.point >= points.size() || cell.job >= nJobs) {
+                    throw util::JournalError(
+                        util::ErrorCode::JournalCorrupt,
+                        util::strprintf(
+                            "journal '%s': cell (%zu, %zu) outside the "
+                            "%zux%zu grid",
+                            opts.journalPath.c_str(), cell.point,
+                            cell.job, points.size(), nJobs));
+                }
+                auto &slot = done[cell.point * nJobs + cell.job];
+                if (!slot) {
+                    slot = 1;
+                    ++lastReport.replayedCells;
+                }
+                results[cell.point].benchmarks[cell.job] =
+                    std::move(cell.result);
+            }
+            writer.emplace(util::JournalWriter::appendTo(
+                opts.journalPath, recovered, opts.syncEveryRecord));
+        } else {
+            writer.emplace(util::JournalWriter::create(
+                opts.journalPath, fingerprint, opts.syncEveryRecord));
+        }
+    }
+
+    std::mutex reportMutex;
+    const auto flushJournal = [&] {
+        std::lock_guard<std::mutex> lock(journalMutex);
+        if (writer)
+            writer->close();
+    };
+    // The user-facing cancellation story: how much is on disk and how
+    // to get the rest.  Thrown from both cancel exits so the resume
+    // hint survives no matter which cell noticed the request first.
+    const auto cancelSummary = [&] {
+        const std::size_t complete =
+            lastReport.replayedCells + lastReport.executedCells;
+        return util::strprintf(
+            "sweep cancelled with %zu of %zu cells complete%s",
+            complete, lastReport.totalCells,
+            opts.journalPath.empty()
+                ? ""
+                : "; rerun with the same checkpoint to resume");
+    };
+
+    // --- fan out the incomplete cells ---
+    const auto runCell = [&](std::size_t p, std::size_t j) {
+        const std::uint64_t cellKey = p * nJobs + j;
+        BenchResult result;
+        for (int attempt = 1;; ++attempt) {
+            if (opts.onAttempt)
+                opts.onAttempt(p, j, attempt);
+            result = runJobIsolated(points[p].params, points[p].clock,
+                                    jobs[j], spec, opts.cancel);
+            if (!result.failed() ||
+                attempt >= opts.retry.maxAttempts ||
+                !RetryPolicy::transientCode(result.error.code()))
+                break;
+            {
+                std::lock_guard<std::mutex> lock(reportMutex);
+                ++lastReport.retriedAttempts;
+            }
+            const double delay =
+                opts.retry.delayMs(attempt + 1, cellKey);
+            if (delay > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(delay));
+            }
+            if (opts.cancel && opts.cancel->cancelled()) {
+                throw util::CancelledError(util::strprintf(
+                    "cell (%zu, %zu) cancelled during retry backoff",
+                    p, j));
+            }
+        }
+        results[p].benchmarks[j] = std::move(result);
+        // Journal *after* the slot write: the record is the durable
+        // acknowledgement, so a crash between the two just reruns the
+        // cell.  Append order is completion order — irrelevant, because
+        // replay lands each record back in its keyed slot.
+        {
+            std::lock_guard<std::mutex> lock(journalMutex);
+            if (writer)
+                writer->append(
+                    encodeCell(p, j, results[p].benchmarks[j]));
+        }
+        std::lock_guard<std::mutex> lock(reportMutex);
+        ++lastReport.executedCells;
+    };
+
+    {
+        util::ThreadPool pool(nThreads);
+        util::TaskGroup group(pool, opts.cancel);
+        for (std::size_t p = 0; p < points.size(); ++p) {
+            for (std::size_t j = 0; j < nJobs; ++j) {
+                if (done[p * nJobs + j])
+                    continue;
+                group.submit([&runCell, p, j] { runCell(p, j); });
+            }
+        }
+        try {
+            group.wait();
+        } catch (const util::CancelledError &) {
+            // A cell aborted mid-simulation; everything acknowledged is
+            // already on disk — make it durable and report resumable.
+            flushJournal();
+            throw util::CancelledError(cancelSummary());
+        }
+    }
+
+    if (opts.cancel && opts.cancel->cancelled()) {
+        flushJournal();
+        throw util::CancelledError(cancelSummary());
+    }
+
+    flushJournal();
+    return results;
+}
+
+std::vector<SweepPointResult>
+CheckpointedRunner::sweepScaling(const std::vector<double> &tUseful,
+                                 const SweepOptions &options,
+                                 const std::vector<BenchJob> &jobs,
+                                 const RunSpec &spec)
+{
+    std::vector<GridPoint> points;
+    points.reserve(tUseful.size());
+    for (const double u : tUseful) {
+        GridPoint point;
+        point.params = scaledCoreParams(u, options.scaling);
+        point.clock = scaledClock(u, options.overhead);
+        points.push_back(std::move(point));
+    }
+
+    auto suites = runGrid(points, jobs, spec);
+
+    std::vector<SweepPointResult> out;
+    out.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SweepPointResult r;
+        r.tUseful = tUseful[i];
+        r.clock = points[i].clock;
+        r.suite = std::move(suites[i]);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::vector<SweepPointResult>
+CheckpointedRunner::sweepScaling(
+    const std::vector<double> &tUseful, const SweepOptions &options,
+    const std::vector<trace::BenchmarkProfile> &profiles,
+    const RunSpec &spec)
+{
+    return sweepScaling(tUseful, options, jobsFromProfiles(profiles),
+                        spec);
+}
+
+} // namespace fo4::study

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Crash-safe sweep execution: a checkpoint/resume layer over the
+ * parallel sweep engine, built on util::Journal.
+ *
+ * A Fig 5-sized (benchmark x clock-period) grid can represent hours of
+ * simulation; this layer makes such a run *durable*.  Every completed
+ * grid cell is appended to a write-ahead journal the moment it
+ * finishes, so a crash, OOM kill or Ctrl-C loses at most the cells that
+ * were in flight.  A restarted run replays the journal, skips the
+ * completed cells, simulates only the remainder, and produces output
+ * **byte-identical** (study::serializeSuite-equal) to an uninterrupted
+ * run at any thread count — the determinism contract of the parallel
+ * engine extends across process lifetimes.
+ *
+ * Resume identity: the journal header carries a fingerprint of every
+ * input that can influence a result — each grid point's CoreParams and
+ * ClockModel, every job (profile fields, trace path, overrides) and the
+ * RunSpec, all doubles rendered in hexfloat so no precision is lost.
+ * A resume whose inputs hash differently is refused with a typed
+ * ErrorCode::ResumeMismatch instead of silently merging incompatible
+ * results.  Thread count and retry policy are deliberately *excluded*:
+ * neither can change a cell's bytes, so neither should block a resume.
+ *
+ * Retry: transient-classed failures (I/O, unexpected internal errors)
+ * are retried per RetryPolicy — exponential backoff with deterministic
+ * jitter — before a cell is recorded as failed.  Deterministic-by-
+ * construction failures (invalid configuration, corrupt trace payload,
+ * tripped watchdogs) are never retried: rerunning them buys nothing.
+ *
+ * Cancellation: a util::CancelToken is polled at cell boundaries (via
+ * util::TaskGroup) and inside each simulation's per-cycle watchdog
+ * check.  On request, queued cells are skipped, in-flight cells drain
+ * or abort, the journal is flushed, and CancelledError is raised — the
+ * run exits resumable, and util::runTopLevel maps that to exit code
+ * 130.
+ */
+
+#ifndef FO4_STUDY_CHECKPOINT_HH
+#define FO4_STUDY_CHECKPOINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "study/parallel.hh"
+#include "util/cancel.hh"
+#include "util/status.hh"
+
+namespace fo4::study
+{
+
+/**
+ * When and how often a failed cell is re-attempted.  Only failures
+ * whose ErrorCode is transient-classed (see transientCode) are
+ * retried; a ConfigError or a deterministic simulation failure is
+ * final on the first attempt.
+ */
+struct RetryPolicy
+{
+    /** Total attempts per cell, including the first; 1 = no retry. */
+    int maxAttempts = 1;
+    /** Backoff before attempt k (k >= 2): base * factor^(k-2), capped. */
+    double baseDelayMs = 0.0;
+    double backoffFactor = 2.0;
+    double maxDelayMs = 5000.0;
+    /** Jitter width: each delay is scaled by a deterministic factor in
+     *  [1 - jitterFraction/2, 1 + jitterFraction/2]. */
+    double jitterFraction = 0.25;
+    /** Seed of the jitter stream (util::Rng; per-cell, per-attempt). */
+    std::uint64_t jitterSeed = 0xf04;
+
+    /**
+     * Is a failure with this code worth retrying?  TraceIo (a file
+     * that may reappear — NFS hiccup, racing writer) and Internal (an
+     * unclassified escape) are transient; InvalidConfig / UnknownKey /
+     * TraceFormat / TraceCorrupt / Deadlock are deterministic verdicts
+     * and retrying them cannot change the outcome.
+     */
+    static bool transientCode(util::ErrorCode code);
+
+    /**
+     * Backoff before retry attempt `attempt` (2-based: the delay that
+     * precedes the second attempt is attempt=2) of cell `cellKey`,
+     * with deterministic jitter — the same (policy, cell, attempt)
+     * always waits the same time, so reproductions reproduce.
+     */
+    double delayMs(int attempt, std::uint64_t cellKey) const;
+
+    /** Report every out-of-range field at once. */
+    util::Status validate() const;
+};
+
+/** Knobs of the checkpointed runner. */
+struct CheckpointOptions
+{
+    /**
+     * Journal file backing the run.  Empty disables durability: the
+     * runner degrades to the plain parallel engine (plus retry and
+     * cancellation).  If the file exists it is recovered and the run
+     * *resumes*; otherwise it is created.
+     */
+    std::string journalPath;
+
+    /** Worker threads; 1 = serial, <= 0 = hardware thread count. */
+    int threads = 1;
+
+    RetryPolicy retry;
+
+    /** Cooperative cancellation source (e.g. a SIGINT handler);
+     *  nullptr = not cancellable. */
+    const util::CancelToken *cancel = nullptr;
+
+    /** fsync after every record (durable) vs. at flush points only. */
+    bool syncEveryRecord = true;
+
+    /**
+     * Observability hook, called before each execution attempt of a
+     * cell with (pointIndex, jobIndex, attempt); attempt counts from 1.
+     * Called from worker threads; must be thread-safe.  Used by tests
+     * to count retries and to inject cancellation at exact boundaries.
+     */
+    std::function<void(std::size_t point, std::size_t job, int attempt)>
+        onAttempt;
+};
+
+/** What a runGrid/sweepScaling call did (progress accounting). */
+struct CheckpointReport
+{
+    std::size_t totalCells = 0;
+    /** Cells restored from the journal instead of simulated. */
+    std::size_t replayedCells = 0;
+    /** Cells simulated (to completion) by this run. */
+    std::size_t executedCells = 0;
+    /** Extra attempts beyond each cell's first (retry activity). */
+    std::size_t retriedAttempts = 0;
+    /** True if an existing journal was recovered. */
+    bool resumed = false;
+    /** True if recovery discarded a torn trailing record. */
+    bool tornTailDiscarded = false;
+};
+
+/**
+ * Crash-safe drop-in for ParallelRunner::runGrid / study::sweepScaling.
+ * See the file comment for the durability contract.
+ */
+class CheckpointedRunner
+{
+  public:
+    explicit CheckpointedRunner(CheckpointOptions options);
+
+    /** Actual parallelism this runner fans out to (>= 1). */
+    int threads() const { return nThreads; }
+
+    /**
+     * Run the (point x job) grid with journaling, retry and
+     * cancellation.  Byte-identical to ParallelRunner::runGrid — and
+     * to itself across an interrupt/resume cycle.  Throws ConfigError
+     * on invalid inputs, JournalError (ResumeMismatch) when an
+     * existing journal's identity does not match, CancelledError when
+     * cancellation is requested (after flushing the journal).
+     */
+    std::vector<SuiteResult> runGrid(const std::vector<GridPoint> &points,
+                                     const std::vector<BenchJob> &jobs,
+                                     const RunSpec &spec);
+
+    /**
+     * The paper's standard sweep, checkpointed.  Uses `options.scaling`
+     * and `options.overhead` to derive the grid; `options.threads` is
+     * ignored in favour of this runner's thread count.
+     */
+    std::vector<SweepPointResult>
+    sweepScaling(const std::vector<double> &tUseful,
+                 const SweepOptions &options,
+                 const std::vector<BenchJob> &jobs, const RunSpec &spec);
+
+    /** Convenience overload for profile lists. */
+    std::vector<SweepPointResult>
+    sweepScaling(const std::vector<double> &tUseful,
+                 const SweepOptions &options,
+                 const std::vector<trace::BenchmarkProfile> &profiles,
+                 const RunSpec &spec);
+
+    /** Accounting for the most recent runGrid/sweepScaling call. */
+    const CheckpointReport &report() const { return lastReport; }
+
+  private:
+    CheckpointOptions opts;
+    int nThreads = 1;
+    CheckpointReport lastReport;
+};
+
+/**
+ * Identity fingerprint of a grid run: FNV-1a over a canonical rendering
+ * of every result-influencing input, doubles in hexfloat (the
+ * serializeSuite discipline).  Two runs with equal fingerprints would
+ * produce byte-identical results; a journal may only be resumed by a
+ * run whose fingerprint matches its header.
+ */
+std::uint64_t gridFingerprint(const std::vector<GridPoint> &points,
+                              const std::vector<BenchJob> &jobs,
+                              const RunSpec &spec);
+
+} // namespace fo4::study
+
+#endif // FO4_STUDY_CHECKPOINT_HH

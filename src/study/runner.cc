@@ -101,7 +101,8 @@ BenchJob::fromTraceFile(const std::string &name, trace::BenchClass cls,
 
 BenchResult
 runJob(const core::CoreParams &params, const tech::ClockModel &clock,
-       const BenchJob &job, const RunSpec &spec)
+       const BenchJob &job, const RunSpec &spec,
+       const util::CancelToken *cancel)
 {
     if (!job.profile && job.tracePath.empty()) {
         throw util::ConfigError(
@@ -130,7 +131,8 @@ runJob(const core::CoreParams &params, const tech::ClockModel &clock,
     result.cls = job.cls;
     result.sim =
         core->run(*source, spec.instructions, spec.warmup, spec.prewarm,
-                  job.cycleLimit ? *job.cycleLimit : spec.cycleLimit);
+                  job.cycleLimit ? *job.cycleLimit : spec.cycleLimit,
+                  cancel);
     result.bips = clock.bips(result.sim.ipc());
     return result;
 }
@@ -145,10 +147,15 @@ runBenchmark(const core::CoreParams &params, const tech::ClockModel &clock,
 BenchResult
 runJobIsolated(const core::CoreParams &params,
                const tech::ClockModel &clock, const BenchJob &job,
-               const RunSpec &spec)
+               const RunSpec &spec, const util::CancelToken *cancel)
 {
     try {
-        return runJob(params, clock, job, spec);
+        return runJob(params, clock, job, spec, cancel);
+    } catch (const util::CancelledError &) {
+        // Cancellation is the caller stopping the run, not the job
+        // failing; recording it as a row would make interrupted and
+        // uninterrupted sweeps disagree.  Let it escape.
+        throw;
     } catch (const util::SimError &e) {
         BenchResult failed;
         failed.name = job.name;

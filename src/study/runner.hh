@@ -24,6 +24,7 @@
 #include "core/core.hh"
 #include "tech/clocking.hh"
 #include "trace/spec2000.hh"
+#include "util/cancel.hh"
 #include "util/status.hh"
 
 namespace fo4::study
@@ -140,10 +141,15 @@ SuiteResult runSuite(const core::CoreParams &params,
                      const std::vector<trace::BenchmarkProfile> &profiles,
                      const RunSpec &spec);
 
-/** Run one job; throws SimError on failure instead of recording it. */
+/**
+ * Run one job; throws SimError on failure instead of recording it.
+ * `cancel` (optional) is polled by the core's per-cycle watchdog check;
+ * a cancellation request aborts the simulation with CancelledError.
+ */
 BenchResult runJob(const core::CoreParams &params,
                    const tech::ClockModel &clock, const BenchJob &job,
-                   const RunSpec &spec);
+                   const RunSpec &spec,
+                   const util::CancelToken *cancel = nullptr);
 
 /**
  * Run one job with the suite's fault isolation: any SimError (or other
@@ -151,10 +157,17 @@ BenchResult runJob(const core::CoreParams &params,
  * propagating.  This is the one per-job code path shared by the serial
  * runSuite and the parallel sweep engine, which is what makes their
  * results bit-for-bit identical.
+ *
+ * CancelledError is the one deliberate exception to the isolation: a
+ * cancelled job produced no result *by request*, which is not a fault
+ * of the job, so it propagates instead of being recorded as a failed
+ * row — otherwise an interrupted sweep would write rows that an
+ * uninterrupted sweep would not, breaking resume byte-identity.
  */
 BenchResult runJobIsolated(const core::CoreParams &params,
                            const tech::ClockModel &clock,
-                           const BenchJob &job, const RunSpec &spec);
+                           const BenchJob &job, const RunSpec &spec,
+                           const util::CancelToken *cancel = nullptr);
 
 /**
  * Validate the suite-level inputs of runSuite (job list, spec, params,

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cooperative cancellation.  A CancelToken is a thread-safe,
+ * async-signal-safe flag shared between a controller (a SIGINT handler,
+ * a deadline, a caller tearing down) and the workers it wants to stop.
+ *
+ * Cancellation is *cooperative*: nothing is killed.  Workers poll the
+ * token at natural preemption points — the sweep engine before starting
+ * each grid cell, the cores alongside their per-cycle watchdog check —
+ * and raise util::CancelledError when they observe a request.  In-flight
+ * work is drained, durable state (the result journal) is flushed, and
+ * the run stops in a state from which it can be resumed.
+ */
+
+#ifndef FO4_UTIL_CANCEL_HH
+#define FO4_UTIL_CANCEL_HH
+
+#include <atomic>
+#include <csignal>
+
+namespace fo4::util
+{
+
+/** One-way cancellation flag: set by a controller, polled by workers. */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation.  Idempotent; safe from a signal handler
+     *  (lock-free atomic store, no allocation, no locks). */
+    void
+    requestCancel() noexcept
+    {
+        flag.store(true, std::memory_order_relaxed);
+    }
+
+    /** Has cancellation been requested?  Cheap enough to poll from a
+     *  simulation's per-cycle loop. */
+    bool
+    cancelled() const noexcept
+    {
+        return flag.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm the token (tests, reuse across runs). */
+    void
+    reset() noexcept
+    {
+        flag.store(false, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> flag{false};
+};
+
+namespace detail
+{
+/** Token the SIGINT handler flips; handlers can't capture state. */
+inline CancelToken *sigintToken = nullptr;
+} // namespace detail
+
+/**
+ * Route Ctrl-C through cooperative cancellation: the first SIGINT
+ * requests cancellation on `token` (sweeps drain in-flight work, flush
+ * their journal, and exit 130 via runTopLevel); the handler then
+ * restores the default disposition, so a second Ctrl-C kills the
+ * process the ordinary way if the drain takes too long.  The token must
+ * outlive the run.
+ */
+inline void
+installSigintCancel(CancelToken &token)
+{
+    detail::sigintToken = &token;
+    struct sigaction action = {};
+    action.sa_handler = [](int) {
+        if (detail::sigintToken)
+            detail::sigintToken->requestCancel(); // async-signal-safe
+        std::signal(SIGINT, SIG_DFL);
+    };
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &action, nullptr);
+}
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_CANCEL_HH

@@ -85,6 +85,19 @@ Config::getInt(const std::string &key, std::int64_t fallback) const
     return v;
 }
 
+std::int64_t
+Config::getPositiveInt(const std::string &key, std::int64_t fallback) const
+{
+    const std::int64_t v = getInt(key, fallback);
+    if (has(key) && v <= 0) {
+        throw ConfigError(strprintf("config key '%s': %lld is not a "
+                                    "positive integer (must be >= 1)",
+                                    key.c_str(),
+                                    static_cast<long long>(v)));
+    }
+    return v;
+}
+
 double
 Config::getDouble(const std::string &key, double fallback) const
 {

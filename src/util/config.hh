@@ -45,6 +45,15 @@ class Config
     std::string getString(const std::string &key,
                           const std::string &fallback) const;
     std::int64_t getInt(const std::string &key, std::int64_t fallback) const;
+
+    /**
+     * getInt, but a stored value <= 0 throws ConfigError — for counts
+     * (jobs=, attempts=) where zero or negative is always a user error
+     * that should fail fast instead of silently selecting a default.
+     * The fallback is returned unchecked when the key is absent.
+     */
+    std::int64_t getPositiveInt(const std::string &key,
+                                std::int64_t fallback) const;
     double getDouble(const std::string &key, double fallback) const;
     bool getBool(const std::string &key, bool fallback) const;
 

@@ -1,7 +1,95 @@
 #include "util/csv.hh"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+#include "util/status.hh"
+
 namespace fo4::util
 {
+
+namespace
+{
+
+[[noreturn]] void
+throwIo(const std::string &path, const char *what)
+{
+    throw JournalError(ErrorCode::JournalIo,
+                       strprintf("csv '%s': %s: %s", path.c_str(), what,
+                                 std::strerror(errno)));
+}
+
+/** fsync a path opened read-only (a closed file, or a directory). */
+void
+fsyncPath(const std::string &path, const std::string &reported)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throwIo(reported, "open for fsync failed");
+    if (::fsync(fd) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwIo(reported, "fsync failed");
+    }
+    ::close(fd);
+}
+
+std::string
+parentDir(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+} // namespace
+
+AtomicCsvFile::AtomicCsvFile(std::string p)
+    : path(std::move(p)), tmp(path + ".tmp"), out(tmp, std::ios::trunc),
+      writer(out)
+{
+    if (!out.is_open())
+        throwIo(path, "cannot create temporary");
+}
+
+AtomicCsvFile::~AtomicCsvFile()
+{
+    if (!done) {
+        out.close();
+        std::remove(tmp.c_str()); // best effort; a stale .tmp is harmless
+    }
+}
+
+void
+AtomicCsvFile::writeRow(const std::vector<std::string> &cells)
+{
+    FO4_ASSERT(!done, "writeRow after commit()");
+    writer.writeRow(cells);
+    if (!out.good())
+        throwIo(path, "write failed");
+}
+
+void
+AtomicCsvFile::commit()
+{
+    FO4_ASSERT(!done, "commit() called twice");
+    out.flush();
+    if (!out.good())
+        throwIo(path, "flush failed");
+    out.close();
+    fsyncPath(tmp, path);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throwIo(path, "rename into place failed");
+    fsyncPath(parentDir(path), path);
+    done = true;
+}
 
 std::string
 CsvWriter::escape(const std::string &field)

@@ -1,12 +1,15 @@
 /**
  * @file
  * Minimal CSV writer so bench binaries can optionally emit machine-readable
- * series (for replotting figures) alongside the human-readable tables.
+ * series (for replotting figures) alongside the human-readable tables,
+ * plus a crash-safe file-backed variant (AtomicCsvFile) whose output
+ * becomes visible all-at-once or not at all.
  */
 
 #ifndef FO4_UTIL_CSV_HH
 #define FO4_UTIL_CSV_HH
 
+#include <fstream>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -27,6 +30,51 @@ class CsvWriter
 
   private:
     std::ostream &out;
+};
+
+/**
+ * Crash-safe CSV output file.  Rows accumulate in `<path>.tmp`; commit()
+ * flushes, fsyncs and atomically renames onto `path`, so a reader (or a
+ * rerun after a crash) never observes a half-written CSV — it sees either
+ * the previous complete file or the new complete file.  Destroying an
+ * uncommitted AtomicCsvFile removes the temporary (best effort).
+ *
+ * Failures to create, write, sync or rename throw
+ * JournalError(ErrorCode::JournalIo) — the same durability error class
+ * the write-ahead journal uses.
+ */
+class AtomicCsvFile
+{
+  public:
+    /** Open `<path>.tmp` for writing (truncating any stale leftover). */
+    explicit AtomicCsvFile(std::string path);
+
+    /** Discards the temporary if commit() was never reached. */
+    ~AtomicCsvFile();
+
+    AtomicCsvFile(const AtomicCsvFile &) = delete;
+    AtomicCsvFile &operator=(const AtomicCsvFile &) = delete;
+
+    void writeRow(const std::vector<std::string> &cells);
+
+    /**
+     * Make the file visible at its final path: flush, fsync, rename,
+     * fsync the parent directory.  Call exactly once, after the last
+     * row; no rows may be written afterwards.
+     */
+    void commit();
+
+    bool committed() const { return done; }
+
+    /** Where rows land before commit() (exposed for tests). */
+    const std::string &tempPath() const { return tmp; }
+
+  private:
+    std::string path;
+    std::string tmp;
+    std::ofstream out;
+    CsvWriter writer;
+    bool done = false;
 };
 
 } // namespace fo4::util

@@ -24,6 +24,16 @@ errorCodeName(ErrorCode code)
         return "TraceCorrupt";
       case ErrorCode::Deadlock:
         return "Deadlock";
+      case ErrorCode::JournalIo:
+        return "JournalIo";
+      case ErrorCode::JournalFormat:
+        return "JournalFormat";
+      case ErrorCode::JournalCorrupt:
+        return "JournalCorrupt";
+      case ErrorCode::ResumeMismatch:
+        return "ResumeMismatch";
+      case ErrorCode::Cancelled:
+        return "Cancelled";
       case ErrorCode::Internal:
         return "Internal";
     }
@@ -77,6 +87,17 @@ TraceError::TraceError(ErrorCode code, const std::string &message)
                errorCodeName(code));
 }
 
+JournalError::JournalError(ErrorCode code, const std::string &message)
+    : SimError(code, message)
+{
+    FO4_ASSERT(code == ErrorCode::JournalIo ||
+                   code == ErrorCode::JournalFormat ||
+                   code == ErrorCode::JournalCorrupt ||
+                   code == ErrorCode::ResumeMismatch,
+               "JournalError built with non-journal code %s",
+               errorCodeName(code));
+}
+
 std::string
 DeadlockDump::toString() const
 {
@@ -116,6 +137,11 @@ runTopLevel(const std::function<int()> &body)
 {
     try {
         return body();
+    } catch (const CancelledError &e) {
+        // Cancellation is a clean, resumable stop, not a failure; use
+        // the conventional 128+SIGINT exit code so wrappers can retry.
+        std::fprintf(stderr, "cancelled: %s\n", e.what());
+        return 130;
     } catch (const SimError &e) {
         std::fprintf(stderr, "error [%s]: %s\n", errorCodeName(e.code()),
                      e.what());

@@ -42,6 +42,11 @@ enum class ErrorCode
     TraceFormat,   ///< not a trace file / version or layout mismatch
     TraceCorrupt,  ///< well-formed header but damaged payload
     Deadlock,      ///< simulation exceeded its watchdog cycle budget
+    JournalIo,     ///< durable output (journal, atomic CSV) I/O failure
+    JournalFormat, ///< not a journal / header or version mismatch
+    JournalCorrupt, ///< mid-file record damage (CRC or framing)
+    ResumeMismatch, ///< journal identity differs from the run's inputs
+    Cancelled,     ///< work stopped by a cooperative cancellation request
     Internal,      ///< unexpected failure escaping a lower layer
 };
 
@@ -141,6 +146,30 @@ class TraceError : public SimError
     TraceError(ErrorCode code, const std::string &message);
 };
 
+/** A write-ahead journal that cannot be read, written or trusted. */
+class JournalError : public SimError
+{
+  public:
+    /** `code` must be one of JournalIo / JournalFormat / JournalCorrupt
+     *  / ResumeMismatch. */
+    JournalError(ErrorCode code, const std::string &message);
+};
+
+/**
+ * Work stopped early because cancellation was requested (Ctrl-C, a
+ * deadline, a caller tearing down).  Cancellation is not a fault of the
+ * work item: per-job fault isolation deliberately lets this escape so
+ * the caller knows the result is absent, not failed.
+ */
+class CancelledError : public SimError
+{
+  public:
+    explicit CancelledError(const std::string &message)
+        : SimError(ErrorCode::Cancelled, message)
+    {
+    }
+};
+
 /** Pipeline-state snapshot captured when a simulation watchdog fires. */
 struct DeadlockDump
 {
@@ -234,6 +263,12 @@ class Expected
  * stderr and a nonzero exit status — the single top-level handler that
  * preserves the old fatal()-style behaviour for command-line tools
  * while letting library callers recover.
+ *
+ * Exit-code contract: 0 = the body's own success code, 1 = a typed
+ * SimError (bad configuration, corrupt input, ...), 2 = an unexpected
+ * exception, 130 = CancelledError (the conventional SIGINT code) — a
+ * cancelled run is resumable, not failed, and scripts can tell the
+ * difference.
  */
 int runTopLevel(const std::function<int()> &body);
 

@@ -89,22 +89,38 @@ TaskGroup::submit(std::function<void()> task)
         ++pending;
     }
     pool.enqueue([this, task = std::move(task)]() noexcept {
+        // The cancellation boundary: a task that has not started when
+        // cancellation is requested never runs its body.  In-flight
+        // siblings are unaffected — they drain to completion.
+        if (cancel && cancel->cancelled()) {
+            finishTask(nullptr, /*skipped=*/true);
+            return;
+        }
         std::exception_ptr error;
         try {
             task();
         } catch (...) {
             error = std::current_exception();
         }
-        finishTask(error);
+        finishTask(error, /*skipped=*/false);
     });
 }
 
+std::size_t
+TaskGroup::skippedTasks() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return skipped;
+}
+
 void
-TaskGroup::finishTask(std::exception_ptr error)
+TaskGroup::finishTask(std::exception_ptr error, bool wasSkipped)
 {
     std::lock_guard<std::mutex> lock(mutex);
     if (error && !firstError)
         firstError = error;
+    if (wasSkipped)
+        ++skipped;
     --pending;
     // Notify on every completion, not only the last: a waiter that went
     // to sleep because the queue looked empty must re-poll it, since a

@@ -35,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hh"
+
 namespace fo4::util
 {
 
@@ -81,11 +83,24 @@ class ThreadPool
  * One structured fan-out: submit N tasks, then wait() for all of them.
  * The group records the first exception any task throws and rethrows it
  * from wait() once the whole group has drained.
+ *
+ * Cooperative cancellation: construct the group with a CancelToken and
+ * a cancellation request takes effect at task boundaries — tasks that
+ * are already running finish normally (draining in-flight work), tasks
+ * still queued are *skipped*: their bodies never run, they complete the
+ * group's accounting without error, and skippedTasks() counts them.
+ * wait() still returns normally; the caller decides what a partially
+ * executed fan-out means (the checkpointed sweep engine flushes its
+ * journal and raises CancelledError).
  */
 class TaskGroup
 {
   public:
-    explicit TaskGroup(ThreadPool &pool) : pool(pool) {}
+    explicit TaskGroup(ThreadPool &pool,
+                       const CancelToken *cancel = nullptr)
+        : pool(pool), cancel(cancel)
+    {
+    }
 
     /** Waits for stragglers, swallowing any unretrieved exception (a
      *  caller that cares must call wait() itself). */
@@ -103,14 +118,20 @@ class TaskGroup
      */
     void wait();
 
+    /** Tasks whose bodies were skipped by a cancellation request.
+     *  Stable only after wait() returns. */
+    std::size_t skippedTasks() const;
+
   private:
     void drain();
-    void finishTask(std::exception_ptr error);
+    void finishTask(std::exception_ptr error, bool skipped);
 
     ThreadPool &pool;
-    std::mutex mutex;
+    const CancelToken *cancel = nullptr;
+    mutable std::mutex mutex;
     std::condition_variable drained;
     std::size_t pending = 0;
+    std::size_t skipped = 0;
     std::exception_ptr firstError;
 };
 

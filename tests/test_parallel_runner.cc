@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cacti/latency_cache.hh"
 #include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
@@ -172,6 +173,41 @@ TEST(ParallelRunner, SweepGridMatchesSerialPointByPoint)
                 << "threads=" << threads << " t=" << ts[i];
         }
     }
+}
+
+TEST(ParallelRunner, LatencyCacheServesRepeatSweepsFromMemory)
+{
+    // The structure-latency memo table is what makes repeated sweeps
+    // cheap: the first pass over a grid computes each distinct
+    // (calibration, structure, capacity) point once; a second identical
+    // pass must be answered entirely from the table.
+    auto &cache = cacti::LatencyCache::global();
+    cache.clear();
+
+    const std::vector<double> ts{5, 7};
+    const std::vector<trace::BenchmarkProfile> profiles{
+        trace::spec2000Profile("164.gzip")};
+    study::SweepOptions options;
+    options.threads = 1;
+
+    (void)study::sweepScaling(ts, options, profiles, smallSpec());
+    const auto first = cache.stats();
+    EXPECT_GT(first.misses, 0u);
+    EXPECT_GT(first.hits, 0u); // repeated structures within one sweep
+    // Single-threaded, every miss inserts exactly once.
+    EXPECT_EQ(first.inserts, first.misses);
+
+    (void)study::sweepScaling(ts, options, profiles, smallSpec());
+    const auto second = cache.stats();
+    EXPECT_EQ(second.misses, first.misses) << "rerun recomputed latencies";
+    EXPECT_EQ(second.inserts, first.inserts);
+    EXPECT_GT(second.hits, first.hits);
+
+    // clear() must forget entries *and* counters.
+    cache.clear();
+    const auto cleared = cache.stats();
+    EXPECT_EQ(cleared.lookups(), 0u);
+    EXPECT_EQ(cleared.inserts, 0u);
 }
 
 TEST(ParallelRunner, SuiteLevelMisconfigurationThrowsBeforeFanout)

@@ -173,6 +173,79 @@ TEST(ThreadPool, AbandonedGroupStillDrainsInDestructor)
     EXPECT_EQ(ran.load(), 200);
 }
 
+TEST(TaskGroupCancel, QueuedTasksAfterRequestAreSkipped)
+{
+    // threads == 1 runs tasks inline in submission order, so the cut
+    // point is exact: task 4 requests cancellation, tasks 5..9 are
+    // skipped at the boundary, their bodies never run.
+    ThreadPool pool(1);
+    fo4::util::CancelToken token;
+    TaskGroup group(pool, &token);
+    std::vector<int> ran;
+    for (int i = 0; i < 10; ++i) {
+        group.submit([&, i] {
+            ran.push_back(i);
+            if (i == 4)
+                token.requestCancel();
+        });
+    }
+    group.wait(); // returns normally; cancellation is not an error
+
+    EXPECT_EQ(ran, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(group.skippedTasks(), 5u);
+}
+
+TEST(TaskGroupCancel, PreCancelledTokenSkipsEveryBody)
+{
+    ThreadPool pool(4);
+    fo4::util::CancelToken token;
+    token.requestCancel();
+    std::atomic<int> ran{0};
+    TaskGroup group(pool, &token);
+    for (int i = 0; i < 100; ++i)
+        group.submit([&] { ++ran; });
+    group.wait();
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(group.skippedTasks(), 100u);
+}
+
+TEST(TaskGroupCancel, NullTokenAndUncancelledTokenRunEverything)
+{
+    ThreadPool pool(4);
+    fo4::util::CancelToken token;
+    std::atomic<int> ran{0};
+    {
+        TaskGroup group(pool); // default: no token at all
+        for (int i = 0; i < 50; ++i)
+            group.submit([&] { ++ran; });
+        group.wait();
+        EXPECT_EQ(group.skippedTasks(), 0u);
+    }
+    {
+        TaskGroup group(pool, &token); // token present, never fired
+        for (int i = 0; i < 50; ++i)
+            group.submit([&] { ++ran; });
+        group.wait();
+        EXPECT_EQ(group.skippedTasks(), 0u);
+    }
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(TaskGroupCancel, CancellationDoesNotMaskTaskExceptions)
+{
+    // A task throws, a later task cancels: wait() must still rethrow
+    // the captured exception — skipping is bookkeeping, not recovery.
+    ThreadPool pool(1);
+    fo4::util::CancelToken token;
+    TaskGroup group(pool, &token);
+    group.submit([] { throw fo4::util::SimError(
+        fo4::util::ErrorCode::Internal, "task failed"); });
+    group.submit([&] { token.requestCancel(); });
+    group.submit([] { FAIL() << "body after cancel must not run"; });
+    EXPECT_THROW(group.wait(), fo4::util::SimError);
+    EXPECT_EQ(group.skippedTasks(), 1u);
+}
+
 TEST(ThreadPool, StressManySmallTasksAcrossGroups)
 {
     ThreadPool pool(8);

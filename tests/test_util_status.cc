@@ -38,7 +38,9 @@ TEST(Status, EveryCodeHasAName)
          {ErrorCode::Ok, ErrorCode::InvalidConfig, ErrorCode::UnknownKey,
           ErrorCode::TraceIo, ErrorCode::TraceFormat,
           ErrorCode::TraceCorrupt, ErrorCode::Deadlock,
-          ErrorCode::Internal}) {
+          ErrorCode::JournalIo, ErrorCode::JournalFormat,
+          ErrorCode::JournalCorrupt, ErrorCode::ResumeMismatch,
+          ErrorCode::Cancelled, ErrorCode::Internal}) {
         EXPECT_NE(errorCodeName(code), nullptr);
         EXPECT_STRNE(errorCodeName(code), "");
     }
@@ -123,6 +125,30 @@ TEST(RunTopLevel, MapsOutcomesToExitCodes)
                   throw std::runtime_error("surprise");
               }),
               2);
+    // 128 + SIGINT: a cancelled run is resumable, not failed, and
+    // scripts can tell the difference.
+    EXPECT_EQ(runTopLevel([]() -> int {
+                  throw CancelledError("ctrl-c");
+              }),
+              130);
+}
+
+TEST(SimErrorHierarchy, JournalAndCancelledErrors)
+{
+    const JournalError corrupt(ErrorCode::JournalCorrupt, "bit rot");
+    EXPECT_EQ(corrupt.code(), ErrorCode::JournalCorrupt);
+    const JournalError mismatch(ErrorCode::ResumeMismatch, "inputs");
+    EXPECT_EQ(mismatch.code(), ErrorCode::ResumeMismatch);
+
+    const CancelledError cancelled("ctrl-c");
+    EXPECT_EQ(cancelled.code(), ErrorCode::Cancelled);
+
+    // Both remain catchable as SimError, like every recoverable error.
+    try {
+        throw JournalError(ErrorCode::JournalIo, "disk");
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::JournalIo);
+    }
 }
 
 TEST(ConfigCheckKnown, FlagsMisspelledKeys)
@@ -147,6 +173,39 @@ TEST(ConfigAccessors, MalformedValuesThrowConfigError)
     EXPECT_THROW((void)cfg.getDouble("x", 0.0), ConfigError);
     EXPECT_THROW((void)cfg.getBool("b", false), ConfigError);
     EXPECT_EQ(cfg.getInt("absent", 9), 9);
+}
+
+TEST(ConfigAccessors, PositiveIntRejectsZeroAndNegative)
+{
+    Config cfg;
+    cfg.set("jobs", "4");
+    EXPECT_EQ(cfg.getPositiveInt("jobs", 1), 4);
+    EXPECT_EQ(cfg.getPositiveInt("absent", 1), 1);
+
+    cfg.set("jobs", "0");
+    EXPECT_THROW((void)cfg.getPositiveInt("jobs", 1), ConfigError);
+    cfg.set("jobs", "-3");
+    EXPECT_THROW((void)cfg.getPositiveInt("jobs", 1), ConfigError);
+    cfg.set("jobs", "four");
+    EXPECT_THROW((void)cfg.getPositiveInt("jobs", 1), ConfigError);
+}
+
+TEST(ConfigAccessors, JobsValidationCoversBothArgumentSpellings)
+{
+    // The bench harnesses accept `jobs=N` and `--jobs=N` as the same
+    // key; the positive-int rule must hold for both.
+    for (const char *spelling : {"jobs=0", "--jobs=0", "jobs=-2",
+                                 "--jobs=-2"}) {
+        const char *argv[] = {"bench", spelling};
+        const auto cfg = Config::fromArgs(2, argv);
+        EXPECT_THROW((void)cfg.getPositiveInt("jobs", 1), ConfigError)
+            << spelling;
+    }
+    for (const char *spelling : {"jobs=3", "--jobs=3"}) {
+        const char *argv[] = {"bench", spelling};
+        EXPECT_EQ(Config::fromArgs(2, argv).getPositiveInt("jobs", 1), 3)
+            << spelling;
+    }
 }
 
 TEST(Validation, CoreParamsReportAllViolationsAtOnce)
