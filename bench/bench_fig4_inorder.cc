@@ -27,6 +27,7 @@ main(int argc, char **argv)
 
     auto spec = bench::specFromArgs(argc, argv, 60000, 8000, 400000);
     spec.model = study::CoreModel::InOrder;
+    const auto obs = bench::observabilityFromArgs(argc, argv);
     const auto profiles = trace::spec2000Profiles();
     const auto ts = bench::usefulSweep();
 
@@ -89,12 +90,22 @@ main(int argc, char **argv)
                 "better than the paper's, flattening the curve; the "
                 "paper's 6 FO4 point lies on the plateau\n");
 
+    // stats= / trace=: stall attribution per sweep point, and the
+    // in-order pipeline's timeline at the paper's 6 FO4 optimum.
+    if (obs.wantsStats())
+        bench::writeStats(obs.statsPath, bench::sweepStatsRows(points));
+    bench::maybeWriteTrace(obs, study::scaledCoreParams(6),
+                           study::scaledClock(6),
+                           study::BenchJob::fromProfile(profiles.front()),
+                           spec);
+
     std::string v = "without overhead the deepest pipeline wins; with "
                     "1.8 FO4 overhead the optimum is finite and the "
                     "curve peaks over a mid-depth plateau";
     if (!bench::onPlateau(p18, 6))
         v += "; WARNING: 6 FO4 fell off the plateau";
     bench::printLatencyCacheStats(bench::verboseFromArgs(argc, argv));
+    bench::printMetricsRegistry(bench::verboseFromArgs(argc, argv));
     bench::verdict(v);
     return 0;
 }

@@ -44,7 +44,9 @@ fig5(int argc, char **argv)
 
     const util::Config cfg = util::Config::fromArgs(argc, argv);
     cfg.checkKnown({"instructions", "warmup", "prewarm", "jobs", "csv",
-                    "checkpoint", "resume", "attempts", "verbose"});
+                    "checkpoint", "resume", "attempts", "verbose",
+                    "stats", "trace", "trace_start", "trace_cycles"});
+    const auto obs = bench::observabilityFromArgs(argc, argv);
     const std::string csvPath = cfg.getString("csv", "");
     const std::string checkpointPath = cfg.getString("checkpoint", "");
     const bool resume = cfg.getBool("resume", true);
@@ -142,7 +144,20 @@ fig5(int argc, char **argv)
                 study::scaledClock(6).periodFo4(),
                 study::scaledClock(6).frequencyGhz());
 
+    // stats=: per-benchmark stall attribution and occupancy for every
+    // sweep point (deterministic at any jobs= value).
+    if (obs.wantsStats())
+        bench::writeStats(obs.statsPath, bench::sweepStatsRows(points));
+
+    // trace=: pipeline timeline of the first benchmark at the paper's
+    // 6 FO4 optimum, rerun serially with the ring attached.
+    bench::maybeWriteTrace(obs, study::scaledCoreParams(6),
+                           study::scaledClock(6),
+                           study::BenchJob::fromProfile(profiles.front()),
+                           spec);
+
     bench::printLatencyCacheStats(verbose);
+    bench::printMetricsRegistry(verbose);
 
     std::string v = "vector FP prefers the deepest pipeline, integer the "
                     "shallowest of the three optima, non-vector FP in "

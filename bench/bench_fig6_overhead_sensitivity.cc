@@ -28,6 +28,7 @@ main(int argc, char **argv)
         "shallow ones");
 
     const auto spec = bench::specFromArgs(argc, argv);
+    const auto obs = bench::observabilityFromArgs(argc, argv);
     const auto profiles =
         trace::spec2000Profiles(trace::BenchClass::Integer);
     const auto ts = bench::usefulSweep();
@@ -83,7 +84,17 @@ main(int argc, char **argv)
                 "%.2fx (deeper gains more)\n",
                 deepGain, shallowGain);
 
+    // stats= / trace=: cycle counts are overhead-independent, so the
+    // one sweep's stall attribution serves every overhead column.
+    if (obs.wantsStats())
+        bench::writeStats(obs.statsPath, bench::sweepStatsRows(points));
+    bench::maybeWriteTrace(obs, study::scaledCoreParams(6),
+                           study::scaledClock(6),
+                           study::BenchJob::fromProfile(profiles.front()),
+                           spec);
+
     bench::printLatencyCacheStats(bench::verboseFromArgs(argc, argv));
+    bench::printMetricsRegistry(bench::verboseFromArgs(argc, argv));
     bench::verdict("the optimum moves by at most a couple of FO4 across "
                    "overheads 1..5, and overhead reduction helps deep "
                    "pipelines more than shallow ones");

@@ -27,6 +27,7 @@ main(int argc, char **argv)
         "window");
 
     auto spec = bench::specFromArgs(argc, argv, 40000, 5000, 300000);
+    const auto obs = bench::observabilityFromArgs(argc, argv);
     const auto profiles = trace::spec2000Profiles();
     const auto ts = bench::usefulSweep();
 
@@ -37,12 +38,18 @@ main(int argc, char **argv)
     const int jobs = bench::jobsFromArgs(argc, argv);
     const study::ParallelRunner runner(jobs);
 
+    std::vector<std::vector<std::string>> stats;
+    stats.push_back(bench::statsHeader());
+
     std::vector<double> base, tuned;
     double gainSum = 0;
     for (const double u : ts) {
         const auto clock = study::scaledClock(u);
         const auto baseline = runner.runSuite(study::scaledCoreParams(u, {}),
                                               clock, profiles, spec);
+        for (auto &row :
+             bench::statsRows(util::strprintf("%g", u), baseline))
+            stats.push_back(std::move(row));
         const auto best = study::optimizeStructures(u, clock, profiles,
                                                     spec, {}, jobs);
         base.push_back(baseline.harmonicBipsAll());
@@ -69,7 +76,17 @@ main(int argc, char **argv)
                 "capacities: %.0f FO4 (paper: 6 both ways)\n",
                 bench::argmax(ts, base), bench::argmax(ts, tuned));
 
+    // stats= / trace=: attribution of the alpha-capacity baselines, and
+    // the pipeline timeline at the 6 FO4 point.
+    if (obs.wantsStats())
+        bench::writeStats(obs.statsPath, stats);
+    bench::maybeWriteTrace(obs, study::scaledCoreParams(6, {}),
+                           study::scaledClock(6),
+                           study::BenchJob::fromProfile(profiles.front()),
+                           spec);
+
     bench::printLatencyCacheStats(bench::verboseFromArgs(argc, argv));
+    bench::printMetricsRegistry(bench::verboseFromArgs(argc, argv));
     bench::verdict("optimization lifts the whole curve without moving "
                    "the optimal logic depth away from ~6 FO4");
     return 0;

@@ -11,13 +11,17 @@
 
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "cacti/latency_cache.hh"
+#include "study/parallel.hh"
 #include "study/runner.hh"
 #include "util/cancel.hh"
 #include "util/config.hh"
+#include "util/csv.hh"
+#include "util/metrics.hh"
 #include "util/table.hh"
 
 namespace fo4::bench
@@ -161,6 +165,198 @@ inline void
 verdict(const std::string &text)
 {
     std::printf("\nshape check: %s\n", text.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Observability plumbing: stats= / trace= / trace_start= / trace_cycles=
+// ---------------------------------------------------------------------
+
+/**
+ * The observability knobs shared by the figure benches and examples:
+ *  - stats=PATH       per-benchmark stall/occupancy CSV (atomic write;
+ *                     deterministic at any jobs= value);
+ *  - trace=PATH       Chrome trace_event JSON of one serially-rerun
+ *                     cell (load in chrome://tracing / ui.perfetto.dev);
+ *  - trace_start=N    first recorded cycle (default 0);
+ *  - trace_cycles=N   recording-window length in cycles.
+ * Parsing either path (or verbose=) also enables the global
+ * engineering-metrics registry for the process.
+ */
+struct ObservabilityOptions
+{
+    std::string statsPath;
+    std::string tracePath;
+    std::int64_t traceStart = 0;
+    std::int64_t traceCycles = 20000;
+
+    bool wantsStats() const { return !statsPath.empty(); }
+    bool wantsTrace() const { return !tracePath.empty(); }
+};
+
+inline ObservabilityOptions
+observabilityFromArgs(int argc, char **argv)
+{
+    const util::Config cfg = util::Config::fromArgs(argc, argv);
+    ObservabilityOptions o;
+    o.statsPath = cfg.getString("stats", "");
+    o.tracePath = cfg.getString("trace", "");
+    o.traceStart = cfg.getInt("trace_start", 0);
+    o.traceCycles = cfg.getPositiveInt("trace_cycles", o.traceCycles);
+    if (o.wantsStats() || o.wantsTrace() ||
+        cfg.getBool("verbose", false))
+        util::setMetricsEnabled(true);
+    return o;
+}
+
+/** Header row of the stats CSV (shared by benches and identity tests). */
+inline std::vector<std::string>
+statsHeader(const std::string &pointColumn = "t_useful")
+{
+    std::vector<std::string> h{pointColumn, "benchmark", "class",
+                               "status", "instructions", "cycles",
+                               "stall_cycles"};
+    for (int i = 0; i < core::numStallCauses; ++i) {
+        h.push_back(std::string("stall_") +
+                    core::stallCauseName(
+                        static_cast<core::StallCause>(i)));
+    }
+    h.insert(h.end(),
+             {"dispatch_window_full", "dispatch_rob_full",
+              "dispatch_lsq_full", "occ_front", "occ_window", "occ_rob",
+              "occ_lsq"});
+    return h;
+}
+
+/**
+ * One stats row per benchmark of `suite`, labelled `point` (e.g. the
+ * t_useful value).  Every cell is rendered with a fixed format from
+ * integer counters, so two byte-identical suites produce byte-identical
+ * rows — the determinism contract extends to this CSV.
+ */
+inline std::vector<std::vector<std::string>>
+statsRows(const std::string &point, const study::SuiteResult &suite)
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(suite.benchmarks.size());
+    for (const auto &b : suite.benchmarks) {
+        std::vector<std::string> row{
+            point, b.name, trace::benchClassName(b.cls),
+            b.failed() ? util::errorCodeName(b.error.code()) : "ok",
+            util::strprintf("%llu", static_cast<unsigned long long>(
+                                        b.sim.instructions)),
+            util::strprintf("%llu", static_cast<unsigned long long>(
+                                        b.sim.cycles)),
+            util::strprintf("%llu", static_cast<unsigned long long>(
+                                        b.sim.stallCycles))};
+        for (const auto v : b.sim.stalls.byCause)
+            row.push_back(util::strprintf(
+                "%llu", static_cast<unsigned long long>(v)));
+        for (const auto v :
+             {b.sim.dispatchWindowFull, b.sim.dispatchRobFull,
+              b.sim.dispatchLsqFull})
+            row.push_back(util::strprintf(
+                "%llu", static_cast<unsigned long long>(v)));
+        const auto &occ = b.sim.occupancy;
+        for (const auto sum : {occ.frontSum, occ.windowSum, occ.robSum,
+                               occ.lsqSum})
+            row.push_back(util::strprintf("%.6f", occ.mean(sum)));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** statsRows over a whole sweep, keyed by each point's t_useful. */
+inline std::vector<std::vector<std::string>>
+sweepStatsRows(const std::vector<study::SweepPointResult> &points)
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back(statsHeader());
+    for (const auto &point : points) {
+        for (auto &row :
+             statsRows(util::strprintf("%g", point.tUseful), point.suite))
+            rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** Flatten rows to one string (what the byte-identity tests compare). */
+inline std::string
+statsRowsToString(const std::vector<std::vector<std::string>> &rows)
+{
+    std::string out;
+    for (const auto &row : rows) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out += ',';
+            out += row[i];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+/** Publish stats rows atomically (tmp + fsync + rename, like csv=). */
+inline void
+writeStats(const std::string &path,
+           const std::vector<std::vector<std::string>> &rows)
+{
+    util::AtomicCsvFile csv(path);
+    for (const auto &row : rows)
+        csv.writeRow(row);
+    csv.commit();
+}
+
+/**
+ * Under trace=, rerun ONE cell serially with a TraceEventRing attached
+ * and write its Chrome trace_event JSON.  The rerun is deliberate: a
+ * ring is single-writer, so tracing never touches the parallel sweep —
+ * and because results are deterministic, the rerun's pipeline schedule
+ * is exactly the one the sweep measured.
+ */
+inline void
+maybeWriteTrace(const ObservabilityOptions &obs,
+                const core::CoreParams &params,
+                const tech::ClockModel &clock, const study::BenchJob &job,
+                study::RunSpec spec)
+{
+    if (!obs.wantsTrace())
+        return;
+    util::TraceEventRing ring(1 << 16, obs.traceStart, obs.traceCycles);
+    spec.tracer = &ring;
+    const auto result = study::runJobIsolated(params, clock, job, spec);
+    if (result.failed()) {
+        std::printf("trace: benchmark '%s' failed (%s); no trace "
+                    "written\n",
+                    job.name.c_str(),
+                    util::errorCodeName(result.error.code()));
+        return;
+    }
+    std::ofstream out(obs.tracePath,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::printf("trace: cannot open '%s' for writing\n",
+                    obs.tracePath.c_str());
+        return;
+    }
+    ring.writeChromeJson(out);
+    std::printf("trace: %zu events from cycles [%lld, %lld) of '%s' -> "
+                "%s (open in chrome://tracing or ui.perfetto.dev)\n",
+                ring.size(), static_cast<long long>(ring.startCycle()),
+                static_cast<long long>(ring.endCycle()),
+                job.name.c_str(), obs.tracePath.c_str());
+}
+
+/** Under verbose=, dump the engineering-metrics registry. */
+inline void
+printMetricsRegistry(bool verbose)
+{
+    if (!verbose || !util::metricsEnabled())
+        return;
+    std::printf("\nengineering metrics:\n");
+    for (const auto &[name, value] :
+         util::MetricsRegistry::global().snapshotCounters())
+        std::printf("  %-28s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
 }
 
 } // namespace fo4::bench

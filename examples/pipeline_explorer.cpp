@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/common.hh"
 #include "study/checkpoint.hh"
 #include "study/parallel.hh"
 #include "study/runner.hh"
@@ -56,7 +57,9 @@ explore(int argc, char **argv)
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
     cfg.checkKnown({"bench", "class", "overhead", "model", "instructions",
-                    "prewarm", "jobs", "checkpoint", "resume"});
+                    "prewarm", "jobs", "checkpoint", "resume", "verbose",
+                    "stats", "trace", "trace_start", "trace_cycles"});
+    const auto obs = bench::observabilityFromArgs(argc, argv);
     const auto profiles = pickProfiles(cfg);
     const double overhead = cfg.getDouble("overhead", 1.8);
     const int jobs = static_cast<int>(cfg.getPositiveInt("jobs", 1));
@@ -121,6 +124,17 @@ explore(int argc, char **argv)
     std::printf("\noptimum: %.0f FO4 useful logic per stage (%.3f BIPS, "
                 "clock period %.1f FO4)\n",
                 bestT, bestBips, bestT + overhead);
+
+    // stats=: stall attribution for every sweep point; trace=: pipeline
+    // timeline of the first benchmark at the sweep's own optimum.
+    if (obs.wantsStats())
+        bench::writeStats(obs.statsPath, bench::sweepStatsRows(points));
+    bench::maybeWriteTrace(obs, study::scaledCoreParams(bestT),
+                           study::scaledClock(
+                               bestT, tech::OverheadModel::uniform(overhead)),
+                           study::BenchJob::fromProfile(profiles.front()),
+                           spec);
+    bench::printMetricsRegistry(cfg.getBool("verbose", false));
     return 0;
 }
 

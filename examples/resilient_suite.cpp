@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/common.hh"
 #include "study/checkpoint.hh"
 #include "study/parallel.hh"
 #include "study/runner.hh"
@@ -58,7 +59,9 @@ resilientSuite(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown({"instructions", "dir", "jobs"});
+    cfg.checkKnown({"instructions", "dir", "jobs", "verbose", "stats",
+                    "trace", "trace_start", "trace_cycles"});
+    const auto obs = bench::observabilityFromArgs(argc, argv);
 
     study::RunSpec spec;
     spec.instructions = cfg.getInt("instructions", 40000);
@@ -121,6 +124,18 @@ resilientSuite(int argc, char **argv)
     std::printf("\nsuite survived both injected faults; %zu of %zu "
                 "benchmarks aggregated\n",
                 suite.succeeded(), suite.benchmarks.size());
+
+    // stats=: the CSV carries the failed rows too, with their error
+    // codes in the status column; trace=: timeline of a healthy job.
+    if (obs.wantsStats()) {
+        auto rows = std::vector<std::vector<std::string>>{
+            fo4::bench::statsHeader("grid_point")};
+        for (auto &row : fo4::bench::statsRows("6fo4", suite))
+            rows.push_back(std::move(row));
+        fo4::bench::writeStats(obs.statsPath, rows);
+    }
+    fo4::bench::maybeWriteTrace(obs, params, clock, jobs.front(), spec);
+    fo4::bench::printMetricsRegistry(cfg.getBool("verbose", false));
     return 0;
 }
 

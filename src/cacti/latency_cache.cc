@@ -2,11 +2,36 @@
 
 #include <cstring>
 
+#include "util/metrics.hh"
+
 namespace fo4::cacti
 {
 
 namespace
 {
+
+/** Process-global engineering counters (self-gating when disabled);
+ *  references are stable, so the lookup happens once per process. */
+struct CacheMetrics
+{
+    util::MetricCounter &hits;
+    util::MetricCounter &misses;
+    util::MetricCounter &inserts;
+
+    static CacheMetrics &
+    get()
+    {
+        static CacheMetrics m{
+            util::MetricsRegistry::global().counter(
+                "cacti.latency_cache.hit"),
+            util::MetricsRegistry::global().counter(
+                "cacti.latency_cache.miss"),
+            util::MetricsRegistry::global().counter(
+                "cacti.latency_cache.insert"),
+        };
+        return m;
+    }
+};
 
 /** FNV-1a over a value's bytes; doubles here are set, not computed, so
  *  bitwise identity is the right equality for calibration constants. */
@@ -62,16 +87,20 @@ LatencyCache::latencyFo4(const StructureModel &model, StructureKind kind,
         const auto it = table.find(key);
         if (it != table.end()) {
             ++counters.hits;
+            CacheMetrics::get().hits.inc();
             return it->second;
         }
         ++counters.misses;
     }
+    CacheMetrics::get().misses.inc();
     // Compute outside the lock: the subarray search is the slow part,
     // and concurrent first lookups of the same key are idempotent.
     const double latency = model.latencyFo4(kind, capacity);
     std::lock_guard<std::mutex> lock(mutex);
-    if (table.emplace(key, latency).second)
+    if (table.emplace(key, latency).second) {
         ++counters.inserts;
+        CacheMetrics::get().inserts.inc();
+    }
     return latency;
 }
 

@@ -7,15 +7,95 @@
 #ifndef FO4_CORE_CORE_HH
 #define FO4_CORE_CORE_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
 #include "core/params.hh"
 #include "trace/trace.hh"
 #include "util/cancel.hh"
+#include "util/metrics.hh"
 
 namespace fo4::core
 {
+
+/**
+ * Why a cycle retired nothing.  Exactly one cause is charged per stall
+ * cycle (priority: the oldest unretired instruction's blocker), so the
+ * per-cause counts sum *exactly* to SimResult::stallCycles — the
+ * invariant tests assert against.
+ *
+ * Two causes are structural zeros in the current model and kept for
+ * schema stability: IcacheMiss (fetch hits an ideal I-side; a fetch
+ * starved for any non-mispredict reason lands in FrontEnd) and, on the
+ * in-order core, WindowFull (a scoreboarded pipeline has no window; the
+ * first instruction each cycle always has a functional unit).
+ */
+enum class StallCause : int
+{
+    BranchMispredict, ///< unresolved mispredict, or its refill shadow
+    IcacheMiss,       ///< reserved: no I-cache in the model (always 0)
+    DcacheMiss,       ///< oldest op blocked by a DL1/L2-missing load
+    WindowFull,       ///< oldest op ready but unselected (wakeup/select)
+    RawLoadUse,       ///< load-use latency of a DL1 *hit* blocks retirement
+    Execute,          ///< oldest op mid-execution (non-load latency)
+    FrontEnd,         ///< nothing to retire; fetch bubbles / cold start
+    Other,            ///< RAW on a non-load producer, WAW, spill-over
+};
+
+constexpr int numStallCauses = 8;
+
+/** Stable name of a cause ("branch-mispredict", ...); never null. */
+const char *stallCauseName(StallCause cause);
+
+/** Per-cause stall-cycle counts; an exact partition of stallCycles. */
+struct StallBreakdown
+{
+    std::array<std::uint64_t, numStallCauses> byCause{};
+
+    std::uint64_t &
+    operator[](StallCause cause)
+    {
+        return byCause[static_cast<int>(cause)];
+    }
+
+    std::uint64_t
+    operator[](StallCause cause) const
+    {
+        return byCause[static_cast<int>(cause)];
+    }
+
+    /** Sum over every cause (== SimResult::stallCycles). */
+    std::uint64_t total() const;
+
+    StallBreakdown operator-(const StallBreakdown &other) const;
+    StallBreakdown &operator+=(const StallBreakdown &other);
+};
+
+/**
+ * Per-stage occupancy accumulators, sampled once per simulated cycle.
+ * Sums (not means) are stored so warm-up subtraction and cross-cell
+ * aggregation stay exact integer arithmetic; divide by `cycles` for the
+ * mean.  The in-order core populates only frontSum (its issue queue).
+ */
+struct OccupancySample
+{
+    std::uint64_t cycles = 0;   ///< cycles observed
+    std::uint64_t frontSum = 0; ///< fetched but not dispatched / queued
+    std::uint64_t windowSum = 0; ///< issue-window entries (ooo)
+    std::uint64_t robSum = 0;    ///< dispatched but not committed (ooo)
+    std::uint64_t lsqSum = 0;    ///< loads/stores in flight (ooo)
+
+    double
+    mean(std::uint64_t sum) const
+    {
+        return cycles ? static_cast<double>(sum) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    OccupancySample operator-(const OccupancySample &other) const;
+};
 
 /** Aggregate outcome of one simulation run. */
 struct SimResult
@@ -28,6 +108,21 @@ struct SimResult
     std::uint64_t stores = 0;
     std::uint64_t dl1Misses = 0;
     std::uint64_t l2Misses = 0;
+
+    // --- observability (deterministic; rides the byte-identity
+    //     contract of study::serializeSuite) ---
+
+    /** Cycles in which the retire stage (commit for the out-of-order
+     *  core, issue for the in-order core) made zero progress. */
+    std::uint64_t stallCycles = 0;
+    /** Exact per-cause partition of stallCycles. */
+    StallBreakdown stalls;
+    /** Dispatch-blocked cycles by structural cause (ooo only). */
+    std::uint64_t dispatchWindowFull = 0;
+    std::uint64_t dispatchRobFull = 0;
+    std::uint64_t dispatchLsqFull = 0;
+    /** Per-structure occupancy, sampled every cycle. */
+    OccupancySample occupancy;
 
     double
     ipc() const
@@ -67,6 +162,12 @@ struct SimResult
         d.stores = stores - other.stores;
         d.dl1Misses = dl1Misses - other.dl1Misses;
         d.l2Misses = l2Misses - other.l2Misses;
+        d.stallCycles = stallCycles - other.stallCycles;
+        d.stalls = stalls - other.stalls;
+        d.dispatchWindowFull = dispatchWindowFull - other.dispatchWindowFull;
+        d.dispatchRobFull = dispatchRobFull - other.dispatchRobFull;
+        d.dispatchLsqFull = dispatchLsqFull - other.dispatchLsqFull;
+        d.occupancy = occupancy - other.occupancy;
         return d;
     }
 };
@@ -111,6 +212,14 @@ class Core
                           const util::CancelToken *cancel = nullptr) = 0;
 
     virtual const CoreParams &params() const = 0;
+
+    /**
+     * Attach (or detach, with nullptr) a pipeline event tracer.  The
+     * ring must outlive the run; it is single-writer, so a ring is
+     * never shared between cores running concurrently.  Tracing is
+     * pure observability: it does not perturb timing or results.
+     */
+    virtual void setTracer(util::TraceEventRing *ring) = 0;
 };
 
 /** Build the dynamically-scheduled (Alpha 21264-like) core. */

@@ -46,25 +46,46 @@ InorderCore::doIssue(SimResult &result)
     int memLeft = prm.memIssueWidth;
 
     for (int i = 0; i < prm.renameWidth; ++i) {
-        if (queue.empty())
+        // Stall attribution covers only the *first* slot each cycle: a
+        // cycle that issues nothing has exactly one oldest blocker, and
+        // that is the cause charged by the run loop.
+        if (queue.empty()) {
+            if (i == 0)
+                stallReason = (fetchHalted || now < mispredictShadowEnd)
+                                  ? StallCause::BranchMispredict
+                                  : StallCause::FrontEnd;
             return;
+        }
         QueuedInst &qi = queue.front();
-        if (qi.issueReady > now)
+        if (qi.issueReady > now) {
+            if (i == 0)
+                stallReason = now < mispredictShadowEnd
+                                  ? StallCause::BranchMispredict
+                                  : StallCause::FrontEnd;
             return;
+        }
 
         // Scoreboard: all sources must be bypassable at execute, and —
         // with no register renaming — a destination with a pending write
         // is a WAW hazard that stalls issue (classic scoreboard rule).
         for (const std::int16_t src : {qi.op.src1, qi.op.src2}) {
-            if (src != isa::noReg && regEarliestUse[src] > now)
+            if (src != isa::noReg && regEarliestUse[src] > now) {
+                if (i == 0)
+                    stallReason = regPendingKind[src];
                 return;
+            }
         }
-        if (qi.op.dst != isa::noReg && regEarliestUse[qi.op.dst] > now)
+        if (qi.op.dst != isa::noReg && regEarliestUse[qi.op.dst] > now) {
+            if (i == 0)
+                stallReason = StallCause::Other;
             return;
+        }
 
         // Structural: one functional-unit slot per cycle per op.
         const bool fp = isa::isFloat(qi.op.cls);
         const bool memOp = isa::isMemory(qi.op.cls);
+        if (i == 0)
+            stallReason = StallCause::WindowFull; // fewer slots than ops
         if (fp) {
             if (fpLeft <= 0)
                 return;
@@ -82,13 +103,22 @@ InorderCore::doIssue(SimResult &result)
 
         // Issue.
         int depLat = prm.execLatency(qi.op.cls);
-        if (qi.op.isLoad())
+        bool dl1Missed = false;
+        if (qi.op.isLoad()) {
+            const std::uint64_t missesBefore = memory.dl1().misses();
             depLat = memory.loadLatency(qi.op.addr, now) + prm.extraLoadUse;
-        else if (qi.op.isStore())
+            dl1Missed = memory.dl1().misses() != missesBefore;
+        } else if (qi.op.isStore()) {
             memory.storeLatency(qi.op.addr, now);
+        }
 
-        if (qi.op.dst != isa::noReg)
+        if (qi.op.dst != isa::noReg) {
             regEarliestUse[qi.op.dst] = now + depLat;
+            regPendingKind[qi.op.dst] =
+                qi.op.isLoad() ? (dl1Missed ? StallCause::DcacheMiss
+                                            : StallCause::RawLoadUse)
+                               : StallCause::Other;
+        }
 
         if (qi.op.isBranch() && qi.mispredicted) {
             const std::int64_t resolve =
@@ -96,6 +126,19 @@ InorderCore::doIssue(SimResult &result)
                 prm.extraMispredictPenalty;
             fetchResumeCycle = resolve + 1;
             fetchHalted = false;
+            // Empty-queue cycles until refilled instructions reach the
+            // issue stage are still the mispredict's fault.
+            mispredictShadowEnd = fetchResumeCycle + frontDepth;
+        }
+
+        if (tracer != nullptr && tracer->wants(now)) {
+            const char *name = isa::opClassName(qi.op.cls);
+            tracer->emit({name, "pipeline", 0, qi.issueReady - frontDepth,
+                          frontDepth, qi.op.seq});
+            if (now > qi.issueReady)
+                tracer->emit({name, "pipeline", 1, qi.issueReady,
+                              now - qi.issueReady, qi.op.seq});
+            tracer->emit({name, "pipeline", 2, now, depLat, qi.op.seq});
         }
 
         queue.popFront();
@@ -157,7 +200,10 @@ InorderCore::run(trace::TraceSource &trace, std::uint64_t instructions,
     now = 0;
     fetchResumeCycle = 0;
     fetchHalted = false;
+    mispredictShadowEnd = 0;
+    stallReason = StallCause::FrontEnd;
     regEarliestUse.fill(0);
+    regPendingKind.fill(StallCause::Other);
     queue.clear();
     memory.reset();
     bpred->reset();
@@ -172,11 +218,25 @@ InorderCore::run(trace::TraceSource &trace, std::uint64_t instructions,
     const std::uint64_t dl1Miss0 = memory.dl1().misses();
     const std::uint64_t l2Miss0 = memory.l2().misses();
 
+    // Occupancy integrals accumulate in locals so the sim loop updates
+    // registers, not SimResult fields pinned in memory by the &result
+    // calls below; they are flushed at the warmup snapshot and at exit.
+    OccupancySample occ;
     const std::uint64_t limit =
         cycleLimit ? cycleLimit : total * 1000 + 100000;
     while (result.instructions < total) {
+        const std::uint64_t issuedBefore = result.instructions;
         doIssue(result);
+        if (result.instructions == issuedBefore) {
+            // Zero-issue cycle: charge exactly one cause, so the
+            // per-cause counts partition stallCycles exactly.
+            ++result.stallCycles;
+            ++result.stalls[stallReason];
+        }
+        occ.frontSum += queue.size();
+        ++occ.cycles;
         if (!warmupDone && result.instructions >= warmup) {
+            result.occupancy = occ;
             atWarmup = result;
             atWarmup.cycles = static_cast<std::uint64_t>(now);
             atWarmup.dl1Misses = memory.dl1().misses() - dl1Miss0;
@@ -207,6 +267,7 @@ InorderCore::run(trace::TraceSource &trace, std::uint64_t instructions,
 
     // Account for the tail of the pipeline: the final instruction still
     // traverses register read, execute, write back and commit.
+    result.occupancy = occ;
     result.cycles = static_cast<std::uint64_t>(
         now + prm.regReadStages + 1 + prm.commitStages);
     result.dl1Misses = memory.dl1().misses() - dl1Miss0;

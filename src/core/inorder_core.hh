@@ -36,6 +36,8 @@ class InorderCore : public Core
 
     const CoreParams &params() const override { return prm; }
 
+    void setTracer(util::TraceEventRing *ring) override { tracer = ring; }
+
   private:
     struct QueuedInst
     {
@@ -61,10 +63,23 @@ class InorderCore : public Core
      *  with full bypass: producer issue + producer latency). */
     std::array<std::int64_t, isa::numArchRegs> regEarliestUse{};
 
+    /** What kind of producer last wrote each register — attributes a
+     *  scoreboard stall to the blocking instruction's class. */
+    std::array<StallCause, isa::numArchRegs> regPendingKind{};
+
     std::int64_t now = 0;
     std::int64_t fetchResumeCycle = 0;
     bool fetchHalted = false;
     int frontDepth = 2;
+
+    /** End of the refill shadow after a mispredicted branch issues:
+     *  empty-queue cycles before this are charged to the mispredict. */
+    std::int64_t mispredictShadowEnd = 0;
+
+    /** Why doIssue retired nothing this cycle (valid when it did). */
+    StallCause stallReason = StallCause::FrontEnd;
+
+    util::TraceEventRing *tracer = nullptr;
 
     trace::TraceSource *source = nullptr;
 };

@@ -82,6 +82,7 @@ OooCore::resetState()
     fetchResumeCycle = 0;
     haltingBranch = ~0ull;
     lsqOccupancy = 0;
+    mispredictShadowEnd = 0;
     renameMap.fill(noProducer);
     window.reset();
     memory.reset();
@@ -101,6 +102,20 @@ OooCore::doCommit(SimResult &result)
         }
         if (isa::isMemory(di.op.cls))
             --lsqOccupancy;
+        if (tracer != nullptr && tracer->wants(now)) {
+            // One lane per pipeline phase; spans that started before the
+            // recording window are filtered by the ring itself.
+            const char *name = isa::opClassName(di.op.cls);
+            const std::uint64_t seq = di.op.seq;
+            tracer->emit({name, "pipeline", 0,
+                          di.dispatchReady - frontDepth, frontDepth, seq});
+            if (di.issueCycle > di.dispatchReady)
+                tracer->emit({name, "pipeline", 1, di.dispatchReady,
+                              di.issueCycle - di.dispatchReady, seq});
+            tracer->emit({name, "pipeline", 2, di.issueCycle,
+                          di.doneCycle - di.issueCycle, seq});
+            tracer->emit({name, "pipeline", 3, now, 1, seq});
+        }
         ++result.instructions;
         ++commitSeq;
     }
@@ -119,12 +134,15 @@ OooCore::doIssue()
             fetchResumeCycle =
                 di.doneCycle + prm.extraMispredictPenalty + 1;
             haltingBranch = ~0ull;
+            // Empty-ROB cycles until refetched instructions traverse the
+            // front end are still the mispredict's fault.
+            mispredictShadowEnd = fetchResumeCycle + frontDepth;
         }
     }
 }
 
 void
-OooCore::doDispatch()
+OooCore::doDispatch(SimResult &result)
 {
     for (int i = 0; i < prm.renameWidth; ++i) {
         if (dispatchSeq == fetchSeq)
@@ -132,15 +150,26 @@ OooCore::doDispatch()
         DynInst &di = slot(dispatchSeq);
         if (di.dispatchReady > now)
             return;
-        if (window.full())
+        // Structural dispatch blocks are counted at most once per cycle
+        // (when the *first* slot is refused), giving "cycles blocked"
+        // rather than "slots lost".
+        if (window.full()) {
+            if (i == 0)
+                ++result.dispatchWindowFull;
             return;
+        }
         if (dispatchSeq - commitSeq >=
             static_cast<std::uint64_t>(prm.robSize)) {
+            if (i == 0)
+                ++result.dispatchRobFull;
             return;
         }
         const bool memOp = isa::isMemory(di.op.cls);
-        if (memOp && lsqOccupancy >= prm.lsqSize)
+        if (memOp && lsqOccupancy >= prm.lsqSize) {
+            if (i == 0)
+                ++result.dispatchLsqFull;
             return;
+        }
 
         // Resolve producers through the rename map: a source whose
         // producer has already committed is simply ready.
@@ -167,9 +196,11 @@ OooCore::doDispatch()
         di.execLat = prm.execLatency(di.op.cls);
         di.depLatency = di.execLat;
         if (di.op.isLoad()) {
+            const std::uint64_t missesBefore = memory.dl1().misses();
             di.depLatency =
                 memory.loadLatency(di.op.addr, now) + prm.extraLoadUse;
             di.execLat = di.depLatency;
+            di.loadMiss = memory.dl1().misses() != missesBefore;
         } else if (di.op.isStore()) {
             memory.storeLatency(di.op.addr, now);
         }
@@ -233,6 +264,35 @@ OooCore::doFetch(SimResult &result)
     }
 }
 
+core::StallCause
+OooCore::classifyStall() const
+{
+    if (commitSeq == dispatchSeq) {
+        // Empty ROB: the front end has nothing in flight.  Either we are
+        // squashing/refilling after a mispredict or fetch simply has not
+        // delivered (cold start, taken-branch bubbles).
+        return (haltingBranch != ~0ull || now < mispredictShadowEnd)
+                   ? StallCause::BranchMispredict
+                   : StallCause::FrontEnd;
+    }
+    const DynInst &head = slot(commitSeq);
+    if (head.issueCycle >= 0) {
+        // Head issued but its result (or commit-stage traversal) is not
+        // complete.  An in-flight load at the head is the load-use loop:
+        // dependents and commit both wait on its data, so those cycles
+        // are the RAW-on-load-use stall (dcache-miss when it missed).
+        if (head.op.isLoad())
+            return head.loadMiss ? StallCause::DcacheMiss
+                                 : StallCause::RawLoadUse;
+        return StallCause::Execute;
+    }
+    // Head dispatched but unissued.  Commit is in order, so everything
+    // older than the head — including all its producers — has already
+    // retired: the head is data-ready and merely waiting to be selected.
+    // Charge that wakeup/select latency to the issue window.
+    return StallCause::WindowFull;
+}
+
 SimResult
 OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
              std::uint64_t warmup, std::uint64_t prewarm,
@@ -253,11 +313,28 @@ OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
     const std::uint64_t dl1Miss0 = memory.dl1().misses();
     const std::uint64_t l2Miss0 = memory.l2().misses();
 
+    // Occupancy integrals accumulate in locals so the sim loop updates
+    // registers, not SimResult fields pinned in memory by the &result
+    // calls below; they are flushed at the warmup snapshot and at exit.
+    OccupancySample occ;
     const std::uint64_t limit =
         cycleLimit ? cycleLimit : total * 1000 + 100000;
     while (result.instructions < total) {
+        const std::uint64_t committedBefore = result.instructions;
         doCommit(result);
+        if (result.instructions == committedBefore) {
+            // Zero-commit cycle: charge exactly one cause, so the
+            // per-cause counts partition stallCycles exactly.
+            ++result.stallCycles;
+            ++result.stalls[classifyStall()];
+        }
+        occ.robSum += dispatchSeq - commitSeq;
+        occ.windowSum += window.size();
+        occ.frontSum += fetchSeq - dispatchSeq;
+        occ.lsqSum += static_cast<std::uint64_t>(lsqOccupancy);
+        ++occ.cycles;
         if (!warmupDone && result.instructions >= warmup) {
+            result.occupancy = occ;
             atWarmup = result;
             atWarmup.cycles = static_cast<std::uint64_t>(now);
             atWarmup.dl1Misses = memory.dl1().misses() - dl1Miss0;
@@ -267,7 +344,7 @@ OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
         if (result.instructions >= total)
             break;
         doIssue();
-        doDispatch();
+        doDispatch(result);
         doFetch(result);
         ++now;
         if (static_cast<std::uint64_t>(now) >= limit) {
@@ -288,6 +365,7 @@ OooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
         }
     }
 
+    result.occupancy = occ;
     result.cycles = static_cast<std::uint64_t>(now);
     result.dl1Misses = memory.dl1().misses() - dl1Miss0;
     result.l2Misses = memory.l2().misses() - l2Miss0;

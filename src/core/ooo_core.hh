@@ -57,6 +57,8 @@ class OooCore : public Core, private WakeupOracle
     /** Issue-window behaviour counters from the most recent run. */
     const IssueWindow::Stats &windowStats() const { return window.stats(); }
 
+    void setTracer(util::TraceEventRing *ring) override { tracer = ring; }
+
   private:
     struct DynInst
     {
@@ -68,6 +70,7 @@ class OooCore : public Core, private WakeupOracle
         int depLatency = 1;    ///< latency dependents observe after issue
         bool mispredicted = false;
         bool dispatched = false;
+        bool loadMiss = false; ///< load whose DL1 access missed
     };
 
     // WakeupOracle
@@ -81,8 +84,11 @@ class OooCore : public Core, private WakeupOracle
                                     std::uint64_t limit) const;
     void doCommit(SimResult &result);
     void doIssue();
-    void doDispatch();
+    void doDispatch(SimResult &result);
     void doFetch(SimResult &result);
+    /** Why the commit stage retired nothing this cycle (the oldest
+     *  unretired instruction's blocker). */
+    StallCause classifyStall() const;
 
     DynInst &slot(std::uint64_t seq) { return inflight[seq & slotMask]; }
     const DynInst &slot(std::uint64_t seq) const
@@ -109,6 +115,12 @@ class OooCore : public Core, private WakeupOracle
     std::uint64_t haltingBranch = ~0ull; ///< seq of unresolved mispredict
     int frontDepth = 3;
     int lsqOccupancy = 0;
+
+    /** End of the refill shadow after a mispredicted branch issues:
+     *  empty-ROB cycles before this are charged to the mispredict. */
+    std::int64_t mispredictShadowEnd = 0;
+
+    util::TraceEventRing *tracer = nullptr;
 
     /** Architectural register -> seq of the youngest producer. */
     std::array<std::uint64_t, isa::numArchRegs> renameMap{};

@@ -10,6 +10,7 @@
 #include "study/scaling.hh"
 #include "util/journal.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/random.hh"
 #include "util/thread_pool.hh"
 
@@ -185,6 +186,8 @@ hashJob(IdentityHasher &h, const BenchJob &job)
 void
 hashSpec(IdentityHasher &h, const RunSpec &spec)
 {
+    // spec.tracer is deliberately absent: tracing observes a run
+    // without changing its bytes, so it must not block a resume.
     h.i(static_cast<int>(spec.model));
     h.s(spec.predictor);
     h.u(spec.instructions);
@@ -314,7 +317,7 @@ std::string
 encodeCell(std::size_t point, std::size_t job, const BenchResult &r)
 {
     std::string out;
-    out.reserve(96 + r.name.size() + r.error.message().size());
+    out.reserve(240 + r.name.size() + r.error.message().size());
     putU32(out, static_cast<std::uint32_t>(point));
     putU32(out, static_cast<std::uint32_t>(job));
     putStr(out, r.name);
@@ -327,6 +330,20 @@ encodeCell(std::size_t point, std::size_t job, const BenchResult &r)
     putU64(out, r.sim.stores);
     putU64(out, r.sim.dl1Misses);
     putU64(out, r.sim.l2Misses);
+    // Observability fields (journal format v2): stall attribution,
+    // dispatch-block counters and occupancy sums are results too, so a
+    // replayed cell must restore them bit-for-bit.
+    putU64(out, r.sim.stallCycles);
+    for (const auto v : r.sim.stalls.byCause)
+        putU64(out, v);
+    putU64(out, r.sim.dispatchWindowFull);
+    putU64(out, r.sim.dispatchRobFull);
+    putU64(out, r.sim.dispatchLsqFull);
+    putU64(out, r.sim.occupancy.cycles);
+    putU64(out, r.sim.occupancy.frontSum);
+    putU64(out, r.sim.occupancy.windowSum);
+    putU64(out, r.sim.occupancy.robSum);
+    putU64(out, r.sim.occupancy.lsqSum);
     putU64(out, doubleBits(r.bips));
     putU32(out, static_cast<std::uint32_t>(r.error.code()));
     putStr(out, r.error.message());
@@ -357,6 +374,17 @@ decodeCell(const std::string &payload, const std::string &path)
     cell.result.sim.stores = c.u64();
     cell.result.sim.dl1Misses = c.u64();
     cell.result.sim.l2Misses = c.u64();
+    cell.result.sim.stallCycles = c.u64();
+    for (auto &v : cell.result.sim.stalls.byCause)
+        v = c.u64();
+    cell.result.sim.dispatchWindowFull = c.u64();
+    cell.result.sim.dispatchRobFull = c.u64();
+    cell.result.sim.dispatchLsqFull = c.u64();
+    cell.result.sim.occupancy.cycles = c.u64();
+    cell.result.sim.occupancy.frontSum = c.u64();
+    cell.result.sim.occupancy.windowSum = c.u64();
+    cell.result.sim.occupancy.robSum = c.u64();
+    cell.result.sim.occupancy.lsqSum = c.u64();
     cell.result.bips = doubleFromBits(c.u64());
     const auto code = static_cast<util::ErrorCode>(c.u32());
     const std::string message = c.str();
@@ -460,6 +488,20 @@ CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
     const std::size_t nJobs = jobs.size();
     lastReport = CheckpointReport{};
     lastReport.totalCells = points.size() * nJobs;
+    const auto runStart = std::chrono::steady_clock::now();
+    const cacti::LatencyCacheStats cache0 =
+        cacti::LatencyCache::global().stats();
+    const auto finishReport = [&] {
+        lastReport.wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - runStart)
+                .count();
+        const cacti::LatencyCacheStats cache1 =
+            cacti::LatencyCache::global().stats();
+        lastReport.cacheDelta.hits = cache1.hits - cache0.hits;
+        lastReport.cacheDelta.misses = cache1.misses - cache0.misses;
+        lastReport.cacheDelta.inserts = cache1.inserts - cache0.inserts;
+    };
 
     std::vector<SuiteResult> results(points.size());
     for (auto &suite : results)
@@ -539,8 +581,11 @@ CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
     // --- fan out the incomplete cells ---
     const auto runCell = [&](std::size_t p, std::size_t j) {
         const std::uint64_t cellKey = p * nJobs + j;
+        const auto cellStart = std::chrono::steady_clock::now();
         BenchResult result;
+        int attempts = 0;
         for (int attempt = 1;; ++attempt) {
+            attempts = attempt;
             if (opts.onAttempt)
                 opts.onAttempt(p, j, attempt);
             result = runJobIsolated(points[p].params, points[p].clock,
@@ -553,6 +598,10 @@ CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
                 std::lock_guard<std::mutex> lock(reportMutex);
                 ++lastReport.retriedAttempts;
             }
+            static util::MetricCounter &cellsRetried =
+                util::MetricsRegistry::global().counter(
+                    "study.cells.retried");
+            cellsRetried.inc();
             const double delay =
                 opts.retry.delayMs(attempt + 1, cellKey);
             if (delay > 0.0) {
@@ -576,8 +625,17 @@ CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
                 writer->append(
                     encodeCell(p, j, results[p].benchmarks[j]));
         }
+        static util::MetricCounter &cellsExecuted =
+            util::MetricsRegistry::global().counter(
+                "study.cells.executed");
+        cellsExecuted.inc();
+        const double cellMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - cellStart)
+                .count();
         std::lock_guard<std::mutex> lock(reportMutex);
         ++lastReport.executedCells;
+        lastReport.cellTimings.push_back({p, j, cellMs, attempts});
     };
 
     {
@@ -595,16 +653,19 @@ CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
         } catch (const util::CancelledError &) {
             // A cell aborted mid-simulation; everything acknowledged is
             // already on disk — make it durable and report resumable.
+            finishReport();
             flushJournal();
             throw util::CancelledError(cancelSummary());
         }
     }
 
     if (opts.cancel && opts.cancel->cancelled()) {
+        finishReport();
         flushJournal();
         throw util::CancelledError(cancelSummary());
     }
 
+    finishReport();
     flushJournal();
     return results;
 }

@@ -125,6 +125,16 @@ struct CheckpointOptions
         onAttempt;
 };
 
+/** Wall-clock profile of one executed (not replayed) cell. */
+struct CellTiming
+{
+    std::size_t point = 0;
+    std::size_t job = 0;
+    double wallMs = 0.0;
+    /** Attempts this run made on the cell (>= 1; > 1 means retried). */
+    int attempts = 1;
+};
+
 /** What a runGrid/sweepScaling call did (progress accounting). */
 struct CheckpointReport
 {
@@ -139,6 +149,17 @@ struct CheckpointReport
     bool resumed = false;
     /** True if recovery discarded a torn trailing record. */
     bool tornTailDiscarded = false;
+
+    /**
+     * Per-cell wall times and attempt counts, in completion order.
+     * Engineering diagnostics: scheduling-dependent, so never part of
+     * the byte-identity contract (unlike everything journaled).
+     */
+    std::vector<CellTiming> cellTimings;
+    /** Wall time of the whole runGrid call, milliseconds. */
+    double wallMs = 0.0;
+    /** LatencyCache::global() stats delta across the run. */
+    cacti::LatencyCacheStats cacheDelta;
 };
 
 /**

@@ -1,5 +1,9 @@
 #include "study/parallel.hh"
 
+#include <chrono>
+#include <mutex>
+
+#include "util/metrics.hh"
 #include "util/thread_pool.hh"
 
 namespace fo4::study
@@ -7,6 +11,14 @@ namespace fo4::study
 
 namespace
 {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
 
 std::vector<BenchJob>
 jobsFromProfiles(const std::vector<trace::BenchmarkProfile> &profiles)
@@ -28,12 +40,21 @@ ParallelRunner::ParallelRunner(int threads)
 std::vector<SuiteResult>
 ParallelRunner::runGrid(const std::vector<GridPoint> &points,
                         const std::vector<BenchJob> &jobs,
-                        const RunSpec &spec) const
+                        const RunSpec &spec, GridProfile *profile) const
 {
     // Fail fast on any misconfigured point before fanning anything out,
     // with the serial runner's exact validation and exception.
     for (const auto &point : points)
         validateSuiteInputs(point.params, point.clock, jobs, spec);
+
+    const auto runStart = std::chrono::steady_clock::now();
+    const cacti::LatencyCacheStats cache0 =
+        cacti::LatencyCache::global().stats();
+    std::mutex profileMutex;
+    if (profile != nullptr) {
+        *profile = GridProfile{};
+        profile->cells.reserve(points.size() * jobs.size());
+    }
 
     // Preallocate every result slot: each cell writes results[p][j] and
     // nothing else, so the merge order is the grid order no matter
@@ -47,12 +68,33 @@ ParallelRunner::runGrid(const std::vector<GridPoint> &points,
     for (std::size_t p = 0; p < points.size(); ++p) {
         for (std::size_t j = 0; j < jobs.size(); ++j) {
             group.submit([&, p, j] {
+                const auto cellStart = std::chrono::steady_clock::now();
                 results[p].benchmarks[j] = runJobIsolated(
                     points[p].params, points[p].clock, jobs[j], spec);
+                // Stable reference (node-based registry): looked up
+                // once, incremented forever without the registry lock.
+                static util::MetricCounter &cellsExecuted =
+                    util::MetricsRegistry::global().counter(
+                        "study.cells.executed");
+                cellsExecuted.inc();
+                if (profile != nullptr) {
+                    std::lock_guard<std::mutex> lock(profileMutex);
+                    profile->cells.push_back(
+                        {p, j, elapsedMs(cellStart)});
+                }
             });
         }
     }
     group.wait();
+
+    if (profile != nullptr) {
+        profile->wallMs = elapsedMs(runStart);
+        const cacti::LatencyCacheStats cache1 =
+            cacti::LatencyCache::global().stats();
+        profile->cacheDelta.hits = cache1.hits - cache0.hits;
+        profile->cacheDelta.misses = cache1.misses - cache0.misses;
+        profile->cacheDelta.inserts = cache1.inserts - cache0.inserts;
+    }
     return results;
 }
 

@@ -30,6 +30,7 @@
 
 #include <vector>
 
+#include "cacti/latency_cache.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
 
@@ -41,6 +42,28 @@ struct GridPoint
 {
     core::CoreParams params;
     tech::ClockModel clock;
+};
+
+/** Wall-clock profile of one executed grid cell. */
+struct CellProfile
+{
+    std::size_t point = 0;
+    std::size_t job = 0;
+    double wallMs = 0.0;
+};
+
+/**
+ * Engineering profile of a whole grid run: per-cell wall times (in
+ * completion order — timing is scheduling-dependent, so this is
+ * diagnostics, never part of the byte-identity contract), the run's
+ * wall time, and the latency-cache activity it generated.
+ */
+struct GridProfile
+{
+    std::vector<CellProfile> cells;
+    double wallMs = 0.0;
+    /** LatencyCache::global() stats delta across the run. */
+    cacti::LatencyCacheStats cacheDelta;
 };
 
 /**
@@ -76,10 +99,14 @@ class ParallelRunner
      * point with a slow benchmark does not serialize the points after
      * it.  Throws ConfigError if any point's inputs are invalid (before
      * any simulation starts).
+     *
+     * `profile` (optional) receives per-cell wall times and the
+     * latency-cache stats delta; it does not influence results.
      */
     std::vector<SuiteResult> runGrid(const std::vector<GridPoint> &points,
                                      const std::vector<BenchJob> &jobs,
-                                     const RunSpec &spec) const;
+                                     const RunSpec &spec,
+                                     GridProfile *profile = nullptr) const;
 
   private:
     int nThreads;

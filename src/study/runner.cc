@@ -67,6 +67,28 @@ SuiteResult::harmonicIpcAll() const
     return values.empty() ? 0.0 : util::harmonicMean(values);
 }
 
+core::StallBreakdown
+SuiteResult::aggregateStalls() const
+{
+    core::StallBreakdown sum;
+    for (const auto &b : benchmarks) {
+        if (!b.failed())
+            sum += b.sim.stalls;
+    }
+    return sum;
+}
+
+std::uint64_t
+SuiteResult::totalCycles() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &b : benchmarks) {
+        if (!b.failed())
+            sum += b.sim.cycles;
+    }
+    return sum;
+}
+
 util::Status
 RunSpec::validate() const
 {
@@ -125,6 +147,9 @@ runJob(const core::CoreParams &params, const tech::ClockModel &clock,
     auto core = spec.model == CoreModel::OutOfOrder
                     ? core::makeOooCore(effective, spec.predictor)
                     : core::makeInorderCore(effective, spec.predictor);
+
+    if (spec.tracer != nullptr)
+        core->setTracer(spec.tracer);
 
     BenchResult result;
     result.name = job.name;
@@ -216,10 +241,10 @@ std::string
 serializeSuite(const SuiteResult &suite)
 {
     std::string out;
-    out.reserve(suite.benchmarks.size() * 160);
+    out.reserve(suite.benchmarks.size() * 320);
     for (const auto &b : suite.benchmarks) {
         out += util::strprintf(
-            "%s|%d|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%a|%s|%s\n",
+            "%s|%d|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu",
             b.name.c_str(), static_cast<int>(b.cls),
             static_cast<unsigned long long>(b.sim.instructions),
             static_cast<unsigned long long>(b.sim.cycles),
@@ -228,9 +253,27 @@ serializeSuite(const SuiteResult &suite)
             static_cast<unsigned long long>(b.sim.loads),
             static_cast<unsigned long long>(b.sim.stores),
             static_cast<unsigned long long>(b.sim.dl1Misses),
-            static_cast<unsigned long long>(b.sim.l2Misses), b.bips,
-            util::errorCodeName(b.error.code()),
-            b.error.message().c_str());
+            static_cast<unsigned long long>(b.sim.l2Misses));
+        // Stall attribution and occupancy are result statistics, so they
+        // are part of the byte-identity contract too.
+        out += util::strprintf(
+            "|%llu", static_cast<unsigned long long>(b.sim.stallCycles));
+        for (const auto v : b.sim.stalls.byCause)
+            out += util::strprintf("|%llu",
+                                   static_cast<unsigned long long>(v));
+        out += util::strprintf(
+            "|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu",
+            static_cast<unsigned long long>(b.sim.dispatchWindowFull),
+            static_cast<unsigned long long>(b.sim.dispatchRobFull),
+            static_cast<unsigned long long>(b.sim.dispatchLsqFull),
+            static_cast<unsigned long long>(b.sim.occupancy.cycles),
+            static_cast<unsigned long long>(b.sim.occupancy.frontSum),
+            static_cast<unsigned long long>(b.sim.occupancy.windowSum),
+            static_cast<unsigned long long>(b.sim.occupancy.robSum),
+            static_cast<unsigned long long>(b.sim.occupancy.lsqSum));
+        out += util::strprintf("|%a|%s|%s\n", b.bips,
+                               util::errorCodeName(b.error.code()),
+                               b.error.message().c_str());
     }
     return out;
 }
@@ -261,6 +304,29 @@ printSuite(std::ostream &os, const SuiteResult &suite)
            << " benchmarks failed:\n";
         for (const auto *b : failed)
             os << "  " << b->name << ": " << b->error.toString() << "\n";
+    }
+
+    const core::StallBreakdown stalls = suite.aggregateStalls();
+    const std::uint64_t stallTotal = stalls.total();
+    const std::uint64_t cycleTotal = suite.totalCycles();
+    if (stallTotal > 0 && cycleTotal > 0) {
+        os << "\nstall cycles: " << stallTotal << " of " << cycleTotal
+           << util::strprintf(
+                  " (%.1f%%), by cause:",
+                  100.0 * static_cast<double>(stallTotal) /
+                      static_cast<double>(cycleTotal))
+           << "\n";
+        for (int i = 0; i < core::numStallCauses; ++i) {
+            const std::uint64_t v = stalls.byCause[i];
+            if (v == 0)
+                continue;
+            os << util::strprintf(
+                "  %-17s %12llu (%.1f%%)\n",
+                core::stallCauseName(static_cast<core::StallCause>(i)),
+                static_cast<unsigned long long>(v),
+                100.0 * static_cast<double>(v) /
+                    static_cast<double>(stallTotal));
+        }
     }
 
     os << "\nharmonic mean over " << suite.succeeded() << " of "

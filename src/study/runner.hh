@@ -77,6 +77,12 @@ struct SuiteResult
 
     /** Harmonic mean of IPC over every benchmark. */
     double harmonicIpcAll() const;
+
+    /** Per-cause stall cycles summed over the succeeded benchmarks. */
+    core::StallBreakdown aggregateStalls() const;
+
+    /** Cycles simulated by the succeeded benchmarks. */
+    std::uint64_t totalCycles() const;
 };
 
 /** How to run a suite. */
@@ -92,6 +98,15 @@ struct RunSpec
     std::uint64_t prewarm = 500000;
     /** Watchdog budget in cycles; 0 picks the core's default. */
     std::uint64_t cycleLimit = 0;
+
+    /**
+     * Optional pipeline event tracer attached to the core before the
+     * run.  Pure observability: excluded from gridFingerprint and
+     * unable to change results.  A ring is single-writer, so a spec
+     * carrying one must never be fanned out across parallel cells —
+     * trace one cell serially instead (see bench/common.hh).
+     */
+    util::TraceEventRing *tracer = nullptr;
 
     /** Report every problem with the spec (all at once). */
     util::Status validate() const;

@@ -13,8 +13,13 @@ Config
 Config::fromArgs(int argc, const char *const *argv)
 {
     Config cfg;
+    // Original argv spelling per key, so a duplicate can name both
+    // offending tokens ("jobs=4" vs "--jobs=8") instead of whichever
+    // normalized form survived.
+    std::map<std::string, std::string> firstToken;
     for (int i = 1; i < argc; ++i) {
-        std::string token = argv[i];
+        const std::string raw = argv[i];
+        std::string token = raw;
         // GNU-style spelling of the same keys: --jobs=4 == jobs=4.  A
         // bare "--flag" becomes flag=1 so boolean knobs read naturally.
         if (token.rfind("--", 0) == 0) {
@@ -25,9 +30,19 @@ Config::fromArgs(int argc, const char *const *argv)
         const auto eq = token.find('=');
         if (eq == std::string::npos) {
             cfg.args.push_back(token);
-        } else {
-            cfg.set(token.substr(0, eq), token.substr(eq + 1));
+            continue;
         }
+        const std::string key = token.substr(0, eq);
+        const auto [it, inserted] = firstToken.emplace(key, raw);
+        if (!inserted) {
+            // Silently keeping either value would make the command line
+            // order-dependent; make the conflict loud instead.
+            throw ConfigError(strprintf(
+                "duplicate config key '%s': given as '%s' and '%s' — "
+                "pass each key at most once",
+                key.c_str(), it->second.c_str(), raw.c_str()));
+        }
+        cfg.set(key, token.substr(eq + 1));
     }
     return cfg;
 }
@@ -35,7 +50,13 @@ Config::fromArgs(int argc, const char *const *argv)
 void
 Config::set(const std::string &key, const std::string &value)
 {
-    values[key] = value;
+    const auto [it, inserted] = values.emplace(key, value);
+    if (!inserted) {
+        throw ConfigError(strprintf(
+            "duplicate config key '%s': already set to '%s', refusing "
+            "to overwrite with '%s'",
+            key.c_str(), it->second.c_str(), value.c_str()));
+    }
 }
 
 bool

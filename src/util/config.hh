@@ -25,10 +25,13 @@ class Config
     /**
      * Parse argv-style "key=value" tokens.  A leading "--" is stripped
      * ("--jobs=4" == "jobs=4"; a bare "--flag" means flag=1).  Tokens
-     * without '=' are collected as positional arguments.
+     * without '=' are collected as positional arguments.  Giving the
+     * same key twice — under either spelling — throws ConfigError
+     * naming both offending tokens, instead of silently keeping one.
      */
     static Config fromArgs(int argc, const char *const *argv);
 
+    /** Store one key; a key already present throws ConfigError. */
     void set(const std::string &key, const std::string &value);
 
     bool has(const std::string &key) const;

@@ -45,8 +45,13 @@
 namespace fo4::util
 {
 
-/** Current journal format version (header field). */
-constexpr std::uint32_t kJournalVersion = 1;
+/**
+ * Current journal format version (header field).  v2 widened the cell
+ * payload with stall-attribution and occupancy fields; v1 journals are
+ * refused with a typed JournalFormat error (rerun the sweep — cells are
+ * cheap relative to silently resuming with zeroed observability).
+ */
+constexpr std::uint32_t kJournalVersion = 2;
 
 /** CRC-32 (IEEE 802.3, reflected); chainable via `crc`. */
 std::uint32_t crc32(const void *data, std::size_t size,

@@ -27,6 +27,7 @@
 #include <gtest/gtest.h>
 
 #include "bench/common.hh"
+#include "study/optimizer.hh"
 #include "study/parallel.hh"
 #include "study/scaling.hh"
 #include "tech/clocking.hh"
@@ -130,6 +131,97 @@ TEST(GoldenPaper, Fig4bInorderIntegerOptimumIs6Fo4)
     // The scoreboarded in-order model's curve is flatter than the
     // paper's, so the pin is argmax plus plateau membership at 2%.
     EXPECT_TRUE(bench::onPlateau(bench::plateau(ts, bips, 0.02), 6.0));
+}
+
+TEST(GoldenPaper, Fig6OptimumStaysAt6Fo4ForOverheads1To5)
+{
+    // Figure 6: the integer optimum is insensitive to the per-stage
+    // overhead across 1..5 FO4.  Overhead changes only the clock (never
+    // cycle counts), so one IPC sweep serves every overhead value.
+    study::SweepOptions options;
+    options.threads = 0;
+    options.overhead = tech::OverheadModel::uniform(0);
+    const auto profiles =
+        trace::spec2000Profiles(trace::BenchClass::Integer);
+    const auto ts = bench::usefulSweep();
+    const auto points =
+        study::sweepScaling(ts, options, profiles, goldenSpec());
+
+    // Like Fig 4b, our model's curve is flatter than the paper's, so
+    // the printed claim ("optimum stays exactly at 6 for overheads
+    // 1..5") softens to the mechanism behind it, which the model does
+    // reproduce deterministically:
+    //  - the optimum only drifts *shallower* (larger t_useful) as
+    //    overhead grows — overhead is what punishes deep pipelines;
+    //  - the drift across 1..5 FO4 is a few sweep steps, not a regime
+    //    change (argmax 4/6/6/9/9 at the golden scale);
+    //  - at 2 and 3 FO4, bracketing the paper's 1.8, the optimum is
+    //    exactly 6 and 6 sits on the tight 0.5% plateau.
+    double previousArgmax = 0.0;
+    std::vector<double> argmaxes;
+    for (const double overhead : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+        std::vector<double> bips;
+        bips.reserve(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const auto clock = study::scaledClock(
+                ts[i], tech::OverheadModel::uniform(overhead));
+            bips.push_back(clock.bips(
+                points[i].suite.harmonicIpc(trace::BenchClass::Integer)));
+        }
+        const double opt = bench::argmax(ts, bips);
+        EXPECT_GE(opt, previousArgmax) << "overhead=" << overhead;
+        previousArgmax = opt;
+        argmaxes.push_back(opt);
+        if (overhead == 2.0 || overhead == 3.0) {
+            EXPECT_EQ(opt, 6.0) << "overhead=" << overhead;
+            EXPECT_TRUE(bench::onPlateau(
+                bench::plateau(ts, bips, 0.005), 6.0))
+                << "overhead=" << overhead;
+        }
+    }
+    EXPECT_LE(argmaxes.back() - argmaxes.front(), 6.0)
+        << "optimum drifted by more than a few FO4 across overheads 1..5";
+}
+
+TEST(GoldenPaper, Fig7OptimizedStructuresGainWithoutMovingTheOptimum)
+{
+    // Figure 7 / Section 4.5: per-clock optimized DL1/L2/window
+    // capacities buy ~14% BIPS on average, and the optimum stays at
+    // 6 FO4.  Pinned at the golden sweep scale over the points around
+    // the optimum: 6 must beat its neighbours after optimization, and
+    // the average gain must land in the paper's neighbourhood.
+    const auto profiles =
+        trace::spec2000Profiles(trace::BenchClass::Integer);
+    const auto spec = goldenSpec();
+
+    std::vector<double> ts{4, 5, 6, 7, 8};
+    std::vector<double> base, tuned;
+    double gainSum = 0;
+    for (const double u : ts) {
+        const auto clock = study::scaledClock(u);
+        const auto baseline = study::runSuite(
+            study::scaledCoreParams(u, {}), clock, profiles, spec);
+        const auto best =
+            study::optimizeStructures(u, clock, profiles, spec, {}, 0);
+        base.push_back(baseline.harmonicBipsAll());
+        tuned.push_back(best.harmonicBipsAll);
+        // Optimization may never lose: the alpha capacities are inside
+        // the search space.
+        EXPECT_GE(tuned.back(), base.back()) << "t=" << u;
+        gainSum += tuned.back() / base.back() - 1.0;
+    }
+
+    EXPECT_EQ(bench::argmax(ts, tuned), 6.0);
+    // Paper: ~14% averaged over the full suite and sweep.  Our
+    // synthetic-trace model realizes the same *shape* — a strictly
+    // positive gain at every clock with the optimum unmoved — but a
+    // smaller magnitude (~2.5% here, ~3% at bench scale), because the
+    // synthetic working sets are less capacity-sensitive than SPEC's.
+    // The pin brackets the model's measured value; see the README
+    // golden-number policy before touching it.
+    const double meanGain = gainSum / static_cast<double>(ts.size());
+    EXPECT_GE(meanGain, 0.01);
+    EXPECT_LE(meanGain, 0.10);
 }
 
 TEST(GoldenPaper, CrayMemoryIntegerOptimumIs11Fo4)

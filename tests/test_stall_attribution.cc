@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Golden checks on stall attribution, the observability layer's core
+ * invariant: every zero-retire cycle is charged to exactly one cause,
+ * so the per-cause counts *partition* SimResult::stallCycles — in both
+ * pipeline models, at every depth, with warmup subtraction applied.
+ * Plus the physical sanity checks the paper's model implies: deeper
+ * pipelines spend more cycles in the branch-mispredict shadow, and
+ * extending a critical loop inflates exactly the cause it feeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/core.hh"
+#include "study/runner.hh"
+#include "study/scaling.hh"
+#include "trace/generator.hh"
+#include "trace/spec2000.hh"
+
+using namespace fo4;
+
+namespace
+{
+
+study::RunSpec
+attributionSpec(study::CoreModel model)
+{
+    study::RunSpec spec;
+    spec.model = model;
+    spec.instructions = 6000;
+    spec.warmup = 800;
+    spec.prewarm = 40000;
+    spec.cycleLimit = 2000000;
+    return spec;
+}
+
+core::SimResult
+runOne(const char *bench, double tUseful, study::CoreModel model)
+{
+    const auto job =
+        study::BenchJob::fromProfile(trace::spec2000Profile(bench));
+    const auto result = study::runJobIsolated(
+        study::scaledCoreParams(tUseful),
+        study::scaledClock(tUseful), job, attributionSpec(model));
+    EXPECT_FALSE(result.failed()) << bench;
+    return result.sim;
+}
+
+} // namespace
+
+TEST(StallAttribution, CausesPartitionStallCyclesExactlyInBothCores)
+{
+    for (const auto model :
+         {study::CoreModel::OutOfOrder, study::CoreModel::InOrder}) {
+        for (const char *bench : {"164.gzip", "176.gcc", "171.swim"}) {
+            for (const double u : {3.0, 6.0, 12.0}) {
+                const auto sim = runOne(bench, u, model);
+                EXPECT_EQ(sim.stalls.total(), sim.stallCycles)
+                    << bench << " t=" << u << " model="
+                    << (model == study::CoreModel::InOrder ? "inorder"
+                                                           : "ooo");
+                EXPECT_LE(sim.stallCycles, sim.cycles);
+                // Retiring every cycle or stalling: the two partitions
+                // cover the run (width > 1 lets a cycle both retire and
+                // be a non-stall, so only the stall side is exact).
+                EXPECT_GT(sim.stallCycles, 0u) << bench << " t=" << u;
+            }
+        }
+    }
+}
+
+TEST(StallAttribution, StructuralZeroesStayZero)
+{
+    for (const auto model :
+         {study::CoreModel::OutOfOrder, study::CoreModel::InOrder}) {
+        const auto sim = runOne("176.gcc", 6.0, model);
+        // No I-cache in the model: the IcacheMiss lane must stay empty
+        // (schema stability — the column exists, the model never fills
+        // it).
+        EXPECT_EQ(sim.stalls[core::StallCause::IcacheMiss], 0u);
+    }
+    // A scoreboarded in-order pipeline has no issue window.
+    const auto inorder = runOne("176.gcc", 6.0, study::CoreModel::InOrder);
+    EXPECT_EQ(inorder.stalls[core::StallCause::WindowFull], 0u);
+}
+
+TEST(StallAttribution, MispredictStallsGrowWithPipelineDepth)
+{
+    // The paper's Figure 2 mechanism: the misprediction penalty is
+    // front-end depth in cycles, and scaled pipelines get deeper as
+    // t_useful shrinks.  The cycles charged to BranchMispredict must
+    // grow monotonically as the pipeline deepens (t_useful 12 -> 3),
+    // in both cores, on a branchy integer code.
+    for (const auto model :
+         {study::CoreModel::OutOfOrder, study::CoreModel::InOrder}) {
+        std::uint64_t previous = 0;
+        for (const double u : {12.0, 9.0, 6.0, 4.0, 3.0}) {
+            const auto sim = runOne("176.gcc", u, model);
+            const auto mispredict =
+                sim.stalls[core::StallCause::BranchMispredict];
+            EXPECT_GE(mispredict, previous)
+                << "t_useful=" << u << " model="
+                << (model == study::CoreModel::InOrder ? "inorder"
+                                                       : "ooo");
+            previous = mispredict;
+        }
+        EXPECT_GT(previous, 0u);
+    }
+}
+
+TEST(StallAttribution, ExtendedLoopsInflateTheCauseTheyFeed)
+{
+    // Figure 8 in miniature: lengthening one critical loop must inflate
+    // the stall cause that loop feeds, with everything else equal.
+    const auto job = study::BenchJob::fromProfile(
+        trace::spec2000Profile("164.gzip"));
+    const auto clock = study::scaledClock(6.0);
+    const auto spec = attributionSpec(study::CoreModel::OutOfOrder);
+
+    auto stallsWith = [&](auto mutate) {
+        auto params = core::CoreParams::alpha21264();
+        mutate(params);
+        const auto r = study::runJobIsolated(params, clock, job, spec);
+        EXPECT_FALSE(r.failed());
+        return r.sim.stalls;
+    };
+
+    const auto base = stallsWith([](core::CoreParams &) {});
+    const auto wakeup =
+        stallsWith([](core::CoreParams &p) { p.extraWakeup = 8; });
+    const auto loadUse =
+        stallsWith([](core::CoreParams &p) { p.extraLoadUse = 8; });
+    const auto mispredict = stallsWith(
+        [](core::CoreParams &p) { p.extraMispredictPenalty = 8; });
+
+    using core::StallCause;
+    EXPECT_GT(wakeup[StallCause::WindowFull],
+              base[StallCause::WindowFull]);
+    EXPECT_GT(loadUse[StallCause::RawLoadUse],
+              base[StallCause::RawLoadUse]);
+    EXPECT_GT(mispredict[StallCause::BranchMispredict],
+              base[StallCause::BranchMispredict]);
+}
+
+TEST(StallAttribution, WarmupSubtractionPreservesThePartition)
+{
+    // SimResult::operator- subtracts every stall field at the warmup
+    // boundary.  A warmup-free run over the same *total* instruction
+    // count simulates the identical schedule (determinism), so it is
+    // exactly the unsubtracted accumulation: measured = full - warmup
+    // window, per cause, and every window satisfies the partition.
+    const auto with = runOne("181.mcf", 6.0, study::CoreModel::OutOfOrder);
+
+    auto spec = attributionSpec(study::CoreModel::OutOfOrder);
+    spec.instructions += spec.warmup;
+    spec.warmup = 0;
+    const auto job = study::BenchJob::fromProfile(
+        trace::spec2000Profile("181.mcf"));
+    const auto full = study::runJobIsolated(
+        study::scaledCoreParams(6.0), study::scaledClock(6.0), job, spec);
+    ASSERT_FALSE(full.failed());
+
+    EXPECT_EQ(with.stalls.total(), with.stallCycles);
+    EXPECT_EQ(full.sim.stalls.total(), full.sim.stallCycles);
+
+    // The warmup window (full minus measured) partitions too, and no
+    // per-cause count may go negative under the subtraction.
+    ASSERT_GE(full.sim.stallCycles, with.stallCycles);
+    std::uint64_t warmupWindow = 0;
+    for (int c = 0; c < core::numStallCauses; ++c) {
+        const auto cause = static_cast<core::StallCause>(c);
+        ASSERT_GE(full.sim.stalls[cause], with.stalls[cause])
+            << core::stallCauseName(cause);
+        warmupWindow += full.sim.stalls[cause] - with.stalls[cause];
+    }
+    EXPECT_EQ(warmupWindow, full.sim.stallCycles - with.stallCycles);
+}

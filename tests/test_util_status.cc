@@ -177,17 +177,62 @@ TEST(ConfigAccessors, MalformedValuesThrowConfigError)
 
 TEST(ConfigAccessors, PositiveIntRejectsZeroAndNegative)
 {
+    {
+        Config cfg;
+        cfg.set("jobs", "4");
+        EXPECT_EQ(cfg.getPositiveInt("jobs", 1), 4);
+        EXPECT_EQ(cfg.getPositiveInt("absent", 1), 1);
+    }
+    for (const char *bad : {"0", "-3", "four"}) {
+        Config cfg;
+        cfg.set("jobs", bad);
+        EXPECT_THROW((void)cfg.getPositiveInt("jobs", 1), ConfigError);
+    }
+}
+
+TEST(ConfigDuplicates, SecondSetOfSameKeyThrows)
+{
     Config cfg;
     cfg.set("jobs", "4");
-    EXPECT_EQ(cfg.getPositiveInt("jobs", 1), 4);
-    EXPECT_EQ(cfg.getPositiveInt("absent", 1), 1);
+    try {
+        cfg.set("jobs", "8");
+        FAIL() << "duplicate set() must throw";
+    } catch (const ConfigError &e) {
+        // The first value wins and is named in the message.
+        EXPECT_NE(std::string(e.what()).find("duplicate config key "
+                                             "'jobs'"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("'4'"), std::string::npos);
+    }
+    EXPECT_EQ(cfg.getInt("jobs", 0), 4);
+}
 
-    cfg.set("jobs", "0");
-    EXPECT_THROW((void)cfg.getPositiveInt("jobs", 1), ConfigError);
-    cfg.set("jobs", "-3");
-    EXPECT_THROW((void)cfg.getPositiveInt("jobs", 1), ConfigError);
-    cfg.set("jobs", "four");
-    EXPECT_THROW((void)cfg.getPositiveInt("jobs", 1), ConfigError);
+TEST(ConfigDuplicates, FromArgsNamesBothSpellings)
+{
+    // The regression: `bench jobs=4 --jobs=8` used to keep whichever
+    // token was parsed last; now it refuses, citing both spellings.
+    const char *argv[] = {"bench", "jobs=4", "--jobs=8"};
+    try {
+        (void)Config::fromArgs(3, argv);
+        FAIL() << "duplicate key across spellings must throw";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("duplicate config key 'jobs'"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("'jobs=4'"), std::string::npos);
+        EXPECT_NE(msg.find("'--jobs=8'"), std::string::npos);
+    }
+
+    // Bare-flag spelling collides with its explicit form too.
+    const char *argv2[] = {"bench", "--verbose", "verbose=0"};
+    EXPECT_THROW((void)Config::fromArgs(3, argv2), ConfigError);
+
+    // Distinct keys and repeated positionals stay legal.
+    const char *argv3[] = {"bench", "jobs=4", "trace=/tmp/t.json", "go",
+                           "go"};
+    const auto cfg = Config::fromArgs(5, argv3);
+    EXPECT_EQ(cfg.getInt("jobs", 0), 4);
+    EXPECT_EQ(cfg.positional().size(), 2u);
 }
 
 TEST(ConfigAccessors, JobsValidationCoversBothArgumentSpellings)
