@@ -29,6 +29,22 @@ using namespace fo4;
 namespace
 {
 
+const std::vector<util::KeyDoc> kKeys = {
+    {"instructions", "measured instructions per benchmark"},
+    {"warmup", "instructions simulated but discarded first"},
+    {"prewarm", "instructions streamed through caches/predictor first"},
+    {"jobs", "worker threads (1 = serial, 0 = all cores)"},
+    {"csv", "write the figure's data points to this CSV"},
+    {"checkpoint", "journal file; an interrupted sweep resumes from it"},
+    {"resume", "resume=0 discards an existing journal and starts over"},
+    {"attempts", "max attempts per cell for transient failures"},
+    {"verbose", "print cache and metrics diagnostics"},
+    {"stats", "write per-point stall-attribution CSV here"},
+    {"trace", "write a Chrome pipeline trace of one benchmark here"},
+    {"trace_start", "first cycle the trace records"},
+    {"trace_cycles", "length of the traced cycle window"},
+};
+
 int
 fig5(int argc, char **argv)
 {
@@ -43,9 +59,7 @@ fig5(int argc, char **argv)
     const auto ts = bench::usefulSweep();
 
     const util::Config cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown({"instructions", "warmup", "prewarm", "jobs", "csv",
-                    "checkpoint", "resume", "attempts", "verbose",
-                    "stats", "trace", "trace_start", "trace_cycles"});
+    cfg.checkKnown(kKeys);
     const auto obs = bench::observabilityFromArgs(argc, argv);
     const std::string csvPath = cfg.getString("csv", "");
     const std::string checkpointPath = cfg.getString("checkpoint", "");
@@ -179,5 +193,6 @@ fig5(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return fo4::util::runTopLevel([&] { return fig5(argc, argv); });
+    return fo4::util::runTopLevel(argc, argv, kKeys,
+                                  [&] { return fig5(argc, argv); });
 }

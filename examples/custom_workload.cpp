@@ -20,12 +20,19 @@
 namespace
 {
 
+const std::vector<fo4::util::KeyDoc> kKeys = {
+    {"ilp", "mean dependence distance of the synthetic workload"},
+    {"mispredictable", "fraction of branches that mispredict"},
+    {"ws_kb", "working-set size in KB"},
+    {"instructions", "measured instructions per sweep point"},
+};
+
 int
 customWorkload(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown({"ilp", "mispredictable", "ws_kb", "instructions"});
+    cfg.checkKnown(kKeys);
 
     // Build a profile from three intuitive knobs.
     const double ilp = cfg.getDouble("ilp", 8.0);
@@ -92,5 +99,5 @@ int
 main(int argc, char **argv)
 {
     return fo4::util::runTopLevel(
-        [&] { return customWorkload(argc, argv); });
+        argc, argv, kKeys, [&] { return customWorkload(argc, argv); });
 }

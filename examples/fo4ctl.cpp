@@ -1,0 +1,268 @@
+/**
+ * @file
+ * fo4ctl — command-line client of the sweep service.
+ *
+ *   ./fo4ctl submit [host= port=] [sweep keys] [wait=1 out=file]
+ *   ./fo4ctl poll   id=<n> [host= port=]
+ *   ./fo4ctl fetch  id=<n> [out=file]
+ *   ./fo4ctl cancel id=<n>
+ *   ./fo4ctl stats
+ *   ./fo4ctl local  [sweep keys] [jobs=n] [out=file]
+ *
+ * Sweep keys: bench= (comma list of SPEC 2000 profile names), model=,
+ * instructions=, warmup=, prewarm=, cycle_limit=, overhead=, t_useful=
+ * (comma list of FO4 depths).
+ *
+ * `local` runs the identical request in-process through the same
+ * svc::runSweep code path the daemon uses — `cmp` of a fetched result
+ * against a local one is the service's byte-identity check (the CI
+ * loopback smoke job does exactly that).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "svc/client.hh"
+#include "svc/sweep.hh"
+#include "util/cancel.hh"
+#include "util/config.hh"
+#include "util/status.hh"
+
+namespace
+{
+
+const std::vector<fo4::util::KeyDoc> kKeys = {
+    {"host", "daemon host (default 127.0.0.1)"},
+    {"port", "daemon port (required for remote commands)"},
+    {"id", "job id (poll / fetch / cancel)"},
+    {"out", "write fetched result bytes to this file (default stdout)"},
+    {"wait", "submit only: poll until terminal, then fetch"},
+    {"jobs", "local only: worker threads (1 = serial, 0 = all cores)"},
+    {"bench", "comma list of SPEC 2000 profile names"},
+    {"model", "core model: ooo | inorder"},
+    {"instructions", "measured instructions per benchmark"},
+    {"warmup", "instructions simulated but discarded first"},
+    {"prewarm", "instructions streamed through caches/predictor first"},
+    {"cycle_limit", "watchdog budget in cycles (0 = core default)"},
+    {"overhead", "clocking overhead per stage, FO4"},
+    {"t_useful", "comma list of useful FO4 depths to sweep"},
+};
+
+std::vector<std::string>
+splitCommaList(const std::string &text)
+{
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        auto comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > start)
+            items.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return items;
+}
+
+fo4::svc::SweepRequest
+requestFromConfig(const fo4::util::Config &cfg)
+{
+    using namespace fo4;
+    svc::SweepRequest request;
+    request.model = cfg.getString("model", "ooo");
+    request.instructions =
+        static_cast<std::uint64_t>(cfg.getPositiveInt("instructions",
+                                                      40000));
+    request.warmup = static_cast<std::uint64_t>(
+        cfg.getInt("warmup", static_cast<std::int64_t>(
+                                 request.instructions / 8)));
+    request.prewarm =
+        static_cast<std::uint64_t>(cfg.getInt("prewarm", 200000));
+    request.cycleLimit =
+        static_cast<std::uint64_t>(cfg.getInt("cycle_limit", 0));
+    request.overheadFo4 = cfg.getDouble("overhead", 1.8);
+
+    for (const auto &field :
+         splitCommaList(cfg.getString("t_useful", "8,6"))) {
+        char *end = nullptr;
+        const double v = std::strtod(field.c_str(), &end);
+        if (end == field.c_str() || *end != '\0') {
+            throw util::ConfigError("t_useful entry '" + field +
+                                    "' is not a number");
+        }
+        request.tUseful.push_back(v);
+    }
+
+    for (const auto &name :
+         splitCommaList(cfg.getString("bench", "164.gzip,181.mcf"))) {
+        svc::WireJob job;
+        job.name = name; // class resolved server-side from the profile
+        request.jobs.push_back(std::move(job));
+    }
+    return request;
+}
+
+void
+writeResults(const fo4::util::Config &cfg, const std::string &bytes)
+{
+    const std::string out = cfg.getString("out", "");
+    if (out.empty()) {
+        std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+        return;
+    }
+    std::FILE *f = std::fopen(out.c_str(), "wb");
+    if (!f) {
+        throw fo4::util::SvcError(fo4::util::ErrorCode::JournalIo,
+                                  "cannot open " + out + " for writing");
+    }
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes to %s\n", bytes.size(), out.c_str());
+}
+
+void
+printStatus(const fo4::svc::JobStatusInfo &info)
+{
+    std::printf("job %llu: %s",
+                static_cast<unsigned long long>(info.id),
+                fo4::svc::jobStateName(info.state));
+    if (info.state == fo4::svc::JobState::Queued) {
+        std::printf(" (position %llu)",
+                    static_cast<unsigned long long>(info.queuePosition));
+    }
+    std::printf(" — %llu/%llu cells started",
+                static_cast<unsigned long long>(info.cellsStarted),
+                static_cast<unsigned long long>(info.cellsTotal));
+    if (info.state == fo4::svc::JobState::Failed) {
+        std::printf(" [%s] %s",
+                    fo4::util::errorCodeName(info.errorCode),
+                    info.errorMessage.c_str());
+    }
+    std::printf("\n");
+}
+
+std::uint64_t
+requiredId(const fo4::util::Config &cfg)
+{
+    if (!cfg.has("id"))
+        throw fo4::util::ConfigError("this command needs id=<job id>");
+    return static_cast<std::uint64_t>(cfg.getPositiveInt("id", 0));
+}
+
+fo4::svc::Client
+connectFromConfig(const fo4::util::Config &cfg)
+{
+    const std::string host = cfg.getString("host", "127.0.0.1");
+    if (!cfg.has("port")) {
+        throw fo4::util::ConfigError(
+            "remote commands need port=<daemon port> (fo4d prints it "
+            "on startup)");
+    }
+    const auto port =
+        static_cast<std::uint16_t>(cfg.getPositiveInt("port", 0));
+    return fo4::svc::Client(host, port);
+}
+
+int
+ctlMain(int argc, char **argv)
+{
+    using namespace fo4;
+    const auto cfg = util::Config::fromArgs(argc, argv);
+    cfg.checkKnown(kKeys);
+    if (cfg.positional().empty()) {
+        throw util::ConfigError(
+            "usage: fo4ctl <submit|poll|fetch|cancel|stats|local> "
+            "[key=value ...] (--help lists the keys)");
+    }
+    const std::string command = cfg.positional().front();
+
+    if (command == "local") {
+        // The daemon's exact execution path, in-process: encode/decode
+        // the request first so local results prove the *wire* form of
+        // the sweep is what the daemon would run.
+        const svc::SweepRequest request = svc::SweepRequest::decode(
+            requestFromConfig(cfg).encode());
+        util::CancelToken cancel;
+        util::installSigintCancel(cancel);
+        const svc::SweepPlan plan = svc::planSweep(request);
+        writeResults(cfg, svc::runSweep(
+                              plan,
+                              static_cast<int>(cfg.getInt("jobs", 1)),
+                              "", &cancel, {}));
+        return 0;
+    }
+
+    if (command != "submit" && command != "poll" && command != "fetch" &&
+        command != "cancel" && command != "stats") {
+        throw util::ConfigError("unknown command '" + command +
+                                "' (want submit, poll, fetch, cancel, "
+                                "stats or local)");
+    }
+    svc::Client client = connectFromConfig(cfg);
+    if (command == "submit") {
+        const auto [id, cells] =
+            client.submit(requestFromConfig(cfg));
+        std::printf("submitted job %llu (%llu grid cells)\n",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(cells));
+        if (cfg.getBool("wait", false)) {
+            client.waitUntilDone(id, 200, printStatus);
+            writeResults(cfg, client.fetchResults(id));
+        }
+        return 0;
+    }
+    if (command == "poll") {
+        printStatus(client.poll(requiredId(cfg)));
+        return 0;
+    }
+    if (command == "fetch") {
+        writeResults(cfg, client.fetchResults(requiredId(cfg)));
+        return 0;
+    }
+    if (command == "cancel") {
+        printStatus(client.cancel(requiredId(cfg)));
+        return 0;
+    }
+    if (command == "stats") {
+        const svc::StatsSnapshot s = client.stats();
+        std::printf("queue: %llu/%llu queued, %llu running "
+                    "(%llu/%llu cells started)\n",
+                    static_cast<unsigned long long>(s.queueDepth),
+                    static_cast<unsigned long long>(s.maxQueue),
+                    static_cast<unsigned long long>(s.runningJobs),
+                    static_cast<unsigned long long>(
+                        s.runningCellsStarted),
+                    static_cast<unsigned long long>(
+                        s.runningCellsTotal));
+        std::printf("lifetime: %llu submitted, %llu rejected, "
+                    "%llu completed, %llu failed, %llu cancelled\n",
+                    static_cast<unsigned long long>(s.submitted),
+                    static_cast<unsigned long long>(s.rejected),
+                    static_cast<unsigned long long>(s.completed),
+                    static_cast<unsigned long long>(s.failed),
+                    static_cast<unsigned long long>(s.cancelled));
+        std::printf("sweep latency: %llu samples, mean log2-bucket "
+                    "%.2f\n",
+                    static_cast<unsigned long long>(s.latencySamples),
+                    s.latencyMeanMs);
+        for (const auto &[name, value] : s.counters) {
+            std::printf("  %-32s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(value));
+        }
+        return 0;
+    }
+    throw util::ConfigError("unknown command '" + command +
+                            "' (want submit, poll, fetch, cancel, "
+                            "stats or local)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return fo4::util::runTopLevel(argc, argv, kKeys,
+                                  [&] { return ctlMain(argc, argv); });
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * fo4d — the sweep daemon.  Listens on 127.0.0.1, accepts framed sweep
+ * requests (see svc/protocol.hh), executes them FIFO through the
+ * crash-safe checkpointed runner, and serves results, progress, cancel
+ * and stats to fo4ctl (or any client of svc::Client).
+ *
+ *   ./fo4d [port=0] [jobs=1] [max_queue=8] [checkpoint_dir=] [verbose=1]
+ *
+ * port=0 binds an ephemeral port; the bound port is printed on stdout
+ * ("fo4d listening on 127.0.0.1:<port>") so scripts can scrape it.
+ * SIGINT drains: the listener closes, queued jobs are cancelled, the
+ * in-flight sweep stops cooperatively with its journal flushed (so a
+ * resubmission after restart resumes), and the process exits 0.
+ */
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "svc/server.hh"
+#include "util/cancel.hh"
+#include "util/config.hh"
+#include "util/metrics.hh"
+
+namespace
+{
+
+const std::vector<fo4::util::KeyDoc> kKeys = {
+    {"port", "TCP port to listen on; 0 picks an ephemeral port"},
+    {"jobs", "worker threads per sweep (1 = serial, 0 = all cores)"},
+    {"max_queue", "queued sweeps admitted before Overloaded refusals"},
+    {"checkpoint_dir", "directory for per-sweep journals (empty = none)"},
+    {"verbose", "print the metrics registry on exit"},
+};
+
+int
+daemonMain(int argc, char **argv)
+{
+    using namespace fo4;
+    const auto cfg = util::Config::fromArgs(argc, argv);
+    cfg.checkKnown(kKeys);
+
+    svc::ServerOptions options;
+    options.port =
+        static_cast<std::uint16_t>(cfg.getInt("port", 0));
+    options.threads = static_cast<int>(cfg.getInt("jobs", 1));
+    options.maxQueue =
+        static_cast<std::size_t>(cfg.getPositiveInt("max_queue", 8));
+    options.checkpointDir = cfg.getString("checkpoint_dir", "");
+    // A missing checkpoint directory would otherwise fail every job at
+    // journal creation; one level of mkdir covers the common case.
+    if (!options.checkpointDir.empty())
+        ::mkdir(options.checkpointDir.c_str(), 0777);
+
+    // The Stats record reports the registry, so collection is on for
+    // the daemon's whole lifetime.
+    util::setMetricsEnabled(true);
+
+    util::CancelToken cancel;
+    util::installSigintCancel(cancel);
+
+    svc::Server server(std::move(options));
+    std::printf("fo4d listening on 127.0.0.1:%u\n", server.port());
+    std::fflush(stdout); // scripts scrape the port before any output
+
+    while (!cancel.cancelled())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::printf("fo4d draining: refusing new work, cancelling queued "
+                "jobs, flushing the running sweep's journal\n");
+    server.stop();
+    server.join();
+    if (cfg.getBool("verbose", false))
+        util::MetricsRegistry::global().dump(std::cout);
+    std::printf("fo4d drained\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return fo4::util::runTopLevel(argc, argv, kKeys,
+                                  [&] { return daemonMain(argc, argv); });
+}

@@ -21,12 +21,18 @@
 namespace
 {
 
+const std::vector<fo4::util::KeyDoc> kKeys = {
+    {"vdd", "supply voltage, volts"},
+    {"vt", "threshold voltage (applied to both device types), volts"},
+    {"sweep", "also sweep vdd and print the FO4 trend"},
+};
+
 int
 latchLab(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown({"vdd", "vt", "sweep"});
+    cfg.checkKnown(kKeys);
 
     auto params = tech::DeviceParams::at100nm();
     params.vdd = cfg.getDouble("vdd", params.vdd);
@@ -86,5 +92,6 @@ latchLab(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return fo4::util::runTopLevel([&] { return latchLab(argc, argv); });
+    return fo4::util::runTopLevel(argc, argv, kKeys,
+                                  [&] { return latchLab(argc, argv); });
 }

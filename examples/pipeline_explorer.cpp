@@ -30,6 +30,23 @@
 namespace
 {
 
+const std::vector<fo4::util::KeyDoc> kKeys = {
+    {"bench", "SPEC 2000 profile to sweep (default 176.gcc)"},
+    {"class", "sweep a whole class: integer | vfp | nvfp | all"},
+    {"overhead", "clocking overhead per stage, FO4"},
+    {"model", "core model: ooo | inorder"},
+    {"instructions", "measured instructions per benchmark"},
+    {"prewarm", "instructions streamed through caches/predictor first"},
+    {"jobs", "worker threads (1 = serial, 0 = all cores)"},
+    {"checkpoint", "journal file; an interrupted sweep resumes from it"},
+    {"resume", "resume=0 discards an existing journal and starts over"},
+    {"verbose", "print cache and metrics diagnostics"},
+    {"stats", "write per-point stall-attribution CSV here"},
+    {"trace", "write a Chrome pipeline trace of one benchmark here"},
+    {"trace_start", "first cycle the trace records"},
+    {"trace_cycles", "length of the traced cycle window"},
+};
+
 std::vector<fo4::trace::BenchmarkProfile>
 pickProfiles(const fo4::util::Config &cfg)
 {
@@ -56,9 +73,7 @@ explore(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown({"bench", "class", "overhead", "model", "instructions",
-                    "prewarm", "jobs", "checkpoint", "resume", "verbose",
-                    "stats", "trace", "trace_start", "trace_cycles"});
+    cfg.checkKnown(kKeys);
     const auto obs = bench::observabilityFromArgs(argc, argv);
     const auto profiles = pickProfiles(cfg);
     const double overhead = cfg.getDouble("overhead", 1.8);
@@ -134,6 +149,7 @@ explore(int argc, char **argv)
                                bestT, tech::OverheadModel::uniform(overhead)),
                            study::BenchJob::fromProfile(profiles.front()),
                            spec);
+    bench::printLatencyCacheStats(cfg.getBool("verbose", false));
     bench::printMetricsRegistry(cfg.getBool("verbose", false));
     return 0;
 }
@@ -143,5 +159,6 @@ explore(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return fo4::util::runTopLevel([&] { return explore(argc, argv); });
+    return fo4::util::runTopLevel(argc, argv, kKeys,
+                                  [&] { return explore(argc, argv); });
 }

@@ -20,12 +20,17 @@
 namespace
 {
 
+const std::vector<fo4::util::KeyDoc> kKeys = {
+    {"bench", "SPEC 2000 profile to run (default 164.gzip)"},
+    {"instructions", "measured instructions per configuration"},
+};
+
 int
 quickstart(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown({"bench", "instructions"});
+    cfg.checkKnown(kKeys);
     const auto prof =
         trace::spec2000Profile(cfg.getString("bench", "164.gzip"));
     const std::uint64_t n = cfg.getInt("instructions", 100000);
@@ -74,5 +79,6 @@ quickstart(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return fo4::util::runTopLevel([&] { return quickstart(argc, argv); });
+    return fo4::util::runTopLevel(argc, argv, kKeys,
+                                  [&] { return quickstart(argc, argv); });
 }

@@ -27,6 +27,17 @@
 namespace
 {
 
+const std::vector<fo4::util::KeyDoc> kKeys = {
+    {"instructions", "measured instructions per benchmark"},
+    {"dir", "directory for the deliberately corrupted trace file"},
+    {"jobs", "worker threads (1 = serial, 0 = all cores)"},
+    {"verbose", "print cache and metrics diagnostics"},
+    {"stats", "write the per-benchmark stats CSV here"},
+    {"trace", "write a Chrome pipeline trace of one benchmark here"},
+    {"trace_start", "first cycle the trace records"},
+    {"trace_cycles", "length of the traced cycle window"},
+};
+
 /**
  * Record a short trace, then overwrite one record's op-class byte with
  * a value no ISA defines — the kind of damage a bad disk or truncated
@@ -59,8 +70,7 @@ resilientSuite(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown({"instructions", "dir", "jobs", "verbose", "stats",
-                    "trace", "trace_start", "trace_cycles"});
+    cfg.checkKnown(kKeys);
     const auto obs = bench::observabilityFromArgs(argc, argv);
 
     study::RunSpec spec;
@@ -135,6 +145,7 @@ resilientSuite(int argc, char **argv)
         fo4::bench::writeStats(obs.statsPath, rows);
     }
     fo4::bench::maybeWriteTrace(obs, params, clock, jobs.front(), spec);
+    fo4::bench::printLatencyCacheStats(cfg.getBool("verbose", false));
     fo4::bench::printMetricsRegistry(cfg.getBool("verbose", false));
     return 0;
 }
@@ -145,5 +156,5 @@ int
 main(int argc, char **argv)
 {
     return fo4::util::runTopLevel(
-        [&] { return resilientSuite(argc, argv); });
+        argc, argv, kKeys, [&] { return resilientSuite(argc, argv); });
 }

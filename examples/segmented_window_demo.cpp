@@ -25,12 +25,17 @@
 namespace
 {
 
+const std::vector<fo4::util::KeyDoc> kKeys = {
+    {"t_useful", "useful FO4 per stage the window is scaled to"},
+    {"instructions", "measured instructions per configuration"},
+};
+
 int
 windowDemo(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown({"t_useful", "instructions"});
+    cfg.checkKnown(kKeys);
     const double tUseful = cfg.getDouble("t_useful", 6.0);
     const std::uint64_t n = cfg.getInt("instructions", 80000);
 
@@ -95,5 +100,6 @@ windowDemo(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return fo4::util::runTopLevel([&] { return windowDemo(argc, argv); });
+    return fo4::util::runTopLevel(argc, argv, kKeys,
+                                  [&] { return windowDemo(argc, argv); });
 }

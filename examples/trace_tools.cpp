@@ -22,12 +22,19 @@
 namespace
 {
 
+const std::vector<fo4::util::KeyDoc> kKeys = {
+    {"file", "trace file to record to / replay from"},
+    {"bench", "SPEC 2000 profile to record"},
+    {"count", "instructions to record"},
+    {"instructions", "instructions to simulate when replaying"},
+};
+
 int
 traceTools(int argc, char **argv)
 {
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
-    cfg.checkKnown({"file", "bench", "count", "instructions"});
+    cfg.checkKnown(kKeys);
     const std::string mode =
         cfg.positional().empty() ? "record" : cfg.positional()[0];
     const std::string path = cfg.getString("file", "/tmp/fo4pipe.fo4t");
@@ -93,5 +100,6 @@ traceTools(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return fo4::util::runTopLevel([&] { return traceTools(argc, argv); });
+    return fo4::util::runTopLevel(argc, argv, kKeys,
+                                  [&] { return traceTools(argc, argv); });
 }

@@ -1,0 +1,106 @@
+#include "svc/client.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace fo4::svc
+{
+
+using util::ErrorCode;
+using util::SvcError;
+
+Client::Client(const std::string &host, std::uint16_t port, int timeoutMs)
+    : stream(util::TcpStream::connect(host, port)), timeoutMs(timeoutMs)
+{
+}
+
+Frame
+Client::roundTrip(MsgType type, std::string_view body)
+{
+    writeFrame(stream, type, body);
+    const std::optional<Frame> response = readFrame(stream, timeoutMs);
+    if (!response) {
+        throw SvcError(ErrorCode::NetIo,
+                       "server closed the connection without replying");
+    }
+    if (response->type == MsgType::Error) {
+        // Preserve the remote verdict: the caller handles a server-side
+        // Overloaded/NotFound/Deadlock exactly like a local one.
+        const auto [code, message] = decodeError(response->body);
+        throw SvcError(code, message);
+    }
+    return *response;
+}
+
+Frame
+Client::expect(MsgType type, std::string_view body, MsgType want)
+{
+    Frame response = roundTrip(type, body);
+    if (response.type != want) {
+        throw SvcError(ErrorCode::Protocol,
+                       util::strprintf(
+                           "expected record type %u, server sent %u",
+                           static_cast<unsigned>(want),
+                           static_cast<unsigned>(response.type)));
+    }
+    return response;
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+Client::submit(const SweepRequest &request)
+{
+    const Frame response = expect(MsgType::SubmitSweep, request.encode(),
+                                  MsgType::SubmitOk);
+    return decodeSubmitOk(response.body);
+}
+
+JobStatusInfo
+Client::poll(std::uint64_t id)
+{
+    const Frame response =
+        expect(MsgType::Poll, encodeId(id), MsgType::JobStatus);
+    return JobStatusInfo::decode(response.body);
+}
+
+std::string
+Client::fetchResults(std::uint64_t id)
+{
+    Frame response =
+        expect(MsgType::FetchResults, encodeId(id), MsgType::Results);
+    return std::move(response.body);
+}
+
+JobStatusInfo
+Client::cancel(std::uint64_t id)
+{
+    const Frame response =
+        expect(MsgType::Cancel, encodeId(id), MsgType::CancelOk);
+    return JobStatusInfo::decode(response.body);
+}
+
+StatsSnapshot
+Client::stats()
+{
+    const Frame response =
+        expect(MsgType::Stats, std::string_view{}, MsgType::StatsReport);
+    return StatsSnapshot::decode(response.body);
+}
+
+JobStatusInfo
+Client::waitUntilDone(std::uint64_t id, int pollMs,
+                      const std::function<void(const JobStatusInfo &)>
+                          &onStatus)
+{
+    for (;;) {
+        const JobStatusInfo info = poll(id);
+        if (onStatus)
+            onStatus(info);
+        if (info.terminal())
+            return info;
+        std::this_thread::sleep_for(std::chrono::milliseconds(pollMs));
+    }
+}
+
+} // namespace fo4::svc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Blocking client of the sweep service: one TCP connection, one
+ * request/response round trip per call.
+ *
+ * Error model: a server-reported Error frame is rethrown locally as
+ * SvcError carrying the *remote* code — a queue-full refusal surfaces
+ * as SvcError(Overloaded), a job's DeadlockError as SvcError(Deadlock),
+ * and so on, so callers handle remote failures with the same typed
+ * dispatch they use for local ones.  Transport trouble is
+ * SvcError(NetIo); a frame that cannot be trusted, SvcError(Protocol).
+ */
+
+#ifndef FO4_SVC_CLIENT_HH
+#define FO4_SVC_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "svc/protocol.hh"
+#include "util/net.hh"
+
+namespace fo4::svc
+{
+
+/** A connected client.  Not thread-safe: one conversation at a time. */
+class Client
+{
+  public:
+    /** Connect to a daemon; throws SvcError(NetIo) on failure. */
+    Client(const std::string &host, std::uint16_t port,
+           int timeoutMs = 30000);
+
+    /** Submit a sweep.  Returns (job id, total grid cells); rethrows
+     *  the server's refusal (Overloaded, InvalidConfig, ...). */
+    std::pair<std::uint64_t, std::uint64_t>
+    submit(const SweepRequest &request);
+
+    /** One status snapshot. */
+    JobStatusInfo poll(std::uint64_t id);
+
+    /** The canonical result bytes of a Done job; rethrows NotReady
+     *  while the job is in flight and the job's own typed failure
+     *  (or Cancelled) once terminal. */
+    std::string fetchResults(std::uint64_t id);
+
+    /** Request cancellation; returns the post-cancel status. */
+    JobStatusInfo cancel(std::uint64_t id);
+
+    /** The service's live gauges and metrics snapshot. */
+    StatsSnapshot stats();
+
+    /**
+     * Poll until the job is terminal, sleeping `pollMs` between polls
+     * and reporting each status to `onStatus` (may be empty).  Returns
+     * the terminal status; fetch the bytes with fetchResults().
+     */
+    JobStatusInfo
+    waitUntilDone(std::uint64_t id, int pollMs = 200,
+                  const std::function<void(const JobStatusInfo &)>
+                      &onStatus = {});
+
+  private:
+    /** Send `type`+`body`, read one response, rethrow Error frames. */
+    Frame roundTrip(MsgType type, std::string_view body);
+    Frame expect(MsgType type, std::string_view body, MsgType want);
+
+    util::TcpStream stream;
+    int timeoutMs;
+};
+
+} // namespace fo4::svc
+
+#endif // FO4_SVC_CLIENT_HH

@@ -1,0 +1,682 @@
+#include "svc/protocol.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/journal.hh"
+#include "util/logging.hh"
+
+namespace fo4::svc
+{
+
+namespace
+{
+
+using util::ErrorCode;
+using util::SvcError;
+
+void
+putU16(unsigned char *p, std::uint16_t v)
+{
+    p[0] = static_cast<unsigned char>(v);
+    p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+void
+putU32(unsigned char *p, std::uint32_t v)
+{
+    p[0] = static_cast<unsigned char>(v);
+    p[1] = static_cast<unsigned char>(v >> 8);
+    p[2] = static_cast<unsigned char>(v >> 16);
+    p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+std::uint16_t
+getU16(const unsigned char *p)
+{
+    return static_cast<std::uint16_t>(
+        p[0] | static_cast<std::uint16_t>(p[1]) << 8);
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+[[noreturn]] void
+throwProtocol(const std::string &what)
+{
+    throw SvcError(ErrorCode::Protocol, "wire protocol: " + what);
+}
+
+/** Split `body` into lines (no trailing-newline requirement). */
+std::vector<std::string_view>
+splitLines(std::string_view body)
+{
+    std::vector<std::string_view> lines;
+    std::size_t start = 0;
+    while (start <= body.size()) {
+        const auto nl = body.find('\n', start);
+        if (nl == std::string_view::npos) {
+            if (start < body.size())
+                lines.push_back(body.substr(start));
+            break;
+        }
+        lines.push_back(body.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+/** Split "key=value"; throws Protocol when '=' is missing. */
+std::pair<std::string_view, std::string_view>
+splitKeyValue(std::string_view line)
+{
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos)
+        throwProtocol(util::strprintf("line '%.*s' is not key=value",
+                                      static_cast<int>(line.size()),
+                                      line.data()));
+    return {line.substr(0, eq), line.substr(eq + 1)};
+}
+
+std::uint64_t
+parseU64(std::string_view text, const char *what)
+{
+    const std::string copy(text);
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(copy.c_str(), &end, 10);
+    if (end == copy.c_str() || *end != '\0' || errno != 0 ||
+        copy.find('-') != std::string::npos) {
+        throwProtocol(util::strprintf("%s: '%s' is not an unsigned "
+                                      "integer",
+                                      what, copy.c_str()));
+    }
+    return v;
+}
+
+double
+parseHexDouble(std::string_view text, const char *what)
+{
+    const std::string copy(text);
+    char *end = nullptr;
+    const double v = std::strtod(copy.c_str(), &end);
+    if (end == copy.c_str() || *end != '\0') {
+        throwProtocol(util::strprintf("%s: '%s' is not a number", what,
+                                      copy.c_str()));
+    }
+    return v;
+}
+
+/** Split on tabs (fields themselves are escapeField-escaped). */
+std::vector<std::string_view>
+splitTabs(std::string_view line)
+{
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    for (;;) {
+        const auto tab = line.find('\t', start);
+        if (tab == std::string_view::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+trace::BenchClass
+benchClassFromInt(std::uint64_t v)
+{
+    if (v > static_cast<std::uint64_t>(trace::BenchClass::NonVectorFp))
+        throwProtocol(util::strprintf("unknown benchmark class %llu",
+                                      static_cast<unsigned long long>(v)));
+    return static_cast<trace::BenchClass>(v);
+}
+
+} // namespace
+
+bool
+msgTypeKnown(std::uint16_t raw)
+{
+    switch (static_cast<MsgType>(raw)) {
+      case MsgType::SubmitSweep:
+      case MsgType::Poll:
+      case MsgType::FetchResults:
+      case MsgType::Cancel:
+      case MsgType::Stats:
+      case MsgType::SubmitOk:
+      case MsgType::JobStatus:
+      case MsgType::Results:
+      case MsgType::CancelOk:
+      case MsgType::StatsReport:
+      case MsgType::Error:
+        return true;
+    }
+    return false;
+}
+
+std::string
+encodeFrame(MsgType type, std::string_view body)
+{
+    FO4_ASSERT(body.size() + 4 <= kMaxPayloadBytes,
+               "frame body too large (%zu bytes)", body.size());
+    std::string payload;
+    payload.resize(4);
+    auto *words = reinterpret_cast<unsigned char *>(payload.data());
+    putU16(words, kProtocolVersion);
+    putU16(words + 2, static_cast<std::uint16_t>(type));
+    payload.append(body);
+
+    std::string frame;
+    frame.resize(kFrameHeaderBytes);
+    auto *head = reinterpret_cast<unsigned char *>(frame.data());
+    putU32(head, static_cast<std::uint32_t>(payload.size()));
+    putU32(head + 4, util::crc32(payload.data(), payload.size()));
+    frame.append(payload);
+    return frame;
+}
+
+FrameHeader
+decodeFrameHeader(const unsigned char (&header)[kFrameHeaderBytes])
+{
+    FrameHeader h;
+    h.payloadBytes = getU32(header);
+    h.crc = getU32(header + 4);
+    // Bound-check before anyone allocates: a corrupt length word must
+    // cost a typed error, not a 4 GiB allocation.
+    if (h.payloadBytes > kMaxPayloadBytes) {
+        throwProtocol(util::strprintf(
+            "oversize frame: length word %u exceeds the %u-byte limit",
+            h.payloadBytes, kMaxPayloadBytes));
+    }
+    if (h.payloadBytes < 4) {
+        throwProtocol(util::strprintf(
+            "runt frame: %u-byte payload cannot hold version and type",
+            h.payloadBytes));
+    }
+    return h;
+}
+
+Frame
+decodePayload(const FrameHeader &header, std::string_view payload)
+{
+    if (payload.size() != header.payloadBytes) {
+        throwProtocol(util::strprintf(
+            "payload size %zu does not match the header's %u",
+            payload.size(), header.payloadBytes));
+    }
+    if (const std::uint32_t computed =
+            util::crc32(payload.data(), payload.size());
+        computed != header.crc) {
+        throwProtocol(util::strprintf(
+            "payload CRC mismatch (stored %08x, computed %08x)",
+            header.crc, computed));
+    }
+    const auto *words =
+        reinterpret_cast<const unsigned char *>(payload.data());
+    if (const std::uint16_t version = getU16(words);
+        version != kProtocolVersion) {
+        throwProtocol(util::strprintf(
+            "protocol version %u, this build speaks %u", version,
+            kProtocolVersion));
+    }
+    const std::uint16_t rawType = getU16(words + 2);
+    if (!msgTypeKnown(rawType))
+        throwProtocol(util::strprintf("unknown record type %u", rawType));
+
+    Frame frame;
+    frame.type = static_cast<MsgType>(rawType);
+    frame.body.assign(payload.substr(4));
+    return frame;
+}
+
+std::optional<Frame>
+readFrame(util::TcpStream &stream, int timeoutMs)
+{
+    unsigned char header[kFrameHeaderBytes];
+    if (!stream.readExact(header, sizeof(header), timeoutMs))
+        return std::nullopt; // orderly EOF between frames
+    const FrameHeader h = decodeFrameHeader(header);
+    std::string payload;
+    payload.resize(h.payloadBytes);
+    if (!stream.readExact(payload.data(), payload.size(), timeoutMs)) {
+        throwProtocol(util::strprintf(
+            "truncated frame: peer closed before %u payload bytes",
+            h.payloadBytes));
+    }
+    return decodePayload(h, payload);
+}
+
+void
+writeFrame(util::TcpStream &stream, MsgType type, std::string_view body)
+{
+    const std::string frame = encodeFrame(type, body);
+    stream.writeAll(frame.data(), frame.size());
+}
+
+std::string
+escapeField(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeField(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '\\') {
+            out += text[i];
+            continue;
+        }
+        if (i + 1 >= text.size())
+            throwProtocol("dangling escape at end of field");
+        switch (text[++i]) {
+          case '\\':
+            out += '\\';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          default:
+            throwProtocol(util::strprintf("unknown escape '\\%c'",
+                                          text[i]));
+        }
+    }
+    return out;
+}
+
+std::string
+SweepRequest::encode() const
+{
+    std::string out;
+    out += "model=" + model + "\n";
+    out += "predictor=" + predictor + "\n";
+    out += util::strprintf("instructions=%llu\n",
+                           static_cast<unsigned long long>(instructions));
+    out += util::strprintf("warmup=%llu\n",
+                           static_cast<unsigned long long>(warmup));
+    out += util::strprintf("prewarm=%llu\n",
+                           static_cast<unsigned long long>(prewarm));
+    out += util::strprintf("cycle_limit=%llu\n",
+                           static_cast<unsigned long long>(cycleLimit));
+    out += util::strprintf("overhead=%a\n", overheadFo4);
+    out += "t_useful=";
+    for (std::size_t i = 0; i < tUseful.size(); ++i)
+        out += util::strprintf(i ? " %a" : "%a", tUseful[i]);
+    out += "\n";
+    for (const auto &job : jobs) {
+        out += util::strprintf(
+            "job=%s\t%d\t%llu\t%s", job.fromTrace ? "trace" : "profile",
+            static_cast<int>(job.cls),
+            static_cast<unsigned long long>(job.cycleLimit),
+            escapeField(job.name).c_str());
+        if (job.fromTrace) {
+            out += '\t';
+            out += escapeField(job.tracePath);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+SweepRequest
+SweepRequest::decode(std::string_view body)
+{
+    SweepRequest req;
+    req.tUseful.clear();
+    req.jobs.clear();
+    bool sawUseful = false;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key == "model") {
+            req.model = std::string(value);
+            if (req.model != "ooo" && req.model != "inorder")
+                throwProtocol("model must be 'ooo' or 'inorder', got '" +
+                              req.model + "'");
+        } else if (key == "predictor") {
+            req.predictor = std::string(value);
+        } else if (key == "instructions") {
+            req.instructions = parseU64(value, "instructions");
+        } else if (key == "warmup") {
+            req.warmup = parseU64(value, "warmup");
+        } else if (key == "prewarm") {
+            req.prewarm = parseU64(value, "prewarm");
+        } else if (key == "cycle_limit") {
+            req.cycleLimit = parseU64(value, "cycle_limit");
+        } else if (key == "overhead") {
+            req.overheadFo4 = parseHexDouble(value, "overhead");
+        } else if (key == "t_useful") {
+            sawUseful = true;
+            std::size_t start = 0;
+            const std::string text(value);
+            while (start < text.size()) {
+                auto space = text.find(' ', start);
+                if (space == std::string::npos)
+                    space = text.size();
+                if (space > start) {
+                    req.tUseful.push_back(parseHexDouble(
+                        text.substr(start, space - start), "t_useful"));
+                }
+                start = space + 1;
+            }
+        } else if (key == "job") {
+            const auto fields = splitTabs(value);
+            if (fields.size() < 4)
+                throwProtocol("job line needs kind, class, cycle_limit "
+                              "and name");
+            WireJob job;
+            if (fields[0] == "profile") {
+                job.fromTrace = false;
+                if (fields.size() != 4)
+                    throwProtocol("profile job takes exactly 4 fields");
+            } else if (fields[0] == "trace") {
+                job.fromTrace = true;
+                if (fields.size() != 5)
+                    throwProtocol("trace job takes exactly 5 fields");
+                job.tracePath = unescapeField(fields[4]);
+            } else {
+                throwProtocol("job kind must be 'profile' or 'trace', "
+                              "got '" +
+                              std::string(fields[0]) + "'");
+            }
+            job.cls = benchClassFromInt(parseU64(fields[1], "job class"));
+            job.cycleLimit = parseU64(fields[2], "job cycle_limit");
+            job.name = unescapeField(fields[3]);
+            if (job.name.empty())
+                throwProtocol("job name is empty");
+            req.jobs.push_back(std::move(job));
+        } else {
+            throwProtocol("unknown request field '" + std::string(key) +
+                          "'");
+        }
+    }
+    if (!sawUseful || req.tUseful.empty())
+        throwProtocol("request has no t_useful axis");
+    if (req.jobs.empty())
+        throwProtocol("request has no jobs");
+    return req;
+}
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:
+        return "Queued";
+      case JobState::Running:
+        return "Running";
+      case JobState::Done:
+        return "Done";
+      case JobState::Failed:
+        return "Failed";
+      case JobState::Cancelled:
+        return "Cancelled";
+    }
+    return "Unknown";
+}
+
+JobState
+jobStateFromName(const std::string &name)
+{
+    for (const JobState s :
+         {JobState::Queued, JobState::Running, JobState::Done,
+          JobState::Failed, JobState::Cancelled}) {
+        if (name == jobStateName(s))
+            return s;
+    }
+    throwProtocol("unknown job state '" + name + "'");
+}
+
+std::string
+JobStatusInfo::encode() const
+{
+    std::string out;
+    out += util::strprintf("id=%llu\n",
+                           static_cast<unsigned long long>(id));
+    out += std::string("state=") + jobStateName(state) + "\n";
+    out += util::strprintf("queue_position=%llu\n",
+                           static_cast<unsigned long long>(queuePosition));
+    out += util::strprintf("cells_total=%llu\n",
+                           static_cast<unsigned long long>(cellsTotal));
+    out += util::strprintf("cells_started=%llu\n",
+                           static_cast<unsigned long long>(cellsStarted));
+    out += std::string("error_code=") + util::errorCodeName(errorCode) +
+           "\n";
+    out += "error_message=" + escapeField(errorMessage) + "\n";
+    return out;
+}
+
+JobStatusInfo
+JobStatusInfo::decode(std::string_view body)
+{
+    JobStatusInfo info;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key == "id")
+            info.id = parseU64(value, "id");
+        else if (key == "state")
+            info.state = jobStateFromName(std::string(value));
+        else if (key == "queue_position")
+            info.queuePosition = parseU64(value, "queue_position");
+        else if (key == "cells_total")
+            info.cellsTotal = parseU64(value, "cells_total");
+        else if (key == "cells_started")
+            info.cellsStarted = parseU64(value, "cells_started");
+        else if (key == "error_code")
+            info.errorCode = util::errorCodeFromName(std::string(value));
+        else if (key == "error_message")
+            info.errorMessage = unescapeField(value);
+        else
+            throwProtocol("unknown status field '" + std::string(key) +
+                          "'");
+    }
+    return info;
+}
+
+std::string
+StatsSnapshot::encode() const
+{
+    std::string out;
+    const auto u64 = [&out](const char *key, std::uint64_t v) {
+        out += util::strprintf("%s=%llu\n", key,
+                               static_cast<unsigned long long>(v));
+    };
+    u64("queue_depth", queueDepth);
+    u64("max_queue", maxQueue);
+    u64("running_jobs", runningJobs);
+    u64("running_cells_started", runningCellsStarted);
+    u64("running_cells_total", runningCellsTotal);
+    u64("submitted", submitted);
+    u64("rejected", rejected);
+    u64("completed", completed);
+    u64("failed", failed);
+    u64("cancelled", cancelled);
+    out += "latency_buckets=";
+    for (std::size_t i = 0; i < latencyBuckets.size(); ++i) {
+        out += util::strprintf(
+            i ? " %llu" : "%llu",
+            static_cast<unsigned long long>(latencyBuckets[i]));
+    }
+    out += "\n";
+    u64("latency_samples", latencySamples);
+    out += util::strprintf("latency_mean_ms=%a\n", latencyMeanMs);
+    for (const auto &[name, value] : counters) {
+        out += util::strprintf(
+            "counter=%s\t%llu\n", escapeField(name).c_str(),
+            static_cast<unsigned long long>(value));
+    }
+    return out;
+}
+
+StatsSnapshot
+StatsSnapshot::decode(std::string_view body)
+{
+    StatsSnapshot s;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key == "queue_depth")
+            s.queueDepth = parseU64(value, "queue_depth");
+        else if (key == "max_queue")
+            s.maxQueue = parseU64(value, "max_queue");
+        else if (key == "running_jobs")
+            s.runningJobs = parseU64(value, "running_jobs");
+        else if (key == "running_cells_started")
+            s.runningCellsStarted = parseU64(value, "running_cells_started");
+        else if (key == "running_cells_total")
+            s.runningCellsTotal = parseU64(value, "running_cells_total");
+        else if (key == "submitted")
+            s.submitted = parseU64(value, "submitted");
+        else if (key == "rejected")
+            s.rejected = parseU64(value, "rejected");
+        else if (key == "completed")
+            s.completed = parseU64(value, "completed");
+        else if (key == "failed")
+            s.failed = parseU64(value, "failed");
+        else if (key == "cancelled")
+            s.cancelled = parseU64(value, "cancelled");
+        else if (key == "latency_buckets") {
+            std::size_t start = 0;
+            const std::string text(value);
+            while (start < text.size()) {
+                auto space = text.find(' ', start);
+                if (space == std::string::npos)
+                    space = text.size();
+                if (space > start) {
+                    s.latencyBuckets.push_back(
+                        parseU64(text.substr(start, space - start),
+                                 "latency_buckets"));
+                }
+                start = space + 1;
+            }
+        } else if (key == "latency_samples")
+            s.latencySamples = parseU64(value, "latency_samples");
+        else if (key == "latency_mean_ms")
+            s.latencyMeanMs = parseHexDouble(value, "latency_mean_ms");
+        else if (key == "counter") {
+            const auto fields = splitTabs(value);
+            if (fields.size() != 2)
+                throwProtocol("counter line takes name and value");
+            s.counters.emplace_back(unescapeField(fields[0]),
+                                    parseU64(fields[1], "counter"));
+        } else
+            throwProtocol("unknown stats field '" + std::string(key) +
+                          "'");
+    }
+    return s;
+}
+
+std::string
+encodeError(util::ErrorCode code, std::string_view message)
+{
+    return std::string("code=") + util::errorCodeName(code) +
+           "\nmessage=" + escapeField(message) + "\n";
+}
+
+std::pair<util::ErrorCode, std::string>
+decodeError(std::string_view body)
+{
+    util::ErrorCode code = ErrorCode::Internal;
+    std::string message;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key == "code")
+            code = util::errorCodeFromName(std::string(value));
+        else if (key == "message")
+            message = unescapeField(value);
+        else
+            throwProtocol("unknown error field '" + std::string(key) +
+                          "'");
+    }
+    return {code, message};
+}
+
+std::string
+encodeId(std::uint64_t id)
+{
+    return util::strprintf("id=%llu\n",
+                           static_cast<unsigned long long>(id));
+}
+
+std::uint64_t
+decodeId(std::string_view body)
+{
+    std::optional<std::uint64_t> id;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key != "id")
+            throwProtocol("unknown id field '" + std::string(key) + "'");
+        id = parseU64(value, "id");
+    }
+    if (!id)
+        throwProtocol("request body has no id");
+    return *id;
+}
+
+std::string
+encodeSubmitOk(std::uint64_t id, std::uint64_t cellsTotal)
+{
+    return util::strprintf("id=%llu\ncells_total=%llu\n",
+                           static_cast<unsigned long long>(id),
+                           static_cast<unsigned long long>(cellsTotal));
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+decodeSubmitOk(std::string_view body)
+{
+    std::uint64_t id = 0;
+    std::uint64_t cells = 0;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key == "id")
+            id = parseU64(value, "id");
+        else if (key == "cells_total")
+            cells = parseU64(value, "cells_total");
+        else
+            throwProtocol("unknown submit-ok field '" +
+                          std::string(key) + "'");
+    }
+    return {id, cells};
+}
+
+} // namespace fo4::svc

@@ -1,0 +1,295 @@
+#include "svc/server.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "svc/sweep.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace fo4::svc
+{
+
+namespace
+{
+
+using util::ErrorCode;
+using util::SvcError;
+
+/** How often blocked loops wake to check the stop flag, ms. */
+constexpr int kTickMs = 100;
+
+/** Per-read timeout once a frame has begun arriving, ms. */
+constexpr int kFrameTimeoutMs = 10000;
+
+/**
+ * Sweep wall times span four orders of magnitude (a 2-cell smoke sweep
+ * to an hour-long grid), so the latency histogram is log2-bucketed:
+ * bucket i holds sweeps with wall time in [2^i - 1, 2^(i+1) - 1) ms.
+ */
+constexpr std::size_t kLatencyBuckets = 24;
+
+std::uint64_t
+latencyBucketOf(double wallMs)
+{
+    if (wallMs < 1.0)
+        return 0;
+    return static_cast<std::uint64_t>(std::log2(wallMs + 1.0));
+}
+
+util::MetricHistogram &
+latencyHistogram()
+{
+    return util::MetricsRegistry::global().histogram("svc.sweep_wall_ms",
+                                                     kLatencyBuckets);
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : opts(std::move(options)), listener(opts.port),
+      table(opts.maxQueue)
+{
+    acceptThread = std::thread([this] { acceptLoop(); });
+    dispatchThread = std::thread([this] { dispatchLoop(); });
+}
+
+Server::~Server()
+{
+    stop();
+    join();
+}
+
+void
+Server::stop()
+{
+    if (stopping.exchange(true))
+        return;
+    listener.close();
+    table.shutdown();
+}
+
+void
+Server::join()
+{
+    if (acceptThread.joinable())
+        acceptThread.join();
+    if (dispatchThread.joinable())
+        dispatchThread.join();
+    std::vector<std::thread> drained;
+    {
+        std::lock_guard<std::mutex> lock(sessionMutex);
+        drained.swap(sessions);
+    }
+    for (auto &session : drained) {
+        if (session.joinable())
+            session.join();
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    auto &connections =
+        util::MetricsRegistry::global().counter("svc.connections");
+    while (!stopping.load()) {
+        std::optional<util::TcpStream> stream;
+        try {
+            stream = listener.accept(kTickMs);
+        } catch (const SvcError &) {
+            // A listener error after close() is part of shutdown; any
+            // other is transient — either way the loop just ticks on.
+            continue;
+        }
+        if (!stream)
+            continue;
+        connections.inc();
+        std::lock_guard<std::mutex> lock(sessionMutex);
+        sessions.emplace_back(
+            [this, s = std::move(*stream)]() mutable {
+                sessionLoop(std::move(s));
+            });
+    }
+}
+
+void
+Server::sessionLoop(util::TcpStream stream)
+{
+    auto &protocolErrors =
+        util::MetricsRegistry::global().counter("svc.protocol_errors");
+    while (!stopping.load()) {
+        try {
+            if (!stream.waitReadable(kTickMs))
+                continue;
+            const std::optional<Frame> frame =
+                readFrame(stream, kFrameTimeoutMs);
+            if (!frame)
+                return; // peer hung up between frames
+            handleFrame(stream, *frame);
+        } catch (const SvcError &e) {
+            // A frame that cannot be trusted costs the session, never
+            // the daemon: report the typed verdict while the transport
+            // may still work, then hang up.
+            if (e.code() == ErrorCode::Protocol)
+                protocolErrors.inc();
+            try {
+                writeFrame(stream, MsgType::Error,
+                           encodeError(e.code(), e.what()));
+            } catch (const SvcError &) {
+                // the transport is gone too; nothing left to report
+            }
+            return;
+        }
+    }
+}
+
+void
+Server::handleFrame(util::TcpStream &stream, const Frame &frame)
+{
+    switch (frame.type) {
+      case MsgType::SubmitSweep: {
+        std::uint64_t id = 0;
+        std::uint64_t cells = 0;
+        try {
+            SweepRequest request = SweepRequest::decode(frame.body);
+            // Validate eagerly: a nonsense request is refused here,
+            // synchronously, not failed minutes later in the queue.
+            const SweepPlan plan = planSweep(request);
+            cells = plan.cells();
+            id = table.submit(std::move(request), cells);
+        } catch (const util::SimError &e) {
+            if (e.code() == ErrorCode::Protocol)
+                throw; // malformed body: the session-fatal path
+            writeFrame(stream, MsgType::Error,
+                       encodeError(e.code(), e.what()));
+            return;
+        }
+        writeFrame(stream, MsgType::SubmitOk, encodeSubmitOk(id, cells));
+        return;
+      }
+      case MsgType::Poll: {
+        try {
+            const JobStatusInfo info = table.status(decodeId(frame.body));
+            writeFrame(stream, MsgType::JobStatus, info.encode());
+        } catch (const SvcError &e) {
+            if (e.code() == ErrorCode::Protocol)
+                throw; // malformed body: the session-fatal path
+            writeFrame(stream, MsgType::Error,
+                       encodeError(e.code(), e.what()));
+        }
+        return;
+      }
+      case MsgType::FetchResults: {
+        try {
+            writeFrame(stream, MsgType::Results,
+                       table.fetchResults(decodeId(frame.body)));
+        } catch (const SvcError &e) {
+            if (e.code() == ErrorCode::Protocol)
+                throw;
+            writeFrame(stream, MsgType::Error,
+                       encodeError(e.code(), e.what()));
+        }
+        return;
+      }
+      case MsgType::Cancel: {
+        try {
+            const JobStatusInfo info =
+                table.cancelJob(decodeId(frame.body));
+            writeFrame(stream, MsgType::CancelOk, info.encode());
+        } catch (const SvcError &e) {
+            if (e.code() == ErrorCode::Protocol)
+                throw;
+            writeFrame(stream, MsgType::Error,
+                       encodeError(e.code(), e.what()));
+        }
+        return;
+      }
+      case MsgType::Stats:
+        writeFrame(stream, MsgType::StatsReport, buildStats().encode());
+        return;
+      default:
+        // A response record arriving at the server is a peer speaking
+        // the protocol backwards; session-fatal like any other
+        // protocol violation.
+        throw SvcError(ErrorCode::Protocol,
+                       util::strprintf(
+                           "record type %u is not a request",
+                           static_cast<unsigned>(frame.type)));
+    }
+}
+
+void
+Server::dispatchLoop()
+{
+    auto &histogram = latencyHistogram();
+    while (!stopping.load()) {
+        const std::shared_ptr<JobRecord> job = table.takeNext(kTickMs);
+        if (!job)
+            continue;
+
+        const auto started = std::chrono::steady_clock::now();
+        try {
+            // Re-derive the plan from the request: planSweep is a pure
+            // function, and it already passed at submit time.
+            const SweepPlan plan = planSweep(job->request);
+            std::string journalPath;
+            if (!opts.checkpointDir.empty()) {
+                journalPath = util::strprintf(
+                    "%s/sweep-%016llx.journal",
+                    opts.checkpointDir.c_str(),
+                    static_cast<unsigned long long>(
+                        planFingerprint(plan)));
+            }
+            std::string results = runSweep(
+                plan, opts.threads, journalPath, &job->cancel,
+                [job](std::size_t, std::size_t, int attempt) {
+                    if (attempt == 1)
+                        job->cellsStarted.fetch_add(
+                            1, std::memory_order_relaxed);
+                });
+            table.markDone(job->id, std::move(results));
+        } catch (const util::CancelledError &) {
+            // Drained cooperatively with the journal flushed: the job
+            // is cancelled, not failed, and resumable on resubmit.
+            table.markCancelled(job->id);
+        } catch (const util::SimError &e) {
+            table.markFailed(job->id, e.code(), e.what());
+        } catch (const std::exception &e) {
+            table.markFailed(job->id, ErrorCode::Internal, e.what());
+        }
+        const double wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        histogram.sample(latencyBucketOf(wallMs));
+    }
+}
+
+StatsSnapshot
+Server::buildStats() const
+{
+    StatsSnapshot s;
+    s.queueDepth = table.queueDepth();
+    s.maxQueue = table.maxQueue();
+    if (const std::shared_ptr<JobRecord> job = table.runningJob()) {
+        s.runningJobs = 1;
+        s.runningCellsStarted = job->cellsStarted.load();
+        s.runningCellsTotal = job->cellsTotal;
+    }
+    s.submitted = table.submitted();
+    s.rejected = table.rejected();
+    s.completed = table.completed();
+    s.failed = table.failed();
+    s.cancelled = table.cancelled();
+
+    const util::MetricHistogram &histogram = latencyHistogram();
+    for (std::size_t i = 0; i < histogram.bucketCount(); ++i)
+        s.latencyBuckets.push_back(histogram.bucket(i));
+    s.latencySamples = histogram.samples();
+    s.latencyMeanMs = histogram.mean();
+
+    s.counters = util::MetricsRegistry::global().snapshotCounters();
+    return s;
+}
+
+} // namespace fo4::svc

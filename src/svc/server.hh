@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The sweep daemon: a TCP listener, one session thread per connection,
+ * and a single dispatcher thread that executes queued sweeps through
+ * the crash-safe checkpointed runner.
+ *
+ * Why one dispatcher: a sweep already fans its grid across
+ * ServerOptions::threads workers, so running two sweeps concurrently
+ * would just have them fight over the same cores; FIFO dispatch keeps
+ * the latency story simple (queue position is an honest progress
+ * indicator) and the checkpoint journals per-job.
+ *
+ * Fault containment: a malformed or corrupt frame costs its *session*
+ * (the client gets a typed Error frame when the transport still works,
+ * then the connection closes) — never the daemon.  A failed sweep is a
+ * Failed job other clients can inspect; the dispatcher survives.
+ *
+ * Shutdown (SIGINT in fo4d): stop() closes the listener, marks every
+ * queued job Cancelled, and flips the running job's CancelToken; the
+ * in-flight sweep drains cooperatively with its journal flushed, so a
+ * resubmission after restart resumes instead of recomputing.  join()
+ * then reaps every thread.  A drained daemon exits 0.
+ */
+
+#ifndef FO4_SVC_SERVER_HH
+#define FO4_SVC_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/queue.hh"
+#include "util/net.hh"
+
+namespace fo4::svc
+{
+
+/** Knobs of the daemon. */
+struct ServerOptions
+{
+    /** Listen port; 0 picks an ephemeral port (see Server::port()). */
+    std::uint16_t port = 0;
+    /** Worker threads per sweep; 1 = serial, <= 0 = hardware count. */
+    int threads = 1;
+    /** Admission bound: queued (not yet running) jobs. */
+    std::size_t maxQueue = 8;
+    /** Directory for per-job checkpoint journals, keyed by grid
+     *  fingerprint; empty disables durability. */
+    std::string checkpointDir;
+};
+
+/** The daemon.  Construction binds and starts serving; see stop(). */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** The bound port (resolves an ephemeral request). */
+    std::uint16_t port() const { return listener.port(); }
+
+    /** Begin the drain described in the file comment.  Idempotent. */
+    void stop();
+
+    /** Wait for every thread; call after stop(). */
+    void join();
+
+  private:
+    void acceptLoop();
+    void sessionLoop(util::TcpStream stream);
+    void dispatchLoop();
+    void handleFrame(util::TcpStream &stream, const Frame &frame);
+    StatsSnapshot buildStats() const;
+
+    ServerOptions opts;
+    util::TcpListener listener;
+    JobTable table;
+    std::atomic<bool> stopping{false};
+
+    std::thread acceptThread;
+    std::thread dispatchThread;
+    std::mutex sessionMutex;
+    std::vector<std::thread> sessions;
+};
+
+} // namespace fo4::svc
+
+#endif // FO4_SVC_SERVER_HH

@@ -1,0 +1,112 @@
+#include "svc/sweep.hh"
+
+#include "study/scaling.hh"
+#include "trace/spec2000.hh"
+#include "util/logging.hh"
+
+namespace fo4::svc
+{
+
+SweepPlan
+planSweep(const SweepRequest &request)
+{
+    SweepPlan plan;
+    plan.tUseful = request.tUseful;
+
+    if (request.tUseful.empty())
+        throw util::ConfigError("sweep request has an empty t_useful axis");
+    if (request.jobs.empty())
+        throw util::ConfigError("sweep request has no jobs");
+
+    plan.spec.model = request.model == "inorder"
+                          ? study::CoreModel::InOrder
+                          : study::CoreModel::OutOfOrder;
+    if (request.model != "ooo" && request.model != "inorder") {
+        throw util::ConfigError(util::strprintf(
+            "unknown core model '%s' (want 'ooo' or 'inorder')",
+            request.model.c_str()));
+    }
+    plan.spec.predictor = request.predictor;
+    plan.spec.instructions = request.instructions;
+    plan.spec.warmup = request.warmup;
+    plan.spec.prewarm = request.prewarm;
+    plan.spec.cycleLimit = request.cycleLimit;
+
+    const tech::OverheadModel overhead =
+        tech::OverheadModel::uniform(request.overheadFo4);
+    const study::ScalingOptions scaling; // paper Section 3 defaults
+    for (const double t : request.tUseful) {
+        study::GridPoint point;
+        point.params = study::scaledCoreParams(t, scaling);
+        point.clock = study::scaledClock(t, overhead);
+        plan.points.push_back(std::move(point));
+    }
+
+    for (const auto &wire : request.jobs) {
+        study::BenchJob job;
+        if (wire.fromTrace) {
+            job = study::BenchJob::fromTraceFile(wire.name, wire.cls,
+                                                 wire.tracePath);
+        } else {
+            // Throws ConfigError on an unknown profile name — the
+            // submit-time rejection the file comment promises.
+            job = study::BenchJob::fromProfile(
+                trace::spec2000Profile(wire.name));
+        }
+        if (wire.cycleLimit != 0)
+            job.cycleLimit = wire.cycleLimit;
+        plan.jobs.push_back(std::move(job));
+    }
+
+    // The runner would reject these too, but only once the request is
+    // dequeued; validating every point here keeps rejection synchronous.
+    for (const auto &point : plan.points)
+        study::validateSuiteInputs(point.params, point.clock, plan.jobs,
+                                   plan.spec);
+    return plan;
+}
+
+std::uint64_t
+planFingerprint(const SweepPlan &plan)
+{
+    return study::gridFingerprint(plan.points, plan.jobs, plan.spec);
+}
+
+std::string
+runSweep(const SweepPlan &plan, int threads,
+         const std::string &journalPath, const util::CancelToken *cancel,
+         std::function<void(std::size_t, std::size_t, int)> onAttempt)
+{
+    study::CheckpointOptions options;
+    options.journalPath = journalPath;
+    options.threads = threads;
+    options.cancel = cancel;
+    options.onAttempt = std::move(onAttempt);
+    study::CheckpointedRunner runner(std::move(options));
+    const std::vector<study::SuiteResult> suites =
+        runner.runGrid(plan.points, plan.jobs, plan.spec);
+    return renderResults(plan, suites);
+}
+
+std::string
+renderResults(const SweepPlan &plan,
+              const std::vector<study::SuiteResult> &suites)
+{
+    FO4_ASSERT(suites.size() == plan.points.size(),
+               "render: %zu suites for %zu points", suites.size(),
+               plan.points.size());
+    std::string out = "fo4-sweep-results v1\n";
+    out += util::strprintf("points=%zu jobs=%zu\n", plan.points.size(),
+                           plan.jobs.size());
+    for (std::size_t i = 0; i < suites.size(); ++i) {
+        const tech::ClockModel &clock = plan.points[i].clock;
+        out += util::strprintf("point=%zu t_useful=%a period_fo4=%a "
+                               "ghz=%a\n",
+                               i, plan.tUseful[i], clock.periodFo4(),
+                               clock.frequencyGhz());
+        out += study::serializeSuite(suites[i]);
+    }
+    return out;
+}
+
+} // namespace fo4::svc

@@ -66,6 +66,66 @@ Config::has(const std::string &key) const
 }
 
 std::vector<std::string>
+Config::checkKnown(const std::vector<KeyDoc> &known) const
+{
+    std::vector<std::string> unknown;
+    for (const auto &[key, value] : values) {
+        const bool found =
+            key == "help" ||
+            std::any_of(known.begin(), known.end(),
+                        [&key](const KeyDoc &k) { return key == k.key; });
+        if (!found) {
+            warn("unknown config key '%s=%s' (misspelled?) is ignored — "
+                 "run with --help for the recognized keys",
+                 key.c_str(), value.c_str());
+            unknown.push_back(key);
+        }
+    }
+    return unknown;
+}
+
+std::string
+renderKeyHelp(const std::string &program, const std::vector<KeyDoc> &keys)
+{
+    std::size_t width = 6; // "--help"
+    for (const auto &k : keys)
+        width = std::max(width, std::string(k.key).size() + 1);
+
+    std::string out =
+        strprintf("usage: %s [key=value ...]\n\nrecognized keys:\n",
+                  program.c_str());
+    for (const auto &k : keys) {
+        out += strprintf("  %-*s  %s\n", static_cast<int>(width),
+                         (std::string(k.key) + "=").c_str(), k.help);
+    }
+    out += strprintf("  %-*s  %s\n", static_cast<int>(width), "--help",
+                     "print this key list and exit");
+    out += "\nevery key also accepts the --key=value spelling; a bare "
+           "--flag means flag=1\n";
+    return out;
+}
+
+int
+runTopLevel(int argc, const char *const *argv,
+            const std::vector<KeyDoc> &keys,
+            const std::function<int()> &body)
+{
+    // Scan raw argv instead of Config::fromArgs: help must win even on
+    // a command line fromArgs would reject (duplicate keys, bad types).
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        if (token == "help" || token == "--help" || token == "help=1" ||
+            token == "--help=1") {
+            std::fputs(renderKeyHelp(argv[0] ? argv[0] : "program", keys)
+                           .c_str(),
+                       stdout);
+            return 0;
+        }
+    }
+    return runTopLevel(body);
+}
+
+std::vector<std::string>
 Config::checkKnown(std::initializer_list<const char *> known) const
 {
     std::vector<std::string> unknown;

@@ -8,6 +8,7 @@
 #define FO4_UTIL_CONFIG_HH
 
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <map>
 #include <string>
@@ -15,6 +16,17 @@
 
 namespace fo4::util
 {
+
+/**
+ * One recognized `key=value` knob and its one-line description — the
+ * unit of both spell checking (Config::checkKnown) and the generated
+ * `--help` text (runTopLevel below).
+ */
+struct KeyDoc
+{
+    const char *key;
+    const char *help;
+};
 
 /** String-keyed configuration with typed, defaulted accessors. */
 class Config
@@ -44,6 +56,11 @@ class Config
     std::vector<std::string>
     checkKnown(std::initializer_list<const char *> known) const;
 
+    /** checkKnown over a documented key set (the spelling authority a
+     *  binary also feeds to runTopLevel for its --help text). */
+    std::vector<std::string>
+    checkKnown(const std::vector<KeyDoc> &known) const;
+
     /** Typed accessors; a malformed value throws ConfigError. */
     std::string getString(const std::string &key,
                           const std::string &fallback) const;
@@ -66,6 +83,24 @@ class Config
     std::map<std::string, std::string> values;
     std::vector<std::string> args;
 };
+
+/** Render the `--help` text for a documented key set: one aligned
+ *  "key=  description" line per KeyDoc, plus the help flag itself. */
+std::string renderKeyHelp(const std::string &program,
+                          const std::vector<KeyDoc> &keys);
+
+/**
+ * Help-aware variant of runTopLevel (util/status.hh): if the command
+ * line asks for help — `help=1`, `--help`, or a bare `help` argument —
+ * print the recognized keys from `keys` with their one-line
+ * descriptions and exit 0 *without* running `body`.  Otherwise behaves
+ * exactly like runTopLevel(body).  `keys` should be the same list the
+ * body passes to Config::checkKnown, so the help text and the spell
+ * checker can never drift apart.
+ */
+int runTopLevel(int argc, const char *const *argv,
+                const std::vector<KeyDoc> &keys,
+                const std::function<int()> &body);
 
 } // namespace fo4::util
 

@@ -7,6 +7,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "util/journal.hh"
 #include "util/logging.hh"
 #include "util/status.hh"
 
@@ -24,7 +25,7 @@ throwIo(const std::string &path, const char *what)
                                  std::strerror(errno)));
 }
 
-/** fsync a path opened read-only (a closed file, or a directory). */
+/** fsync a path opened read-only (a closed file). */
 void
 fsyncPath(const std::string &path, const std::string &reported)
 {
@@ -38,15 +39,6 @@ fsyncPath(const std::string &path, const std::string &reported)
         throwIo(reported, "fsync failed");
     }
     ::close(fd);
-}
-
-std::string
-parentDir(const std::string &path)
-{
-    const auto slash = path.find_last_of('/');
-    if (slash == std::string::npos)
-        return ".";
-    return slash == 0 ? "/" : path.substr(0, slash);
 }
 
 } // namespace
@@ -87,7 +79,9 @@ AtomicCsvFile::commit()
     fsyncPath(tmp, path);
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         throwIo(path, "rename into place failed");
-    fsyncPath(parentDir(path), path);
+    // The rename is only durable once the directory entry is: without
+    // this the published CSV can vanish on power loss (DESIGN.md §8).
+    fsyncParentDirectory(path);
     done = true;
 }
 

@@ -114,9 +114,10 @@ fsyncOrThrow(int fd, const std::string &path)
         throwErrno(ErrorCode::JournalIo, "fsync failed", path);
 }
 
-/** fsync the directory containing `path`, making a rename durable. */
+} // namespace
+
 void
-fsyncParentDir(const std::string &path)
+fsyncParentDirectory(const std::string &path)
 {
     const auto slash = path.find_last_of('/');
     const std::string dir =
@@ -129,8 +130,6 @@ fsyncParentDir(const std::string &path)
     if (!ok)
         throwErrno(ErrorCode::JournalIo, "directory fsync failed", dir);
 }
-
-} // namespace
 
 std::uint32_t
 crc32(const void *data, std::size_t size, std::uint32_t crc)
@@ -285,7 +284,7 @@ JournalWriter::create(const std::string &path, std::uint64_t fingerprint,
         ::unlink(tmp.c_str());
         throwErrno(ErrorCode::JournalIo, "rename failed", path);
     }
-    fsyncParentDir(path);
+    fsyncParentDirectory(path);
 
     return JournalWriter(openOrThrow(path, O_WRONLY | O_APPEND), path,
                          syncEveryRecord);

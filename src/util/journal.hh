@@ -57,6 +57,16 @@ constexpr std::uint32_t kJournalVersion = 2;
 std::uint32_t crc32(const void *data, std::size_t size,
                     std::uint32_t crc = 0);
 
+/**
+ * fsync the directory containing `path`.  A rename makes a file visible
+ * under its final name, but only the *directory entry's* durability —
+ * this fsync — guarantees the published file cannot vanish on power
+ * loss.  Every tmp→final rename in the repo (journal creation, atomic
+ * CSV publication) ends with this call; throws
+ * JournalError(JournalIo) on failure.
+ */
+void fsyncParentDirectory(const std::string &path);
+
 /** Everything recovery learns from an existing journal. */
 struct JournalContents
 {

@@ -1,0 +1,270 @@
+#include "util/net.hh"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/status.hh"
+
+namespace fo4::util
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwNet(const char *what)
+{
+    throw SvcError(ErrorCode::NetIo,
+                   strprintf("%s: %s", what, std::strerror(errno)));
+}
+
+/**
+ * Wait for `events` on `fd`.  Returns true when ready, false on
+ * timeout; throws on poll errors.  timeoutMs <= 0 waits forever.
+ */
+bool
+pollFd(int fd, short events, int timeoutMs)
+{
+    struct pollfd p = {};
+    p.fd = fd;
+    p.events = events;
+    for (;;) {
+        const int n = ::poll(&p, 1, timeoutMs <= 0 ? -1 : timeoutMs);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwNet("poll failed");
+        }
+        if (n == 0)
+            return false;
+        return true;
+    }
+}
+
+} // namespace
+
+TcpStream
+TcpStream::connect(const std::string &host, std::uint16_t port)
+{
+    struct addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *result = nullptr;
+    const std::string service = std::to_string(port);
+    if (const int rc =
+            ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+        rc != 0) {
+        throw SvcError(ErrorCode::NetIo,
+                       strprintf("cannot resolve '%s': %s", host.c_str(),
+                                 ::gai_strerror(rc)));
+    }
+
+    int fd = -1;
+    int lastErrno = ECONNREFUSED;
+    for (const auto *ai = result; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        lastErrno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(result);
+    if (fd < 0) {
+        throw SvcError(ErrorCode::NetIo,
+                       strprintf("cannot connect to %s:%u: %s",
+                                 host.c_str(), port,
+                                 std::strerror(lastErrno)));
+    }
+    return TcpStream(fd);
+}
+
+TcpStream::TcpStream(TcpStream &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+TcpStream &
+TcpStream::operator=(TcpStream &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+TcpStream::~TcpStream()
+{
+    close();
+}
+
+bool
+TcpStream::readExact(void *buf, std::size_t size, int timeoutMs)
+{
+    FO4_ASSERT(fd_ >= 0, "read on an unconnected stream");
+    auto *p = static_cast<unsigned char *>(buf);
+    std::size_t got = 0;
+    while (got < size) {
+        if (!pollFd(fd_, POLLIN, timeoutMs)) {
+            throw SvcError(ErrorCode::NetIo,
+                           strprintf("read timed out after %d ms",
+                                     timeoutMs));
+        }
+        const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwNet("read failed");
+        }
+        if (n == 0) {
+            if (got == 0)
+                return false; // orderly EOF between frames
+            throw SvcError(
+                ErrorCode::Protocol,
+                strprintf("peer closed mid-frame (%zu of %zu bytes)",
+                          got, size));
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+TcpStream::waitReadable(int timeoutMs)
+{
+    FO4_ASSERT(fd_ >= 0, "wait on an unconnected stream");
+    return pollFd(fd_, POLLIN, timeoutMs);
+}
+
+void
+TcpStream::writeAll(const void *buf, std::size_t size)
+{
+    FO4_ASSERT(fd_ >= 0, "write on an unconnected stream");
+    const auto *p = static_cast<const unsigned char *>(buf);
+    while (size > 0) {
+        // MSG_NOSIGNAL: a vanished peer must surface as EPIPE -> a
+        // typed NetIo error on this call, never SIGPIPE for the process.
+        const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwNet("write failed");
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+}
+
+void
+TcpStream::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+TcpListener::TcpListener(std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throwNet("cannot create socket");
+
+    // Restarting the daemon on the same port must not trip over
+    // TIME_WAIT remnants of its previous incarnation.
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        throwNet("cannot bind");
+    }
+    if (::listen(fd_, 64) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        throwNet("cannot listen");
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        throwNet("cannot read bound port");
+    }
+    boundPort = ntohs(addr.sin_port);
+}
+
+TcpListener::TcpListener(TcpListener &&other) noexcept
+    : fd_(other.fd_.exchange(-1)), boundPort(other.boundPort)
+{
+}
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+std::optional<TcpStream>
+TcpListener::accept(int timeoutMs)
+{
+    // Snapshot the fd once: a concurrent close() publishes -1 before
+    // releasing the descriptor, so the worst a racing accept sees is a
+    // shut-down socket, which reads as a quiet tick below.
+    const int listenFd = fd_.load(std::memory_order_acquire);
+    if (listenFd < 0)
+        return std::nullopt;
+    if (!pollFd(listenFd, POLLIN, timeoutMs))
+        return std::nullopt;
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) {
+        // A connection that was reset between poll and accept — or the
+        // listener closed by a concurrent stop() — is a quiet tick.
+        if (errno == EINTR || errno == ECONNABORTED || errno == EBADF ||
+            errno == EINVAL) {
+            return std::nullopt;
+        }
+        throwNet("accept failed");
+    }
+    return TcpStream(fd);
+}
+
+void
+TcpListener::close()
+{
+    const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
+        // Wake any accept() blocked in poll() before releasing the fd.
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+}
+
+} // namespace fo4::util

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Portable TCP sockets for the sweep service: a listener, a blocking
+ * stream with poll-based timeouts, and nothing else.
+ *
+ * Error model: every failure — create, bind, connect, a peer that
+ * vanishes mid-read, a timeout — throws SvcError(ErrorCode::NetIo) with
+ * the errno text, except orderly EOF, which readExact reports as
+ * `false` so framing code can distinguish "the peer hung up between
+ * frames" (normal) from "the peer hung up inside a frame" (a truncated
+ * frame, ErrorCode::Protocol, raised by the framing layer).
+ *
+ * Blocking discipline: reads and accepts take a timeout in
+ * milliseconds and poll() before touching the fd, so a server loop can
+ * wake periodically to check a CancelToken without dedicating a signal
+ * or an eventfd to it.  Writes block until the kernel accepts every
+ * byte (SIGPIPE is suppressed; a broken pipe is a NetIo error, not a
+ * process kill).
+ */
+
+#ifndef FO4_UTIL_NET_HH
+#define FO4_UTIL_NET_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace fo4::util
+{
+
+/** A connected, blocking TCP stream (RAII over the fd). */
+class TcpStream
+{
+  public:
+    /** An unconnected stream (fd() < 0); for container use. */
+    TcpStream() = default;
+
+    /** Adopt an already-connected fd (the accept path). */
+    explicit TcpStream(int fd) : fd_(fd) {}
+
+    /**
+     * Connect to host:port (numeric IP or resolvable name).  Throws
+     * SvcError(NetIo) when resolution or connection fails.
+     */
+    static TcpStream connect(const std::string &host, std::uint16_t port);
+
+    TcpStream(TcpStream &&other) noexcept;
+    TcpStream &operator=(TcpStream &&other) noexcept;
+    TcpStream(const TcpStream &) = delete;
+    TcpStream &operator=(const TcpStream &) = delete;
+    ~TcpStream();
+
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /**
+     * Read exactly `size` bytes.  Returns false on orderly EOF *before
+     * the first byte*; EOF after a partial read is a truncated frame
+     * and throws SvcError(Protocol).  A poll timeout (no byte for
+     * `timeoutMs`; <= 0 waits forever) or a socket error throws
+     * SvcError(NetIo).
+     */
+    bool readExact(void *buf, std::size_t size, int timeoutMs = -1);
+
+    /**
+     * Wait up to `timeoutMs` for the stream to become readable (data
+     * or EOF).  True when a subsequent read would not block, false on
+     * timeout — the session loop's cancel-poll tick.  Throws
+     * SvcError(NetIo) on poll errors.
+     */
+    bool waitReadable(int timeoutMs);
+
+    /** Write all `size` bytes; throws SvcError(NetIo) on failure. */
+    void writeAll(const void *buf, std::size_t size);
+
+    /** Close now (also done by the destructor). */
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/** A listening TCP socket bound to 127.0.0.1 (the service is local-
+ *  machine by design; fronting it with real routing is future work). */
+class TcpListener
+{
+  public:
+    /**
+     * Bind and listen on `port`; 0 picks an ephemeral port, readable
+     * back via port() — how tests and the CI smoke job avoid
+     * collisions.  Throws SvcError(NetIo) on failure.
+     */
+    explicit TcpListener(std::uint16_t port);
+
+    TcpListener(TcpListener &&other) noexcept;
+    TcpListener &operator=(TcpListener &&) = delete;
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+    ~TcpListener();
+
+    /** The bound port (resolves an ephemeral request). */
+    std::uint16_t port() const { return boundPort; }
+
+    /**
+     * Accept one connection, waiting at most `timeoutMs` (<= 0 waits
+     * forever).  Returns nullopt on timeout — the server's cancel-poll
+     * tick — and throws SvcError(NetIo) on socket errors.  Returns
+     * nullopt after close() as well, so a concurrent shutdown reads as
+     * a quiet tick instead of an error.
+     */
+    std::optional<TcpStream> accept(int timeoutMs);
+
+    /** Stop accepting; subsequent accept() calls return nullopt.
+     *  Safe to call while another thread is blocked in accept() — that
+     *  is the server's shutdown path — which is why the fd is atomic:
+     *  close() publishes the -1 before releasing the descriptor. */
+    void close();
+
+  private:
+    std::atomic<int> fd_{-1};
+    std::uint16_t boundPort = 0;
+};
+
+} // namespace fo4::util
+
+#endif // FO4_UTIL_NET_HH

@@ -34,10 +34,31 @@ errorCodeName(ErrorCode code)
         return "ResumeMismatch";
       case ErrorCode::Cancelled:
         return "Cancelled";
+      case ErrorCode::NetIo:
+        return "NetIo";
+      case ErrorCode::Protocol:
+        return "Protocol";
+      case ErrorCode::Overloaded:
+        return "Overloaded";
+      case ErrorCode::NotFound:
+        return "NotFound";
+      case ErrorCode::NotReady:
+        return "NotReady";
       case ErrorCode::Internal:
         return "Internal";
     }
     return "Unknown";
+}
+
+ErrorCode
+errorCodeFromName(const std::string &name)
+{
+    for (int i = 0; i <= static_cast<int>(ErrorCode::Internal); ++i) {
+        const auto code = static_cast<ErrorCode>(i);
+        if (name == errorCodeName(code))
+            return code;
+    }
+    return ErrorCode::Internal;
 }
 
 std::string
@@ -96,6 +117,12 @@ JournalError::JournalError(ErrorCode code, const std::string &message)
                    code == ErrorCode::ResumeMismatch,
                "JournalError built with non-journal code %s",
                errorCodeName(code));
+}
+
+SvcError::SvcError(ErrorCode code, const std::string &message)
+    : SimError(code, message)
+{
+    FO4_ASSERT(code != ErrorCode::Ok, "SvcError built with code Ok");
 }
 
 std::string

@@ -47,11 +47,24 @@ enum class ErrorCode
     JournalCorrupt, ///< mid-file record damage (CRC or framing)
     ResumeMismatch, ///< journal identity differs from the run's inputs
     Cancelled,     ///< work stopped by a cooperative cancellation request
+    NetIo,         ///< socket create/connect/read/write failure or timeout
+    Protocol,      ///< malformed, corrupt or unrecognized wire frame
+    Overloaded,    ///< admission control refused the request (queue full)
+    NotFound,      ///< request names a job id the service does not know
+    NotReady,      ///< results requested before the job finished
     Internal,      ///< unexpected failure escaping a lower layer
 };
 
 /** Stable name of a code ("InvalidConfig", ...); never null. */
 const char *errorCodeName(ErrorCode code);
+
+/**
+ * Inverse of errorCodeName: the code whose stable name is `name`, or
+ * Internal when the name is unknown (a peer speaking a newer protocol
+ * may name codes this build has never heard of; degrading them to
+ * Internal keeps the error typed without inventing meaning).
+ */
+ErrorCode errorCodeFromName(const std::string &name);
 
 /** The outcome of an operation: Ok, or a code plus a message. */
 class [[nodiscard]] Status
@@ -153,6 +166,19 @@ class JournalError : public SimError
     /** `code` must be one of JournalIo / JournalFormat / JournalCorrupt
      *  / ResumeMismatch. */
     JournalError(ErrorCode code, const std::string &message);
+};
+
+/**
+ * A sweep-service failure: transport trouble (NetIo), a frame that
+ * cannot be trusted (Protocol), an admission refusal (Overloaded), or a
+ * job-lifecycle error (NotFound / NotReady).  The client also uses it
+ * to rethrow errors the *server* reported, preserving the remote code —
+ * so, unlike TraceError/JournalError, any non-Ok code is permitted.
+ */
+class SvcError : public SimError
+{
+  public:
+    SvcError(ErrorCode code, const std::string &message);
 };
 
 /**
