@@ -2,12 +2,13 @@
  * @file
  * fo4ctl — command-line client of the sweep service.
  *
- *   ./fo4ctl submit [host= port=] [sweep keys] [wait=1 out=file]
- *   ./fo4ctl poll   id=<n> [host= port=]
- *   ./fo4ctl fetch  id=<n> [out=file]
- *   ./fo4ctl cancel id=<n>
+ *   ./fo4ctl submit  [host= port=] [sweep keys] [wait=1 out=file]
+ *   ./fo4ctl poll    id=<n> [host= port=]
+ *   ./fo4ctl fetch   id=<n> [out=file]
+ *   ./fo4ctl cancel  id=<n>
  *   ./fo4ctl stats
- *   ./fo4ctl local  [sweep keys] [jobs=n] [out=file]
+ *   ./fo4ctl workers
+ *   ./fo4ctl local   [sweep keys] [jobs=n] [out=file]
  *
  * Sweep keys: bench= (comma list of SPEC 2000 profile names), model=,
  * instructions=, warmup=, prewarm=, cycle_limit=, overhead=, t_useful=
@@ -16,11 +17,21 @@
  * `local` runs the identical request in-process through the same
  * svc::runSweep code path the daemon uses — `cmp` of a fetched result
  * against a local one is the service's byte-identity check (the CI
- * loopback smoke job does exactly that).
+ * loopback smoke job does exactly that).  `workers` asks a coordinator
+ * for its fleet roster.
+ *
+ * Exit codes follow sysexits where the failure is actionable: 75
+ * (EX_TEMPFAIL) for an Overloaded refusal — retry later; 69
+ * (EX_UNAVAILABLE) for NotReady; 66 (EX_NOINPUT) for NotFound; 74
+ * (EX_IOERR) for transport failure after reconnect attempts; 76
+ * (EX_PROTOCOL) for an untrustworthy frame; 130 for Ctrl-C; 1 for
+ * everything else.  `timeout_ms=` bounds every round trip (values <= 0
+ * are refused).
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +47,7 @@ namespace
 const std::vector<fo4::util::KeyDoc> kKeys = {
     {"host", "daemon host (default 127.0.0.1)"},
     {"port", "daemon port (required for remote commands)"},
+    {"timeout_ms", "per-round-trip deadline, milliseconds (> 0)"},
     {"id", "job id (poll / fetch / cancel)"},
     {"out", "write fetched result bytes to this file (default stdout)"},
     {"wait", "submit only: poll until terminal, then fetch"},
@@ -162,8 +174,43 @@ connectFromConfig(const fo4::util::Config &cfg)
     }
     const auto port =
         static_cast<std::uint16_t>(cfg.getPositiveInt("port", 0));
-    return fo4::svc::Client(host, port);
+    fo4::svc::Client::Options options;
+    // getPositiveInt refuses timeout_ms=0 and negatives outright — a
+    // zero deadline would mean "fail instantly", never what's wanted.
+    if (cfg.has("timeout_ms")) {
+        const auto t =
+            static_cast<int>(cfg.getPositiveInt("timeout_ms", 0));
+        options.ioTimeoutMs = t;
+        options.connectTimeoutMs = t;
+    }
+    return fo4::svc::Client(host, port, options);
 }
+
+/** sysexits-style mapping of the remote/transport verdicts a script
+ *  wants to branch on; anything unmapped keeps runTopLevel's generic
+ *  exit 1. */
+std::optional<int>
+exitCodeFor(fo4::util::ErrorCode code)
+{
+    using fo4::util::ErrorCode;
+    switch (code) {
+    case ErrorCode::Overloaded:
+        return 75; // EX_TEMPFAIL: queue full, retry later
+    case ErrorCode::NotReady:
+        return 69; // EX_UNAVAILABLE: job still running
+    case ErrorCode::NotFound:
+        return 66; // EX_NOINPUT: no such job / worker
+    case ErrorCode::NetIo:
+        return 74; // EX_IOERR: transport failed even after reconnects
+    case ErrorCode::Protocol:
+        return 76; // EX_PROTOCOL: untrustworthy frame
+    default:
+        return std::nullopt;
+    }
+}
+
+int remoteMain(const fo4::util::Config &cfg,
+               const std::string &command);
 
 int
 ctlMain(int argc, char **argv)
@@ -173,8 +220,8 @@ ctlMain(int argc, char **argv)
     cfg.checkKnown(kKeys);
     if (cfg.positional().empty()) {
         throw util::ConfigError(
-            "usage: fo4ctl <submit|poll|fetch|cancel|stats|local> "
-            "[key=value ...] (--help lists the keys)");
+            "usage: fo4ctl <submit|poll|fetch|cancel|stats|workers"
+            "|local> [key=value ...] (--help lists the keys)");
     }
     const std::string command = cfg.positional().front();
 
@@ -195,11 +242,28 @@ ctlMain(int argc, char **argv)
     }
 
     if (command != "submit" && command != "poll" && command != "fetch" &&
-        command != "cancel" && command != "stats") {
+        command != "cancel" && command != "stats" &&
+        command != "workers") {
         throw util::ConfigError("unknown command '" + command +
                                 "' (want submit, poll, fetch, cancel, "
-                                "stats or local)");
+                                "stats, workers or local)");
     }
+    try {
+        return remoteMain(cfg, command);
+    } catch (const util::SvcError &e) {
+        if (const auto code = exitCodeFor(e.code())) {
+            std::fprintf(stderr, "error [%s]: %s\n",
+                         util::errorCodeName(e.code()), e.what());
+            return *code;
+        }
+        throw; // runTopLevel prints it and exits 1
+    }
+}
+
+int
+remoteMain(const fo4::util::Config &cfg, const std::string &command)
+{
+    using namespace fo4;
     svc::Client client = connectFromConfig(cfg);
     if (command == "submit") {
         const auto [id, cells] =
@@ -223,6 +287,26 @@ ctlMain(int argc, char **argv)
     }
     if (command == "cancel") {
         printStatus(client.cancel(requiredId(cfg)));
+        return 0;
+    }
+    if (command == "workers") {
+        const auto fleet = client.workers();
+        if (fleet.empty()) {
+            std::printf("no workers registered\n");
+            return 0;
+        }
+        std::printf("%-6s %-20s %-8s %-7s %-10s %s\n", "id", "name",
+                    "state", "leases", "completed", "last-seen");
+        for (const auto &w : fleet) {
+            std::printf("%-6llu %-20s %-8s %-7llu %-10llu %llums ago\n",
+                        static_cast<unsigned long long>(w.id),
+                        w.name.c_str(), svc::workerStateName(w.state),
+                        static_cast<unsigned long long>(w.activeLeases),
+                        static_cast<unsigned long long>(
+                            w.cellsCompleted),
+                        static_cast<unsigned long long>(
+                            w.heartbeatAgeMs));
+        }
         return 0;
     }
     if (command == "stats") {
@@ -255,7 +339,7 @@ ctlMain(int argc, char **argv)
     }
     throw util::ConfigError("unknown command '" + command +
                             "' (want submit, poll, fetch, cancel, "
-                            "stats or local)");
+                            "stats, workers or local)");
 }
 
 } // namespace

@@ -6,12 +6,19 @@
  * and stats to fo4ctl (or any client of svc::Client).
  *
  *   ./fo4d [port=0] [jobs=1] [max_queue=8] [checkpoint_dir=] [verbose=1]
+ *   ./fo4d worker coordinator_port=<n> [coordinator_host=] [name=]
+ *                 [timeout_ms=]
  *
  * port=0 binds an ephemeral port; the bound port is printed on stdout
  * ("fo4d listening on 127.0.0.1:<port>") so scripts can scrape it.
  * SIGINT drains: the listener closes, queued jobs are cancelled, the
  * in-flight sweep stops cooperatively with its journal flushed (so a
  * resubmission after restart resumes), and the process exits 0.
+ *
+ * `worker` mode joins a fo4coord fleet instead of serving clients: the
+ * process dials the coordinator, registers, and pulls cell leases until
+ * SIGINT.  A worker that loses its coordinator reconnects with capped
+ * backoff forever — start workers and coordinator in any order.
  */
 
 #include <sys/stat.h>
@@ -22,6 +29,7 @@
 #include <thread>
 
 #include "svc/server.hh"
+#include "svc/worker.hh"
 #include "util/cancel.hh"
 #include "util/config.hh"
 #include "util/metrics.hh"
@@ -35,7 +43,57 @@ const std::vector<fo4::util::KeyDoc> kKeys = {
     {"max_queue", "queued sweeps admitted before Overloaded refusals"},
     {"checkpoint_dir", "directory for per-sweep journals (empty = none)"},
     {"verbose", "print the metrics registry on exit"},
+    {"coordinator_host", "worker mode: coordinator host (127.0.0.1)"},
+    {"coordinator_port", "worker mode: coordinator port (required)"},
+    {"name", "worker mode: name shown in `fo4ctl workers`"},
+    {"timeout_ms", "worker mode: per-RPC deadline, milliseconds (> 0)"},
 };
+
+int
+workerMain(const fo4::util::Config &cfg)
+{
+    using namespace fo4;
+    svc::WorkerOptions options;
+    options.host = cfg.getString("coordinator_host", "127.0.0.1");
+    if (!cfg.has("coordinator_port")) {
+        throw util::ConfigError(
+            "worker mode needs coordinator_port=<port> (fo4coord "
+            "prints it on startup)");
+    }
+    options.port = static_cast<std::uint16_t>(
+        cfg.getPositiveInt("coordinator_port", 0));
+    options.name = cfg.getString("name", "fo4d-worker");
+    if (cfg.has("timeout_ms")) {
+        const auto t =
+            static_cast<int>(cfg.getPositiveInt("timeout_ms", 0));
+        options.ioTimeoutMs = t;
+        options.connectTimeoutMs = t;
+    }
+
+    util::setMetricsEnabled(true);
+    util::CancelToken cancel;
+    util::installSigintCancel(cancel);
+
+    svc::Worker worker(std::move(options));
+    std::printf("fo4d worker dialing %s:%u as '%s'\n",
+                cfg.getString("coordinator_host", "127.0.0.1").c_str(),
+                static_cast<unsigned>(
+                    cfg.getPositiveInt("coordinator_port", 0)),
+                cfg.getString("name", "fo4d-worker").c_str());
+    std::fflush(stdout);
+
+    while (!cancel.cancelled())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::printf("fo4d worker draining: aborting the in-flight cell\n");
+    worker.stop();
+    worker.join();
+    if (cfg.getBool("verbose", false))
+        util::MetricsRegistry::global().dump(std::cout);
+    std::printf("fo4d worker drained (%llu cells executed)\n",
+                static_cast<unsigned long long>(worker.cellsExecuted()));
+    return 0;
+}
 
 int
 daemonMain(int argc, char **argv)
@@ -43,6 +101,16 @@ daemonMain(int argc, char **argv)
     using namespace fo4;
     const auto cfg = util::Config::fromArgs(argc, argv);
     cfg.checkKnown(kKeys);
+
+    if (!cfg.positional().empty()) {
+        const std::string &mode = cfg.positional().front();
+        if (mode != "worker") {
+            throw util::ConfigError("unknown mode '" + mode +
+                                    "' (only `worker` is a mode; the "
+                                    "default is to serve)");
+        }
+        return workerMain(cfg);
+    }
 
     svc::ServerOptions options;
     options.port =

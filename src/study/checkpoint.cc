@@ -313,13 +313,26 @@ doubleFromBits(std::uint64_t bits)
     return v;
 }
 
-std::string
-encodeCell(std::size_t point, std::size_t job, const BenchResult &r)
+std::vector<BenchJob>
+jobsFromProfiles(const std::vector<trace::BenchmarkProfile> &profiles)
 {
+    std::vector<BenchJob> jobs;
+    jobs.reserve(profiles.size());
+    for (const auto &profile : profiles)
+        jobs.push_back(BenchJob::fromProfile(profile));
+    return jobs;
+}
+
+} // namespace
+
+std::string
+encodeCellRecord(const CellRecord &cell)
+{
+    const BenchResult &r = cell.result;
     std::string out;
     out.reserve(240 + r.name.size() + r.error.message().size());
-    putU32(out, static_cast<std::uint32_t>(point));
-    putU32(out, static_cast<std::uint32_t>(job));
+    putU32(out, static_cast<std::uint32_t>(cell.point));
+    putU32(out, static_cast<std::uint32_t>(cell.job));
     putStr(out, r.name);
     putU32(out, static_cast<std::uint32_t>(r.cls));
     putU64(out, r.sim.instructions);
@@ -350,17 +363,10 @@ encodeCell(std::size_t point, std::size_t job, const BenchResult &r)
     return out;
 }
 
-struct CellRecord
-{
-    std::size_t point = 0;
-    std::size_t job = 0;
-    BenchResult result;
-};
-
 CellRecord
-decodeCell(const std::string &payload, const std::string &path)
+decodeCellRecord(const std::string &payload, const std::string &origin)
 {
-    Cursor c(payload, path);
+    Cursor c(payload, origin);
     CellRecord cell;
     cell.point = c.u32();
     cell.job = c.u32();
@@ -394,18 +400,6 @@ decodeCell(const std::string &payload, const std::string &path)
                             : util::Status(code, message);
     return cell;
 }
-
-std::vector<BenchJob>
-jobsFromProfiles(const std::vector<trace::BenchmarkProfile> &profiles)
-{
-    std::vector<BenchJob> jobs;
-    jobs.reserve(profiles.size());
-    for (const auto &profile : profiles)
-        jobs.push_back(BenchJob::fromProfile(profile));
-    return jobs;
-}
-
-} // namespace
 
 std::uint64_t
 gridFingerprint(const std::vector<GridPoint> &points,
@@ -532,7 +526,7 @@ CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
             lastReport.resumed = true;
             lastReport.tornTailDiscarded = recovered.tornTail;
             for (const auto &record : recovered.records) {
-                auto cell = decodeCell(record, opts.journalPath);
+                auto cell = decodeCellRecord(record, opts.journalPath);
                 if (cell.point >= points.size() || cell.job >= nJobs) {
                     throw util::JournalError(
                         util::ErrorCode::JournalCorrupt,
@@ -558,6 +552,23 @@ CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
         }
     }
 
+    // --- fabric seeds: cells completed elsewhere land in their slots
+    // exactly like replayed records.  Journal-restored slots win the
+    // tie — both sources hold byte-identical results for a cell.
+    for (const auto &cell : opts.seedCells) {
+        if (cell.point >= points.size() || cell.job >= nJobs) {
+            throw util::ConfigError(util::strprintf(
+                "seed cell (%zu, %zu) outside the %zux%zu grid",
+                cell.point, cell.job, points.size(), nJobs));
+        }
+        auto &slot = done[cell.point * nJobs + cell.job];
+        if (slot)
+            continue;
+        slot = 1;
+        ++lastReport.seededCells;
+        results[cell.point].benchmarks[cell.job] = cell.result;
+    }
+
     std::mutex reportMutex;
     const auto flushJournal = [&] {
         std::lock_guard<std::mutex> lock(journalMutex);
@@ -568,8 +579,9 @@ CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
     // to get the rest.  Thrown from both cancel exits so the resume
     // hint survives no matter which cell noticed the request first.
     const auto cancelSummary = [&] {
-        const std::size_t complete =
-            lastReport.replayedCells + lastReport.executedCells;
+        const std::size_t complete = lastReport.replayedCells +
+                                     lastReport.seededCells +
+                                     lastReport.executedCells;
         return util::strprintf(
             "sweep cancelled with %zu of %zu cells complete%s",
             complete, lastReport.totalCells,
@@ -622,8 +634,8 @@ CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
         {
             std::lock_guard<std::mutex> lock(journalMutex);
             if (writer)
-                writer->append(
-                    encodeCell(p, j, results[p].benchmarks[j]));
+                writer->append(encodeCellRecord(
+                    {p, j, results[p].benchmarks[j]}));
         }
         static util::MetricCounter &cellsExecuted =
             util::MetricsRegistry::global().counter(

@@ -92,6 +92,31 @@ struct RetryPolicy
     util::Status validate() const;
 };
 
+/**
+ * One completed grid cell keyed by its slot — the unit the journal
+ * stores and the sweep fabric ships between processes.
+ */
+struct CellRecord
+{
+    std::size_t point = 0;
+    std::size_t job = 0;
+    BenchResult result;
+};
+
+/**
+ * Binary little-endian payload of one cell: slot key, simulation
+ * counters, doubles as raw bit patterns — so a decoded BenchResult is
+ * bit-for-bit the one encoded.  This is both the journal record format
+ * (util::Journal payloads) and the wire format of a fabric CellDone.
+ */
+std::string encodeCellRecord(const CellRecord &cell);
+
+/** Inverse of encodeCellRecord; `origin` names the journal file or
+ *  peer for error text.  Throws JournalError(JournalCorrupt) on a
+ *  truncated or oversize payload. */
+CellRecord decodeCellRecord(const std::string &payload,
+                            const std::string &origin);
+
 /** Knobs of the checkpointed runner. */
 struct CheckpointOptions
 {
@@ -123,6 +148,16 @@ struct CheckpointOptions
      */
     std::function<void(std::size_t point, std::size_t job, int attempt)>
         onAttempt;
+
+    /**
+     * Cells completed elsewhere (e.g. by fleet workers), landed in
+     * their slots before execution exactly like replayed journal
+     * records.  Slots the journal already restored win the tie — both
+     * sources hold byte-identical results for a cell, so the skip is
+     * an economy, not a choice.  Seeds are *not* re-journaled: the
+     * process that produced them already holds their durable record.
+     */
+    std::vector<CellRecord> seedCells;
 };
 
 /** Wall-clock profile of one executed (not replayed) cell. */
@@ -141,6 +176,8 @@ struct CheckpointReport
     std::size_t totalCells = 0;
     /** Cells restored from the journal instead of simulated. */
     std::size_t replayedCells = 0;
+    /** Cells landed from CheckpointOptions::seedCells. */
+    std::size_t seededCells = 0;
     /** Cells simulated (to completion) by this run. */
     std::size_t executedCells = 0;
     /** Extra attempts beyond each cell's first (retry activity). */

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace fo4::svc
 {
@@ -11,33 +12,82 @@ namespace fo4::svc
 using util::ErrorCode;
 using util::SvcError;
 
-Client::Client(const std::string &host, std::uint16_t port, int timeoutMs)
-    : stream(util::TcpStream::connect(host, port)), timeoutMs(timeoutMs)
+Client::Client(const std::string &hostIn, std::uint16_t portIn,
+               Options options)
+    : host(hostIn), port(portIn), opts(std::move(options))
+{
+    if (opts.connectTimeoutMs <= 0 || opts.ioTimeoutMs <= 0) {
+        throw util::ConfigError(
+            "client timeouts must be positive milliseconds");
+    }
+    if (const auto st = opts.retry.validate(); !st.isOk())
+        throw util::ConfigError("reconnect policy: " + st.message());
+    stream = util::TcpStream::connect(host, port, opts.connectTimeoutMs);
+}
+
+Client::Client(const std::string &hostIn, std::uint16_t portIn)
+    : Client(hostIn, portIn, Options{})
+{
+}
+
+Client::Client(const std::string &hostIn, std::uint16_t portIn,
+               int timeoutMs)
+    : Client(hostIn, portIn, Options{.ioTimeoutMs = timeoutMs})
 {
 }
 
 Frame
-Client::roundTrip(MsgType type, std::string_view body)
+Client::roundTrip(MsgType type, std::string_view body, bool idempotent)
 {
-    writeFrame(stream, type, body);
-    const std::optional<Frame> response = readFrame(stream, timeoutMs);
-    if (!response) {
-        throw SvcError(ErrorCode::NetIo,
-                       "server closed the connection without replying");
+    auto &reconnects =
+        util::MetricsRegistry::global().counter("svc.client.reconnects");
+    for (int attempt = 1;; ++attempt) {
+        bool wrote = false;
+        try {
+            if (!stream.connected()) {
+                stream = util::TcpStream::connect(host, port,
+                                                  opts.connectTimeoutMs);
+            }
+            writeFrame(stream, type, body, opts.ioTimeoutMs);
+            wrote = true;
+            const std::optional<Frame> response =
+                readFrame(stream, opts.ioTimeoutMs);
+            if (!response) {
+                throw SvcError(
+                    ErrorCode::NetIo,
+                    "server closed the connection without replying");
+            }
+            if (response->type == MsgType::Error) {
+                // Preserve the remote verdict: the caller handles a
+                // server-side Overloaded/NotFound/Deadlock exactly like
+                // a local one.  A verdict is never transport trouble,
+                // so it is never retried.
+                const auto [code, message] = decodeError(response->body);
+                throw SvcError(code, message);
+            }
+            return *response;
+        } catch (const SvcError &e) {
+            if (e.code() != ErrorCode::NetIo)
+                throw;
+            stream.close();
+            // A submit whose bytes reached the wire may already be
+            // queued server-side; resubmitting would run it twice.
+            if (!opts.reconnect || attempt >= opts.retry.maxAttempts ||
+                (wrote && !idempotent))
+                throw;
+            reconnects.inc();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    opts.retry.delayMs(attempt + 1, /*cellKey=*/0)));
+        }
     }
-    if (response->type == MsgType::Error) {
-        // Preserve the remote verdict: the caller handles a server-side
-        // Overloaded/NotFound/Deadlock exactly like a local one.
-        const auto [code, message] = decodeError(response->body);
-        throw SvcError(code, message);
-    }
-    return *response;
 }
 
 Frame
-Client::expect(MsgType type, std::string_view body, MsgType want)
+Client::expect(MsgType type, std::string_view body, MsgType want,
+               bool idempotent)
 {
-    Frame response = roundTrip(type, body);
+    Frame response = roundTrip(type, body, idempotent);
     if (response.type != want) {
         throw SvcError(ErrorCode::Protocol,
                        util::strprintf(
@@ -52,7 +102,8 @@ std::pair<std::uint64_t, std::uint64_t>
 Client::submit(const SweepRequest &request)
 {
     const Frame response = expect(MsgType::SubmitSweep, request.encode(),
-                                  MsgType::SubmitOk);
+                                  MsgType::SubmitOk,
+                                  /*idempotent=*/false);
     return decodeSubmitOk(response.body);
 }
 
@@ -86,6 +137,14 @@ Client::stats()
     const Frame response =
         expect(MsgType::Stats, std::string_view{}, MsgType::StatsReport);
     return StatsSnapshot::decode(response.body);
+}
+
+std::vector<WorkerSnapshot>
+Client::workers()
+{
+    const Frame response = expect(MsgType::Workers, std::string_view{},
+                                  MsgType::WorkerReport);
+    return WorkerSnapshot::decodeList(response.body);
 }
 
 JobStatusInfo

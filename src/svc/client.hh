@@ -9,6 +9,15 @@
  * and so on, so callers handle remote failures with the same typed
  * dispatch they use for local ones.  Transport trouble is
  * SvcError(NetIo); a frame that cannot be trusted, SvcError(Protocol).
+ *
+ * Resilience: with Options::reconnect (the default), transport
+ * failures cost a capped-backoff reconnect cycle instead of the call —
+ * a `fo4ctl poll` loop rides out a daemon restart.  The retry guard is
+ * idempotency-aware: poll/fetch/cancel/stats/workers re-send freely,
+ * but a submit whose request already reached the wire is *never*
+ * retried (the daemon may have accepted it; resubmitting would enqueue
+ * the sweep twice).  Error frames are verdicts, not transport trouble,
+ * and are never retried.
  */
 
 #ifndef FO4_SVC_CLIENT_HH
@@ -17,7 +26,9 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "study/checkpoint.hh"
 #include "svc/protocol.hh"
 #include "util/net.hh"
 
@@ -28,9 +39,36 @@ namespace fo4::svc
 class Client
 {
   public:
-    /** Connect to a daemon; throws SvcError(NetIo) on failure. */
-    Client(const std::string &host, std::uint16_t port,
-           int timeoutMs = 30000);
+    /** Knobs of a client connection. */
+    struct Options
+    {
+        /** Deadline for establishing (or re-establishing) the TCP
+         *  connection; must be > 0. */
+        int connectTimeoutMs = 5000;
+        /** Per-round-trip read/write deadline; must be > 0. */
+        int ioTimeoutMs = 30000;
+        /** Reconnect-and-retry on transport failure (idempotent
+         *  requests only once bytes have hit the wire). */
+        bool reconnect = true;
+        /** Backoff between reconnect attempts; maxAttempts bounds the
+         *  total tries of one call (including the first). */
+        study::RetryPolicy retry{
+            .maxAttempts = 5,
+            .baseDelayMs = 100.0,
+            .backoffFactor = 2.0,
+            .maxDelayMs = 2000.0,
+        };
+    };
+
+    /** Connect to a daemon; throws SvcError(NetIo) on failure and
+     *  ConfigError on out-of-range options. */
+    Client(const std::string &host, std::uint16_t port, Options options);
+
+    /** Default options. */
+    Client(const std::string &host, std::uint16_t port);
+
+    /** Legacy shape: `timeoutMs` is the per-round-trip deadline. */
+    Client(const std::string &host, std::uint16_t port, int timeoutMs);
 
     /** Submit a sweep.  Returns (job id, total grid cells); rethrows
      *  the server's refusal (Overloaded, InvalidConfig, ...). */
@@ -51,6 +89,10 @@ class Client
     /** The service's live gauges and metrics snapshot. */
     StatsSnapshot stats();
 
+    /** The coordinator's fleet roster; a plain fo4d answers with a
+     *  Protocol error (it serves no fleet). */
+    std::vector<WorkerSnapshot> workers();
+
     /**
      * Poll until the job is terminal, sleeping `pollMs` between polls
      * and reporting each status to `onStatus` (may be empty).  Returns
@@ -62,12 +104,17 @@ class Client
                       &onStatus = {});
 
   private:
-    /** Send `type`+`body`, read one response, rethrow Error frames. */
-    Frame roundTrip(MsgType type, std::string_view body);
-    Frame expect(MsgType type, std::string_view body, MsgType want);
+    /** Send `type`+`body`, read one response, rethrow Error frames.
+     *  `idempotent` requests survive transport failure via reconnect
+     *  even after their bytes hit the wire. */
+    Frame roundTrip(MsgType type, std::string_view body, bool idempotent);
+    Frame expect(MsgType type, std::string_view body, MsgType want,
+                 bool idempotent = true);
 
+    std::string host;
+    std::uint16_t port;
+    Options opts;
     util::TcpStream stream;
-    int timeoutMs;
 };
 
 } // namespace fo4::svc

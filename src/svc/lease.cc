@@ -1,0 +1,196 @@
+#include "svc/lease.hh"
+
+#include "util/logging.hh"
+
+namespace fo4::svc
+{
+
+CellScheduler::CellScheduler(std::size_t points, std::size_t jobs)
+    : nJobs(jobs), states(points * jobs, State::Pending)
+{
+    FO4_ASSERT(points >= 1 && jobs >= 1,
+               "a sweep grid has at least one cell");
+    for (std::size_t i = 0; i < states.size(); ++i)
+        pending.push_back(i);
+}
+
+std::size_t
+CellScheduler::index(std::size_t point, std::size_t job) const
+{
+    FO4_ASSERT(job < nJobs && point * nJobs + job < states.size(),
+               "cell (%zu, %zu) outside the grid", point, job);
+    return point * nJobs + job;
+}
+
+void
+CellScheduler::markDone(std::size_t point, std::size_t job)
+{
+    const std::size_t i = index(point, job);
+    if (states[i] == State::Done)
+        return;
+    FO4_ASSERT(states[i] == State::Pending,
+               "markDone on a leased cell (%zu, %zu)", point, job);
+    // Lazy removal: grant() skips non-pending queue entries, so the
+    // stale index left in `pending` costs one pop, not an O(n) erase.
+    states[i] = State::Done;
+    ++nDone;
+}
+
+std::optional<CellScheduler::CellKey>
+CellScheduler::grant(std::uint64_t workerId, FabricTime expiry)
+{
+    while (!pending.empty()) {
+        const std::size_t i = pending.front();
+        pending.pop_front();
+        if (states[i] != State::Pending)
+            continue; // lazily-removed (markDone raced the queue)
+        states[i] = State::Leased;
+        leases[i] = Lease{workerId, expiry};
+        return CellKey{i / nJobs, i % nJobs};
+    }
+    return std::nullopt;
+}
+
+bool
+CellScheduler::complete(std::size_t point, std::size_t job)
+{
+    const std::size_t i = index(point, job);
+    if (states[i] == State::Done)
+        return false; // duplicate: a lease raced its re-dispatch
+    states[i] = State::Done;
+    ++nDone;
+    leases.erase(i); // no-op for a revoked (re-pended) lease
+    return true;
+}
+
+std::size_t
+CellScheduler::reclaimExpired(FabricTime now)
+{
+    std::size_t reclaimed = 0;
+    for (auto it = leases.begin(); it != leases.end();) {
+        if (it->second.expiry <= now) {
+            states[it->first] = State::Pending;
+            pending.push_back(it->first);
+            it = leases.erase(it);
+            ++reclaimed;
+        } else {
+            ++it;
+        }
+    }
+    return reclaimed;
+}
+
+std::size_t
+CellScheduler::reclaimWorker(std::uint64_t workerId)
+{
+    std::size_t reclaimed = 0;
+    for (auto it = leases.begin(); it != leases.end();) {
+        if (it->second.workerId == workerId) {
+            states[it->first] = State::Pending;
+            pending.push_back(it->first);
+            it = leases.erase(it);
+            ++reclaimed;
+        } else {
+            ++it;
+        }
+    }
+    return reclaimed;
+}
+
+std::vector<CellScheduler::CellKey>
+CellScheduler::drainPending()
+{
+    std::vector<CellKey> drained;
+    while (!pending.empty()) {
+        const std::size_t i = pending.front();
+        pending.pop_front();
+        if (states[i] != State::Pending)
+            continue;
+        drained.push_back(CellKey{i / nJobs, i % nJobs});
+    }
+    return drained;
+}
+
+std::uint64_t
+CellScheduler::activeLeases(std::uint64_t workerId) const
+{
+    std::uint64_t n = 0;
+    for (const auto &[i, lease] : leases) {
+        if (lease.workerId == workerId)
+            ++n;
+    }
+    return n;
+}
+
+WorkerTable::WorkerTable(Timing timing) : times(timing)
+{
+    FO4_ASSERT(times.suspectAfterMs <= times.deadAfterMs,
+               "a worker must turn Suspect no later than Dead");
+}
+
+std::uint64_t
+WorkerTable::registerWorker(std::string name, std::uint64_t threads,
+                            FabricTime now)
+{
+    const std::uint64_t id = nextId++;
+    Worker w;
+    w.name = std::move(name);
+    w.threads = threads;
+    w.lastSeen = now;
+    workers.emplace(id, std::move(w));
+    return id;
+}
+
+bool
+WorkerTable::touch(std::uint64_t id, FabricTime now)
+{
+    const auto it = workers.find(id);
+    if (it == workers.end() || it->second.state == WorkerState::Dead)
+        return false;
+    it->second.lastSeen = now;
+    it->second.state = WorkerState::Live; // a late suspect revives
+    return true;
+}
+
+std::vector<std::uint64_t>
+WorkerTable::newlyDead(FabricTime now)
+{
+    std::vector<std::uint64_t> died;
+    for (auto &[id, w] : workers) {
+        if (w.state == WorkerState::Dead)
+            continue;
+        const auto silence =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - w.lastSeen)
+                .count();
+        if (silence >= static_cast<long long>(times.deadAfterMs)) {
+            w.state = WorkerState::Dead;
+            died.push_back(id);
+        } else if (silence >=
+                   static_cast<long long>(times.suspectAfterMs)) {
+            w.state = WorkerState::Suspect;
+        }
+    }
+    return died;
+}
+
+std::size_t
+WorkerTable::liveCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, w] : workers) {
+        if (w.state != WorkerState::Dead)
+            ++n;
+    }
+    return n;
+}
+
+void
+WorkerTable::recordCompletion(std::uint64_t id)
+{
+    const auto it = workers.find(id);
+    if (it != workers.end())
+        ++it->second.cellsCompleted;
+}
+
+} // namespace fo4::svc

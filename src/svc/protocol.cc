@@ -151,12 +151,23 @@ msgTypeKnown(std::uint16_t raw)
       case MsgType::FetchResults:
       case MsgType::Cancel:
       case MsgType::Stats:
+      case MsgType::Workers:
+      case MsgType::WorkerHello:
+      case MsgType::LeaseRequest:
+      case MsgType::CellDone:
+      case MsgType::Heartbeat:
       case MsgType::SubmitOk:
       case MsgType::JobStatus:
       case MsgType::Results:
       case MsgType::CancelOk:
       case MsgType::StatsReport:
       case MsgType::Error:
+      case MsgType::HelloOk:
+      case MsgType::CellLease:
+      case MsgType::NoWork:
+      case MsgType::DoneOk:
+      case MsgType::HeartbeatOk:
+      case MsgType::WorkerReport:
         return true;
     }
     return false;
@@ -255,10 +266,11 @@ readFrame(util::TcpStream &stream, int timeoutMs)
 }
 
 void
-writeFrame(util::TcpStream &stream, MsgType type, std::string_view body)
+writeFrame(util::TcpStream &stream, MsgType type, std::string_view body,
+           int timeoutMs)
 {
     const std::string frame = encodeFrame(type, body);
-    stream.writeAll(frame.data(), frame.size());
+    stream.writeAll(frame.data(), frame.size(), timeoutMs);
 }
 
 std::string
@@ -471,6 +483,8 @@ JobStatusInfo::encode() const
                            static_cast<unsigned long long>(cellsTotal));
     out += util::strprintf("cells_started=%llu\n",
                            static_cast<unsigned long long>(cellsStarted));
+    out += util::strprintf("cells_done=%llu\n",
+                           static_cast<unsigned long long>(cellsDone));
     out += std::string("error_code=") + util::errorCodeName(errorCode) +
            "\n";
     out += "error_message=" + escapeField(errorMessage) + "\n";
@@ -495,6 +509,8 @@ JobStatusInfo::decode(std::string_view body)
             info.cellsTotal = parseU64(value, "cells_total");
         else if (key == "cells_started")
             info.cellsStarted = parseU64(value, "cells_started");
+        else if (key == "cells_done")
+            info.cellsDone = parseU64(value, "cells_done");
         else if (key == "error_code")
             info.errorCode = util::errorCodeFromName(std::string(value));
         else if (key == "error_message")
@@ -598,6 +614,308 @@ StatsSnapshot::decode(std::string_view body)
                           "'");
     }
     return s;
+}
+
+std::string
+WorkerHelloInfo::encode() const
+{
+    return util::strprintf("name=%s\nthreads=%llu\n",
+                           escapeField(name).c_str(),
+                           static_cast<unsigned long long>(threads));
+}
+
+WorkerHelloInfo
+WorkerHelloInfo::decode(std::string_view body)
+{
+    WorkerHelloInfo info;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key == "name")
+            info.name = unescapeField(value);
+        else if (key == "threads")
+            info.threads = parseU64(value, "threads");
+        else
+            throwProtocol("unknown hello field '" + std::string(key) +
+                          "'");
+    }
+    if (info.threads == 0)
+        throwProtocol("worker hello declares zero threads");
+    return info;
+}
+
+std::string
+HelloOkInfo::encode() const
+{
+    return util::strprintf(
+        "worker_id=%llu\nheartbeat_ms=%llu\nlease_timeout_ms=%llu\n",
+        static_cast<unsigned long long>(workerId),
+        static_cast<unsigned long long>(heartbeatMs),
+        static_cast<unsigned long long>(leaseTimeoutMs));
+}
+
+HelloOkInfo
+HelloOkInfo::decode(std::string_view body)
+{
+    HelloOkInfo info;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key == "worker_id")
+            info.workerId = parseU64(value, "worker_id");
+        else if (key == "heartbeat_ms")
+            info.heartbeatMs = parseU64(value, "heartbeat_ms");
+        else if (key == "lease_timeout_ms")
+            info.leaseTimeoutMs = parseU64(value, "lease_timeout_ms");
+        else
+            throwProtocol("unknown hello-ok field '" + std::string(key) +
+                          "'");
+    }
+    return info;
+}
+
+std::string
+CellLeaseInfo::encode() const
+{
+    return util::strprintf(
+        "sweep=%llu\npoint=%llu\njob=%llu\nrequest=%s\n",
+        static_cast<unsigned long long>(sweep),
+        static_cast<unsigned long long>(point),
+        static_cast<unsigned long long>(job),
+        escapeField(requestBody).c_str());
+}
+
+CellLeaseInfo
+CellLeaseInfo::decode(std::string_view body)
+{
+    CellLeaseInfo info;
+    bool sawRequest = false;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key == "sweep")
+            info.sweep = parseU64(value, "sweep");
+        else if (key == "point")
+            info.point = parseU64(value, "point");
+        else if (key == "job")
+            info.job = parseU64(value, "job");
+        else if (key == "request") {
+            info.requestBody = unescapeField(value);
+            sawRequest = true;
+        } else
+            throwProtocol("unknown lease field '" + std::string(key) +
+                          "'");
+    }
+    if (!sawRequest)
+        throwProtocol("cell lease has no request body");
+    return info;
+}
+
+std::string
+CellDoneInfo::encode() const
+{
+    // The escaped payload is still binary (escapeField keeps everything
+    // but backslash/newline/tab verbatim, NUL bytes included), so it
+    // must be appended as bytes — %s would stop at the first NUL.
+    std::string body = util::strprintf(
+        "worker_id=%llu\nsweep=%llu\npoint=%llu\njob=%llu\ncell=",
+        static_cast<unsigned long long>(workerId),
+        static_cast<unsigned long long>(sweep),
+        static_cast<unsigned long long>(point),
+        static_cast<unsigned long long>(job));
+    body += escapeField(cellPayload);
+    body += '\n';
+    return body;
+}
+
+CellDoneInfo
+CellDoneInfo::decode(std::string_view body)
+{
+    CellDoneInfo info;
+    bool sawCell = false;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key == "worker_id")
+            info.workerId = parseU64(value, "worker_id");
+        else if (key == "sweep")
+            info.sweep = parseU64(value, "sweep");
+        else if (key == "point")
+            info.point = parseU64(value, "point");
+        else if (key == "job")
+            info.job = parseU64(value, "job");
+        else if (key == "cell") {
+            info.cellPayload = unescapeField(value);
+            sawCell = true;
+        } else
+            throwProtocol("unknown cell-done field '" + std::string(key) +
+                          "'");
+    }
+    if (!sawCell)
+        throwProtocol("cell-done has no cell payload");
+    return info;
+}
+
+const char *
+workerStateName(WorkerState state)
+{
+    switch (state) {
+      case WorkerState::Live:
+        return "Live";
+      case WorkerState::Suspect:
+        return "Suspect";
+      case WorkerState::Dead:
+        return "Dead";
+    }
+    return "Unknown";
+}
+
+WorkerState
+workerStateFromName(const std::string &name)
+{
+    for (const WorkerState s :
+         {WorkerState::Live, WorkerState::Suspect, WorkerState::Dead}) {
+        if (name == workerStateName(s))
+            return s;
+    }
+    throwProtocol("unknown worker state '" + name + "'");
+}
+
+std::string
+WorkerSnapshot::encodeList(const std::vector<WorkerSnapshot> &rows)
+{
+    std::string out;
+    for (const auto &w : rows) {
+        out += util::strprintf(
+            "worker=%llu\t%s\t%s\t%llu\t%llu\t%llu\n",
+            static_cast<unsigned long long>(w.id),
+            escapeField(w.name).c_str(), workerStateName(w.state),
+            static_cast<unsigned long long>(w.activeLeases),
+            static_cast<unsigned long long>(w.cellsCompleted),
+            static_cast<unsigned long long>(w.heartbeatAgeMs));
+    }
+    return out;
+}
+
+std::vector<WorkerSnapshot>
+WorkerSnapshot::decodeList(std::string_view body)
+{
+    std::vector<WorkerSnapshot> rows;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [key, value] = splitKeyValue(line);
+        if (key != "worker")
+            throwProtocol("unknown worker-report field '" +
+                          std::string(key) + "'");
+        const auto fields = splitTabs(value);
+        if (fields.size() != 6)
+            throwProtocol("worker line takes id, name, state, leases, "
+                          "completed and heartbeat age");
+        WorkerSnapshot w;
+        w.id = parseU64(fields[0], "worker id");
+        w.name = unescapeField(fields[1]);
+        w.state = workerStateFromName(std::string(fields[2]));
+        w.activeLeases = parseU64(fields[3], "active leases");
+        w.cellsCompleted = parseU64(fields[4], "cells completed");
+        w.heartbeatAgeMs = parseU64(fields[5], "heartbeat age");
+        rows.push_back(std::move(w));
+    }
+    return rows;
+}
+
+namespace
+{
+
+/** Shared shape of the one-field numeric bodies. */
+std::string
+encodeOneU64(const char *key, std::uint64_t v)
+{
+    return util::strprintf("%s=%llu\n", key,
+                           static_cast<unsigned long long>(v));
+}
+
+std::uint64_t
+decodeOneU64(std::string_view body, const char *key)
+{
+    std::optional<std::uint64_t> v;
+    for (const auto line : splitLines(body)) {
+        if (line.empty())
+            continue;
+        const auto [k, value] = splitKeyValue(line);
+        if (k != key) {
+            throwProtocol(util::strprintf("unknown %s field '%.*s'", key,
+                                          static_cast<int>(k.size()),
+                                          k.data()));
+        }
+        v = parseU64(value, key);
+    }
+    if (!v)
+        throwProtocol(util::strprintf("body has no %s", key));
+    return *v;
+}
+
+bool
+decodeOneFlag(std::string_view body, const char *key)
+{
+    const std::uint64_t v = decodeOneU64(body, key);
+    if (v > 1)
+        throwProtocol(util::strprintf("%s must be 0 or 1", key));
+    return v != 0;
+}
+
+} // namespace
+
+std::string
+encodeWorkerId(std::uint64_t id)
+{
+    return encodeOneU64("worker_id", id);
+}
+
+std::uint64_t
+decodeWorkerId(std::string_view body)
+{
+    return decodeOneU64(body, "worker_id");
+}
+
+std::string
+encodeRetryMs(std::uint64_t retryMs)
+{
+    return encodeOneU64("retry_ms", retryMs);
+}
+
+std::uint64_t
+decodeRetryMs(std::string_view body)
+{
+    return decodeOneU64(body, "retry_ms");
+}
+
+std::string
+encodeAccepted(bool accepted)
+{
+    return encodeOneU64("accepted", accepted ? 1 : 0);
+}
+
+bool
+decodeAccepted(std::string_view body)
+{
+    return decodeOneFlag(body, "accepted");
+}
+
+std::string
+encodeKnown(bool known)
+{
+    return encodeOneU64("known", known ? 1 : 0);
+}
+
+bool
+decodeKnown(std::string_view body)
+{
+    return decodeOneFlag(body, "known");
 }
 
 std::string

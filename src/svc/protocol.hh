@@ -51,8 +51,10 @@
 namespace fo4::svc
 {
 
-/** Protocol version spoken by this build; mismatches are refused. */
-constexpr std::uint16_t kProtocolVersion = 1;
+/** Protocol version spoken by this build; mismatches are refused.
+ *  v2 added the fleet records (worker registration, heartbeats, cell
+ *  leases) and the cells_done progress field of JobStatusInfo. */
+constexpr std::uint16_t kProtocolVersion = 2;
 
 /** Frame header: u32 payload length + u32 payload CRC. */
 constexpr std::size_t kFrameHeaderBytes = 8;
@@ -69,6 +71,13 @@ enum class MsgType : std::uint16_t
     FetchResults = 3, ///< body: "id=<n>"
     Cancel = 4,      ///< body: "id=<n>"
     Stats = 5,       ///< body: empty
+    Workers = 6,     ///< body: empty (coordinator-only fleet report)
+
+    // worker -> coordinator (v2 fleet records)
+    WorkerHello = 16,  ///< body: WorkerHelloInfo::encode()
+    LeaseRequest = 17, ///< body: "worker_id=<n>"
+    CellDone = 18,     ///< body: CellDoneInfo::encode()
+    Heartbeat = 19,    ///< body: "worker_id=<n>"
 
     // server -> client
     SubmitOk = 64,   ///< body: "id=<n>\ncells_total=<n>"
@@ -77,6 +86,14 @@ enum class MsgType : std::uint16_t
     CancelOk = 67,   ///< body: JobStatusInfo::encode() (post-cancel)
     StatsReport = 68, ///< body: StatsSnapshot::encode()
     Error = 69,      ///< body: "code=<name>\nmessage=<escaped>"
+
+    // coordinator -> worker / client (v2 fleet records)
+    HelloOk = 80,      ///< body: HelloOkInfo::encode()
+    CellLease = 81,    ///< body: CellLeaseInfo::encode()
+    NoWork = 82,       ///< body: "retry_ms=<n>"
+    DoneOk = 83,       ///< body: "accepted=<0|1>"
+    HeartbeatOk = 84,  ///< body: "known=<0|1>"
+    WorkerReport = 85, ///< body: WorkerSnapshot::encodeList()
 };
 
 /** Is this raw type word one this build interprets? */
@@ -119,9 +136,10 @@ Frame decodePayload(const FrameHeader &header, std::string_view payload);
  */
 std::optional<Frame> readFrame(util::TcpStream &stream, int timeoutMs);
 
-/** Encode and write one frame. */
+/** Encode and write one frame.  `timeoutMs` bounds the socket write
+ *  (the per-RPC send deadline); <= 0 waits forever. */
 void writeFrame(util::TcpStream &stream, MsgType type,
-                std::string_view body);
+                std::string_view body, int timeoutMs = -1);
 
 // ---------------------------------------------------------------------
 // Body text helpers
@@ -202,6 +220,9 @@ struct JobStatusInfo
     std::uint64_t cellsTotal = 0;
     /** Cells whose first execution attempt has started this run. */
     std::uint64_t cellsStarted = 0;
+    /** Cells whose result is in hand (journaled or merged from a
+     *  worker).  v2 field; decode tolerates its absence. */
+    std::uint64_t cellsDone = 0;
     /** Why the job failed (state == Failed); Ok otherwise. */
     util::ErrorCode errorCode = util::ErrorCode::Ok;
     std::string errorMessage;
@@ -247,6 +268,110 @@ struct StatsSnapshot
     std::string encode() const;
     static StatsSnapshot decode(std::string_view body);
 };
+
+// ---------------------------------------------------------------------
+// Fleet payloads (protocol v2)
+// ---------------------------------------------------------------------
+
+/** WorkerHello body: how a worker introduces itself. */
+struct WorkerHelloInfo
+{
+    std::string name;          ///< free text (escaped on the wire)
+    std::uint64_t threads = 1; ///< cells the worker runs concurrently
+
+    std::string encode() const;
+    static WorkerHelloInfo decode(std::string_view body); ///< throws Protocol
+};
+
+/** HelloOk body: the coordinator's side of the registration contract. */
+struct HelloOkInfo
+{
+    std::uint64_t workerId = 0;
+    /** How often the worker must heartbeat. */
+    std::uint64_t heartbeatMs = 0;
+    /** How long a granted cell may run before its lease expires. */
+    std::uint64_t leaseTimeoutMs = 0;
+
+    std::string encode() const;
+    static HelloOkInfo decode(std::string_view body); ///< throws Protocol
+};
+
+/** CellLease body: one grid cell granted to a worker.  The request is
+ *  the full SweepRequest encoding so a worker needs no prior state —
+ *  it plans the same grid the coordinator did (same fingerprint) and
+ *  runs exactly one (point, job) cell of it. */
+struct CellLeaseInfo
+{
+    std::uint64_t sweep = 0; ///< gridFingerprint of the planned sweep
+    std::uint64_t point = 0;
+    std::uint64_t job = 0;
+    std::string requestBody; ///< SweepRequest::encode() (escaped on wire)
+
+    std::string encode() const;
+    static CellLeaseInfo decode(std::string_view body); ///< throws Protocol
+};
+
+/** CellDone body: a finished cell travelling back to the coordinator.
+ *  The payload is the binary checkpoint cell record (study::CellRecord)
+ *  — the same bytes a journal stores — escaped for the line body. */
+struct CellDoneInfo
+{
+    std::uint64_t workerId = 0;
+    std::uint64_t sweep = 0;
+    std::uint64_t point = 0;
+    std::uint64_t job = 0;
+    std::string cellPayload; ///< encodeCellRecord() bytes (escaped on wire)
+
+    std::string encode() const;
+    static CellDoneInfo decode(std::string_view body); ///< throws Protocol
+};
+
+/** Failure-detector verdicts for a registered worker. */
+enum class WorkerState
+{
+    Live,    ///< heartbeating within suspectAfterMs
+    Suspect, ///< missed heartbeats; leases still honoured
+    Dead,    ///< declared dead; leases reclaimed and re-dispatched
+};
+
+const char *workerStateName(WorkerState state);
+WorkerState workerStateFromName(const std::string &name); ///< throws Protocol
+
+/** One row of the WorkerReport response. */
+struct WorkerSnapshot
+{
+    std::uint64_t id = 0;
+    std::string name;
+    WorkerState state = WorkerState::Live;
+    std::uint64_t activeLeases = 0;
+    std::uint64_t cellsCompleted = 0;
+    /** Milliseconds since the last frame from this worker. */
+    std::uint64_t heartbeatAgeMs = 0;
+
+    /** Tab-separated line list, one worker per line. */
+    static std::string encodeList(const std::vector<WorkerSnapshot> &rows);
+    static std::vector<WorkerSnapshot>
+    decodeList(std::string_view body); ///< throws Protocol
+};
+
+/** Encode/decode the one-field "worker_id=<n>" bodies (LeaseRequest,
+ *  Heartbeat). */
+std::string encodeWorkerId(std::uint64_t id);
+std::uint64_t decodeWorkerId(std::string_view body); ///< throws Protocol
+
+/** NoWork body: how long an idle worker should wait before re-asking. */
+std::string encodeRetryMs(std::uint64_t retryMs);
+std::uint64_t decodeRetryMs(std::string_view body); ///< throws Protocol
+
+/** DoneOk body: did the coordinator accept the cell (false: duplicate
+ *  of an already-merged completion, or no longer wanted)? */
+std::string encodeAccepted(bool accepted);
+bool decodeAccepted(std::string_view body); ///< throws Protocol
+
+/** HeartbeatOk body: does the coordinator know this worker id (false:
+ *  the worker was declared dead and must re-register)? */
+std::string encodeKnown(bool known);
+bool decodeKnown(std::string_view body); ///< throws Protocol
 
 /** Encode/decode the Error record body. */
 std::string encodeError(util::ErrorCode code, std::string_view message);

@@ -64,6 +64,7 @@ JobTable::markDone(std::uint64_t id, std::string results)
     auto record = jobs.at(id);
     record->state = JobState::Done;
     record->results = std::move(results);
+    record->cellsDone.store(record->cellsTotal);
     if (running && running->id == id)
         running = nullptr;
     nCompleted.fetch_add(1);
@@ -214,6 +215,7 @@ JobTable::statusLocked(const JobRecord &record,
     info.queuePosition = queuePosition;
     info.cellsTotal = record.cellsTotal;
     info.cellsStarted = record.cellsStarted.load();
+    info.cellsDone = record.cellsDone.load();
     info.errorCode = record.errorCode;
     info.errorMessage = record.errorMessage;
     return info;

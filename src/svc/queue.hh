@@ -53,6 +53,9 @@ struct JobRecord
     /** Cells whose first attempt has started this run (worker threads
      *  bump this through the onAttempt hook; read lock-free). */
     std::atomic<std::uint64_t> cellsStarted{0};
+    /** Cells whose result is in hand — the coordinator bumps this as
+     *  worker completions merge; markDone pins it to cellsTotal. */
+    std::atomic<std::uint64_t> cellsDone{0};
     /** Canonical result bytes once state == Done. */
     std::string results;
     /** Failure verdict once state == Failed. */

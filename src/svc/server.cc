@@ -16,12 +16,6 @@ namespace
 using util::ErrorCode;
 using util::SvcError;
 
-/** How often blocked loops wake to check the stop flag, ms. */
-constexpr int kTickMs = 100;
-
-/** Per-read timeout once a frame has begun arriving, ms. */
-constexpr int kFrameTimeoutMs = 10000;
-
 /**
  * Sweep wall times span four orders of magnitude (a 2-cell smoke sweep
  * to an hour-long grid), so the latency histogram is log2-bucketed:
@@ -47,11 +41,11 @@ latencyHistogram()
 } // namespace
 
 Server::Server(ServerOptions options)
-    : opts(std::move(options)), listener(opts.port),
-      table(opts.maxQueue)
+    : SessionServer(options.port, options.maxQueue),
+      opts(std::move(options))
 {
-    acceptThread = std::thread([this] { acceptLoop(); });
     dispatchThread = std::thread([this] { dispatchLoop(); });
+    startAccepting();
 }
 
 Server::~Server()
@@ -63,166 +57,36 @@ Server::~Server()
 void
 Server::stop()
 {
-    if (stopping.exchange(true))
-        return;
-    listener.close();
-    table.shutdown();
+    SessionServer::stop();
 }
 
 void
 Server::join()
 {
-    if (acceptThread.joinable())
-        acceptThread.join();
+    SessionServer::join();
     if (dispatchThread.joinable())
         dispatchThread.join();
-    std::vector<std::thread> drained;
-    {
-        std::lock_guard<std::mutex> lock(sessionMutex);
-        drained.swap(sessions);
-    }
-    for (auto &session : drained) {
-        if (session.joinable())
-            session.join();
-    }
-}
-
-void
-Server::acceptLoop()
-{
-    auto &connections =
-        util::MetricsRegistry::global().counter("svc.connections");
-    while (!stopping.load()) {
-        std::optional<util::TcpStream> stream;
-        try {
-            stream = listener.accept(kTickMs);
-        } catch (const SvcError &) {
-            // A listener error after close() is part of shutdown; any
-            // other is transient — either way the loop just ticks on.
-            continue;
-        }
-        if (!stream)
-            continue;
-        connections.inc();
-        std::lock_guard<std::mutex> lock(sessionMutex);
-        sessions.emplace_back(
-            [this, s = std::move(*stream)]() mutable {
-                sessionLoop(std::move(s));
-            });
-    }
-}
-
-void
-Server::sessionLoop(util::TcpStream stream)
-{
-    auto &protocolErrors =
-        util::MetricsRegistry::global().counter("svc.protocol_errors");
-    while (!stopping.load()) {
-        try {
-            if (!stream.waitReadable(kTickMs))
-                continue;
-            const std::optional<Frame> frame =
-                readFrame(stream, kFrameTimeoutMs);
-            if (!frame)
-                return; // peer hung up between frames
-            handleFrame(stream, *frame);
-        } catch (const SvcError &e) {
-            // A frame that cannot be trusted costs the session, never
-            // the daemon: report the typed verdict while the transport
-            // may still work, then hang up.
-            if (e.code() == ErrorCode::Protocol)
-                protocolErrors.inc();
-            try {
-                writeFrame(stream, MsgType::Error,
-                           encodeError(e.code(), e.what()));
-            } catch (const SvcError &) {
-                // the transport is gone too; nothing left to report
-            }
-            return;
-        }
-    }
 }
 
 void
 Server::handleFrame(util::TcpStream &stream, const Frame &frame)
 {
-    switch (frame.type) {
-      case MsgType::SubmitSweep: {
-        std::uint64_t id = 0;
-        std::uint64_t cells = 0;
-        try {
-            SweepRequest request = SweepRequest::decode(frame.body);
-            // Validate eagerly: a nonsense request is refused here,
-            // synchronously, not failed minutes later in the queue.
-            const SweepPlan plan = planSweep(request);
-            cells = plan.cells();
-            id = table.submit(std::move(request), cells);
-        } catch (const util::SimError &e) {
-            if (e.code() == ErrorCode::Protocol)
-                throw; // malformed body: the session-fatal path
-            writeFrame(stream, MsgType::Error,
-                       encodeError(e.code(), e.what()));
-            return;
-        }
-        writeFrame(stream, MsgType::SubmitOk, encodeSubmitOk(id, cells));
+    if (handleClientFrame(stream, frame))
         return;
-      }
-      case MsgType::Poll: {
-        try {
-            const JobStatusInfo info = table.status(decodeId(frame.body));
-            writeFrame(stream, MsgType::JobStatus, info.encode());
-        } catch (const SvcError &e) {
-            if (e.code() == ErrorCode::Protocol)
-                throw; // malformed body: the session-fatal path
-            writeFrame(stream, MsgType::Error,
-                       encodeError(e.code(), e.what()));
-        }
-        return;
-      }
-      case MsgType::FetchResults: {
-        try {
-            writeFrame(stream, MsgType::Results,
-                       table.fetchResults(decodeId(frame.body)));
-        } catch (const SvcError &e) {
-            if (e.code() == ErrorCode::Protocol)
-                throw;
-            writeFrame(stream, MsgType::Error,
-                       encodeError(e.code(), e.what()));
-        }
-        return;
-      }
-      case MsgType::Cancel: {
-        try {
-            const JobStatusInfo info =
-                table.cancelJob(decodeId(frame.body));
-            writeFrame(stream, MsgType::CancelOk, info.encode());
-        } catch (const SvcError &e) {
-            if (e.code() == ErrorCode::Protocol)
-                throw;
-            writeFrame(stream, MsgType::Error,
-                       encodeError(e.code(), e.what()));
-        }
-        return;
-      }
-      case MsgType::Stats:
-        writeFrame(stream, MsgType::StatsReport, buildStats().encode());
-        return;
-      default:
-        // A response record arriving at the server is a peer speaking
-        // the protocol backwards; session-fatal like any other
-        // protocol violation.
-        throw SvcError(ErrorCode::Protocol,
-                       util::strprintf(
-                           "record type %u is not a request",
-                           static_cast<unsigned>(frame.type)));
-    }
+    // A response record — or a fleet record this daemon does not serve
+    // — arriving at the server is a peer speaking the protocol
+    // backwards; session-fatal like any other protocol violation.
+    throw SvcError(ErrorCode::Protocol,
+                   util::strprintf("record type %u is not a request "
+                                   "this daemon serves",
+                                   static_cast<unsigned>(frame.type)));
 }
 
 void
 Server::dispatchLoop()
 {
     auto &histogram = latencyHistogram();
-    while (!stopping.load()) {
+    while (!stopRequested()) {
         const std::shared_ptr<JobRecord> job = table.takeNext(kTickMs);
         if (!job)
             continue;

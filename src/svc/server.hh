@@ -1,8 +1,8 @@
 /**
  * @file
- * The sweep daemon: a TCP listener, one session thread per connection,
- * and a single dispatcher thread that executes queued sweeps through
- * the crash-safe checkpointed runner.
+ * The sweep daemon: a SessionServer (TCP listener, one session thread
+ * per connection) plus a single dispatcher thread that executes queued
+ * sweeps through the crash-safe checkpointed runner.
  *
  * Why one dispatcher: a sweep already fans its grid across
  * ServerOptions::threads workers, so running two sweeps concurrently
@@ -25,16 +25,11 @@
 #ifndef FO4_SVC_SERVER_HH
 #define FO4_SVC_SERVER_HH
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
 
-#include "svc/queue.hh"
-#include "util/net.hh"
+#include "svc/session_server.hh"
 
 namespace fo4::svc
 {
@@ -54,40 +49,25 @@ struct ServerOptions
 };
 
 /** The daemon.  Construction binds and starts serving; see stop(). */
-class Server
+class Server : public SessionServer
 {
   public:
     explicit Server(ServerOptions options);
-    ~Server();
-
-    Server(const Server &) = delete;
-    Server &operator=(const Server &) = delete;
-
-    /** The bound port (resolves an ephemeral request). */
-    std::uint16_t port() const { return listener.port(); }
+    ~Server() override;
 
     /** Begin the drain described in the file comment.  Idempotent. */
-    void stop();
+    void stop() override;
 
     /** Wait for every thread; call after stop(). */
     void join();
 
   private:
-    void acceptLoop();
-    void sessionLoop(util::TcpStream stream);
     void dispatchLoop();
-    void handleFrame(util::TcpStream &stream, const Frame &frame);
-    StatsSnapshot buildStats() const;
+    void handleFrame(util::TcpStream &stream, const Frame &frame) override;
+    StatsSnapshot buildStats() const override;
 
     ServerOptions opts;
-    util::TcpListener listener;
-    JobTable table;
-    std::atomic<bool> stopping{false};
-
-    std::thread acceptThread;
     std::thread dispatchThread;
-    std::mutex sessionMutex;
-    std::vector<std::thread> sessions;
 };
 
 } // namespace fo4::svc

@@ -1,0 +1,190 @@
+#include "svc/session_server.hh"
+
+#include "svc/sweep.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace fo4::svc
+{
+
+using util::ErrorCode;
+using util::SvcError;
+
+SessionServer::SessionServer(std::uint16_t port, std::size_t maxQueue)
+    : table(maxQueue), listener(port)
+{
+}
+
+SessionServer::~SessionServer()
+{
+    // The derived destructor has already stopped and joined (it must:
+    // session threads call its virtuals); this is the safety net for
+    // the base-only paths.
+    stop();
+    join();
+}
+
+void
+SessionServer::stop()
+{
+    if (stopping.exchange(true))
+        return;
+    listener.close();
+    table.shutdown();
+}
+
+void
+SessionServer::join()
+{
+    if (acceptThread.joinable())
+        acceptThread.join();
+    std::vector<std::thread> drained;
+    {
+        std::lock_guard<std::mutex> lock(sessionMutex);
+        drained.swap(sessions);
+    }
+    for (auto &session : drained) {
+        if (session.joinable())
+            session.join();
+    }
+}
+
+void
+SessionServer::startAccepting()
+{
+    acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+void
+SessionServer::acceptLoop()
+{
+    auto &connections =
+        util::MetricsRegistry::global().counter("svc.connections");
+    while (!stopping.load()) {
+        std::optional<util::TcpStream> stream;
+        try {
+            stream = listener.accept(kTickMs);
+        } catch (const SvcError &) {
+            // A listener error after close() is part of shutdown; any
+            // other is transient — either way the loop just ticks on.
+            continue;
+        }
+        if (!stream)
+            continue;
+        connections.inc();
+        std::lock_guard<std::mutex> lock(sessionMutex);
+        sessions.emplace_back(
+            [this, s = std::move(*stream)]() mutable {
+                sessionLoop(std::move(s));
+            });
+    }
+}
+
+void
+SessionServer::sessionLoop(util::TcpStream stream)
+{
+    auto &protocolErrors =
+        util::MetricsRegistry::global().counter("svc.protocol_errors");
+    while (!stopping.load()) {
+        try {
+            if (!stream.waitReadable(kTickMs))
+                continue;
+            const std::optional<Frame> frame =
+                readFrame(stream, kFrameTimeoutMs);
+            if (!frame)
+                return; // peer hung up between frames
+            handleFrame(stream, *frame);
+        } catch (const SvcError &e) {
+            // A frame that cannot be trusted costs the session, never
+            // the daemon: report the typed verdict while the transport
+            // may still work, then hang up.
+            if (e.code() == ErrorCode::Protocol)
+                protocolErrors.inc();
+            try {
+                writeFrame(stream, MsgType::Error,
+                           encodeError(e.code(), e.what()),
+                           kFrameTimeoutMs);
+            } catch (const SvcError &) {
+                // the transport is gone too; nothing left to report
+            }
+            return;
+        }
+    }
+}
+
+bool
+SessionServer::handleClientFrame(util::TcpStream &stream,
+                                 const Frame &frame)
+{
+    switch (frame.type) {
+      case MsgType::SubmitSweep: {
+        std::uint64_t id = 0;
+        std::uint64_t cells = 0;
+        try {
+            SweepRequest request = SweepRequest::decode(frame.body);
+            // Validate eagerly: a nonsense request is refused here,
+            // synchronously, not failed minutes later in the queue.
+            const SweepPlan plan = planSweep(request);
+            cells = plan.cells();
+            id = table.submit(std::move(request), cells);
+        } catch (const util::SimError &e) {
+            if (e.code() == ErrorCode::Protocol)
+                throw; // malformed body: the session-fatal path
+            writeFrame(stream, MsgType::Error,
+                       encodeError(e.code(), e.what()), kFrameTimeoutMs);
+            return true;
+        }
+        writeFrame(stream, MsgType::SubmitOk, encodeSubmitOk(id, cells),
+                   kFrameTimeoutMs);
+        return true;
+      }
+      case MsgType::Poll: {
+        try {
+            const JobStatusInfo info = table.status(decodeId(frame.body));
+            writeFrame(stream, MsgType::JobStatus, info.encode(),
+                       kFrameTimeoutMs);
+        } catch (const SvcError &e) {
+            if (e.code() == ErrorCode::Protocol)
+                throw; // malformed body: the session-fatal path
+            writeFrame(stream, MsgType::Error,
+                       encodeError(e.code(), e.what()), kFrameTimeoutMs);
+        }
+        return true;
+      }
+      case MsgType::FetchResults: {
+        try {
+            writeFrame(stream, MsgType::Results,
+                       table.fetchResults(decodeId(frame.body)),
+                       kFrameTimeoutMs);
+        } catch (const SvcError &e) {
+            if (e.code() == ErrorCode::Protocol)
+                throw;
+            writeFrame(stream, MsgType::Error,
+                       encodeError(e.code(), e.what()), kFrameTimeoutMs);
+        }
+        return true;
+      }
+      case MsgType::Cancel: {
+        try {
+            const JobStatusInfo info =
+                table.cancelJob(decodeId(frame.body));
+            writeFrame(stream, MsgType::CancelOk, info.encode(),
+                       kFrameTimeoutMs);
+        } catch (const SvcError &e) {
+            if (e.code() == ErrorCode::Protocol)
+                throw;
+            writeFrame(stream, MsgType::Error,
+                       encodeError(e.code(), e.what()), kFrameTimeoutMs);
+        }
+        return true;
+      }
+      case MsgType::Stats:
+        writeFrame(stream, MsgType::StatsReport, buildStats().encode(),
+                   kFrameTimeoutMs);
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace fo4::svc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A fleet worker: dials the coordinator, registers, and pulls cell
+ * leases in a loop — run cell, report CellDone, repeat — with a
+ * separate heartbeat thread keeping the failure detector fed over its
+ * own connection (a worker grinding through a long cell must still
+ * look alive).
+ *
+ * Survival discipline: every socket operation carries a deadline, and
+ * any transport failure (coordinator restart, dropped connection,
+ * timeout) costs one capped-backoff reconnect cycle (study::RetryPolicy
+ * reused at the network layer), not the worker.  A coordinator that
+ * answers NotFound (this worker was declared dead) triggers
+ * re-registration under a fresh id.
+ *
+ * Cells are executed through the same study::runJobIsolated the local
+ * runner uses, with the same per-cell transient-retry policy — a cell
+ * computed here is byte-identical to one computed anywhere else, which
+ * is what makes the coordinator's first-wins duplicate resolution
+ * sound.
+ *
+ * kill() exists for the chaos harness: it aborts the in-flight cell
+ * (cancel token) and guarantees nothing more is sent — the in-process
+ * equivalent of SIGKILL, letting tests exercise the failure detector
+ * and re-dispatch without spawning processes.
+ */
+
+#ifndef FO4_SVC_WORKER_HH
+#define FO4_SVC_WORKER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "study/checkpoint.hh"
+#include "svc/sweep.hh"
+#include "util/cancel.hh"
+#include "util/net.hh"
+
+namespace fo4::svc
+{
+
+/** Knobs of a worker. */
+struct WorkerOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Advertised in WorkerHello (shows up in `fo4ctl workers`). */
+    std::string name = "fo4d-worker";
+    int connectTimeoutMs = 5000;
+    /** Per-RPC read/write deadline. */
+    int ioTimeoutMs = 10000;
+    /** Backoff between reconnect attempts (maxAttempts is ignored: a
+     *  worker retries until stopped; the cap is maxDelayMs). */
+    study::RetryPolicy reconnect{
+        .maxAttempts = 1000000,
+        .baseDelayMs = 50.0,
+        .backoffFactor = 2.0,
+        .maxDelayMs = 2000.0,
+    };
+    /** Per-cell transient retry, mirroring the local runner's. */
+    study::RetryPolicy retry;
+};
+
+/** One worker; construction starts its threads. */
+class Worker
+{
+  public:
+    explicit Worker(WorkerOptions options);
+    ~Worker();
+
+    Worker(const Worker &) = delete;
+    Worker &operator=(const Worker &) = delete;
+
+    /** Graceful: abort the in-flight cell, stop both loops. */
+    void stop();
+
+    /** Chaos: like stop(), but asserts nothing more reaches the wire
+     *  — the in-process SIGKILL for fault-injection tests. */
+    void kill();
+
+    /** Wait for both threads; call after stop()/kill(). */
+    void join();
+
+    /** Cells this worker has completed and reported. */
+    std::uint64_t cellsExecuted() const { return nExecuted.load(); }
+
+    /** The id the coordinator last assigned (0 before registration). */
+    std::uint64_t workerId() const { return id.load(); }
+
+  private:
+    void workLoop();
+    void heartbeatLoop();
+    /** Interruptible sleep; false when stopping woke it early. */
+    bool sleepFor(double delayMs);
+
+    WorkerOptions opts;
+    std::atomic<bool> stopping{false};
+    std::atomic<std::uint64_t> id{0};
+    std::atomic<std::uint64_t> heartbeatMs{1000};
+    std::atomic<std::uint64_t> nExecuted{0};
+    util::CancelToken cellCancel;
+
+    std::mutex sleepMutex;
+    std::condition_variable sleepCv;
+
+    /** Plans already derived, keyed by grid fingerprint — a sweep's
+     *  cells share one plan, not one planSweep call per cell. */
+    std::map<std::uint64_t, SweepPlan> planCache;
+
+    std::thread workThread;
+    std::thread heartbeatThread;
+};
+
+} // namespace fo4::svc
+
+#endif // FO4_SVC_WORKER_HH

@@ -1,6 +1,7 @@
 #include "util/net.hh"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -52,8 +53,75 @@ pollFd(int fd, short events, int timeoutMs)
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Connect one candidate address within `timeoutMs`.  Returns the
+ * connected fd, or -1 with errno describing the failure.  Uses a
+ * non-blocking connect + poll(POLLOUT) + SO_ERROR so the deadline
+ * covers the TCP handshake itself, then restores blocking mode.
+ */
+int
+connectOne(const struct addrinfo *ai, int timeoutMs)
+{
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                            ai->ai_protocol);
+    if (fd < 0)
+        return -1;
+
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+        if (errno != EINPROGRESS) {
+            const int saved = errno;
+            ::close(fd);
+            errno = saved;
+            return -1;
+        }
+        struct pollfd p = {};
+        p.fd = fd;
+        p.events = POLLOUT;
+        int n;
+        do {
+            n = ::poll(&p, 1, timeoutMs <= 0 ? -1 : timeoutMs);
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0) {
+            const int saved = n == 0 ? ETIMEDOUT : errno;
+            ::close(fd);
+            errno = saved;
+            return -1;
+        }
+        int soError = 0;
+        socklen_t len = sizeof(soError);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0 ||
+            soError != 0) {
+            ::close(fd);
+            errno = soError != 0 ? soError : ECONNREFUSED;
+            return -1;
+        }
+    }
+
+    if (::fcntl(fd, F_SETFL, flags) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
 TcpStream
-TcpStream::connect(const std::string &host, std::uint16_t port)
+TcpStream::connect(const std::string &host, std::uint16_t port,
+                   int timeoutMs)
 {
     struct addrinfo hints = {};
     hints.ai_family = AF_UNSPEC;
@@ -71,16 +139,10 @@ TcpStream::connect(const std::string &host, std::uint16_t port)
     int fd = -1;
     int lastErrno = ECONNREFUSED;
     for (const auto *ai = result; ai != nullptr; ai = ai->ai_next) {
-        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-        if (fd < 0) {
-            lastErrno = errno;
-            continue;
-        }
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+        fd = connectOne(ai, timeoutMs);
+        if (fd >= 0)
             break;
         lastErrno = errno;
-        ::close(fd);
-        fd = -1;
     }
     ::freeaddrinfo(result);
     if (fd < 0) {
@@ -152,16 +214,30 @@ TcpStream::waitReadable(int timeoutMs)
 }
 
 void
-TcpStream::writeAll(const void *buf, std::size_t size)
+TcpStream::writeAll(const void *buf, std::size_t size, int timeoutMs)
 {
     FO4_ASSERT(fd_ >= 0, "write on an unconnected stream");
     const auto *p = static_cast<const unsigned char *>(buf);
     while (size > 0) {
+        // The write deadline: wait for the kernel to have buffer space
+        // before each send, so a peer that stops draining its socket
+        // surfaces as a typed timeout instead of a wedged thread.
+        if (!pollFd(fd_, POLLOUT, timeoutMs)) {
+            throw SvcError(ErrorCode::NetIo,
+                           strprintf("write timed out after %d ms "
+                                     "(%zu bytes unsent)",
+                                     timeoutMs, size));
+        }
         // MSG_NOSIGNAL: a vanished peer must surface as EPIPE -> a
         // typed NetIo error on this call, never SIGPIPE for the process.
-        const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+        // MSG_DONTWAIT: POLLOUT only promises *some* space, so an
+        // unbounded blocking send could still wedge past the deadline;
+        // a short or refused send just loops back into the poll.
+        const ssize_t n =
+            ::send(fd_, p, size, MSG_NOSIGNAL | MSG_DONTWAIT);
         if (n < 0) {
-            if (errno == EINTR)
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
                 continue;
             throwNet("write failed");
         }

@@ -10,12 +10,13 @@
  * frames" (normal) from "the peer hung up inside a frame" (a truncated
  * frame, ErrorCode::Protocol, raised by the framing layer).
  *
- * Blocking discipline: reads and accepts take a timeout in
- * milliseconds and poll() before touching the fd, so a server loop can
- * wake periodically to check a CancelToken without dedicating a signal
- * or an eventfd to it.  Writes block until the kernel accepts every
- * byte (SIGPIPE is suppressed; a broken pipe is a NetIo error, not a
- * process kill).
+ * Blocking discipline: every operation — connect, read, accept *and
+ * write* — takes a deadline in milliseconds and poll()s before touching
+ * the fd, so a server loop can wake periodically to check a CancelToken
+ * without dedicating a signal or an eventfd to it, and a peer that
+ * stops draining its socket (a black-holed connection) costs a typed
+ * NetIo timeout instead of a thread wedged in send().  SIGPIPE is
+ * suppressed; a broken pipe is a NetIo error, not a process kill.
  */
 
 #ifndef FO4_UTIL_NET_HH
@@ -42,9 +43,12 @@ class TcpStream
 
     /**
      * Connect to host:port (numeric IP or resolvable name).  Throws
-     * SvcError(NetIo) when resolution or connection fails.
+     * SvcError(NetIo) when resolution or connection fails, or when the
+     * connection is not established within `timeoutMs` (<= 0 waits as
+     * long as the kernel does).  The returned stream is blocking.
      */
-    static TcpStream connect(const std::string &host, std::uint16_t port);
+    static TcpStream connect(const std::string &host, std::uint16_t port,
+                             int timeoutMs = -1);
 
     TcpStream(TcpStream &&other) noexcept;
     TcpStream &operator=(TcpStream &&other) noexcept;
@@ -72,8 +76,15 @@ class TcpStream
      */
     bool waitReadable(int timeoutMs);
 
-    /** Write all `size` bytes; throws SvcError(NetIo) on failure. */
-    void writeAll(const void *buf, std::size_t size);
+    /**
+     * Write all `size` bytes.  Throws SvcError(NetIo) on failure, or
+     * when the kernel accepts no further byte for `timeoutMs` (<= 0
+     * waits forever) — the per-RPC write deadline that keeps a
+     * black-holed peer from wedging the writing thread.  A timeout may
+     * leave a partial frame on the wire; the stream is no longer
+     * frame-aligned and the caller should close it.
+     */
+    void writeAll(const void *buf, std::size_t size, int timeoutMs = -1);
 
     /** Close now (also done by the destructor). */
     void close();

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Adversarial tests of the util/net deadline machinery — the layer the
+ * whole fabric's fault tolerance rests on.  Coverage the loopback
+ * suite can't reach:
+ *
+ *  - partial writes: a tiny SO_SNDBUF plus a slow reader forces
+ *    writeAll through its short-write loop (EAGAIN + poll + resume);
+ *  - EINTR: a signal with a no-SA_RESTART handler lands mid-poll and
+ *    mid-read; both must resume, not fail;
+ *  - write deadline: a black-holed peer (never reads) must cost a
+ *    typed NetIo timeout, not a wedged thread;
+ *  - fragmented delivery: frames arriving a few bytes at a time (chaos
+ *    proxy, Chunked) must reassemble byte-perfectly;
+ *  - truncation: a peer dying mid-frame must surface as Protocol (not
+ *    NetIo, not success) through readExact/readFrame;
+ *  - connect: refused and timed-out connects both throw typed NetIo.
+ */
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos_proxy.hh"
+#include "svc/protocol.hh"
+#include "util/net.hh"
+#include "util/status.hh"
+
+using namespace fo4;
+using util::ErrorCode;
+using util::SvcError;
+using util::TcpListener;
+using util::TcpStream;
+
+namespace
+{
+
+/** Accept one connection on `listener` in the background. */
+std::thread
+acceptOne(TcpListener &listener, TcpStream &out)
+{
+    return std::thread([&] {
+        auto accepted = listener.accept(5000);
+        ASSERT_TRUE(accepted.has_value());
+        out = std::move(*accepted);
+    });
+}
+
+ErrorCode
+codeOf(const std::function<void()> &fn)
+{
+    try {
+        fn();
+    } catch (const SvcError &e) {
+        return e.code();
+    }
+    return ErrorCode::Ok;
+}
+
+} // namespace
+
+TEST(UtilNet, PartialWritesCompleteAgainstSlowReader)
+{
+    TcpListener listener(0);
+    TcpStream server;
+    std::thread accepter = acceptOne(listener, server);
+    TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+    accepter.join();
+
+    // Shrink the send buffer so a multi-hundred-KB write cannot fit in
+    // one shot: writeAll must loop through partial sends while the
+    // reader drains slowly.
+    const int sndbuf = 4096;
+    ASSERT_EQ(0, ::setsockopt(client.fd(), SOL_SOCKET, SO_SNDBUF,
+                              &sndbuf, sizeof(sndbuf)));
+
+    std::string payload(512 * 1024, '\0');
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<char>(i * 31 + (i >> 9));
+
+    std::thread writer([&] {
+        client.writeAll(payload.data(), payload.size(), 10000);
+    });
+
+    std::string received(payload.size(), '\0');
+    std::size_t got = 0;
+    while (got < received.size()) {
+        // A deliberately slow, small-sips reader.
+        const std::size_t want =
+            std::min<std::size_t>(4096, received.size() - got);
+        ASSERT_TRUE(server.readExact(&received[got], want, 10000));
+        got += want;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    writer.join();
+    EXPECT_EQ(payload, received);
+}
+
+TEST(UtilNet, WriteDeadlineFiresOnBlackHoledPeer)
+{
+    TcpListener listener(0);
+    TcpStream server;
+    std::thread accepter = acceptOne(listener, server);
+    TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+    accepter.join();
+
+    const int sndbuf = 4096;
+    ASSERT_EQ(0, ::setsockopt(client.fd(), SOL_SOCKET, SO_SNDBUF,
+                              &sndbuf, sizeof(sndbuf)));
+
+    // The server never reads: once the kernel buffers fill, writeAll
+    // must give up at its deadline with NetIo — not block forever.
+    std::string payload(8 * 1024 * 1024, 'x');
+    const auto started = std::chrono::steady_clock::now();
+    EXPECT_EQ(ErrorCode::NetIo, codeOf([&] {
+                  client.writeAll(payload.data(), payload.size(), 300);
+              }));
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    EXPECT_GE(elapsed, 250);
+    EXPECT_LT(elapsed, 5000);
+}
+
+namespace
+{
+std::atomic<int> gSignalsSeen{0};
+void
+countSignal(int)
+{
+    ++gSignalsSeen;
+}
+} // namespace
+
+TEST(UtilNet, ReadAndWriteSurviveEintr)
+{
+    // Install a no-SA_RESTART handler so every SIGUSR1 makes blocking
+    // syscalls return EINTR instead of resuming transparently.
+    struct sigaction action = {};
+    action.sa_handler = countSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // the point: no SA_RESTART
+    struct sigaction old = {};
+    ASSERT_EQ(0, ::sigaction(SIGUSR1, &action, &old));
+
+    TcpListener listener(0);
+    TcpStream server;
+    std::thread accepter = acceptOne(listener, server);
+    TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+    accepter.join();
+
+    std::string payload(256 * 1024, '\0');
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<char>(i * 131 + 7);
+
+    const int sndbuf = 4096;
+    ASSERT_EQ(0, ::setsockopt(client.fd(), SOL_SOCKET, SO_SNDBUF,
+                              &sndbuf, sizeof(sndbuf)));
+
+    // Reader thread: starts late and sips slowly, so the writer spends
+    // real time blocked in poll() while signals land.
+    std::string received(payload.size(), '\0');
+    std::thread reader([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        std::size_t got = 0;
+        while (got < received.size()) {
+            const std::size_t want =
+                std::min<std::size_t>(8192, received.size() - got);
+            ASSERT_TRUE(server.readExact(&received[got], want, 10000));
+            got += want;
+        }
+    });
+
+    const pthread_t writerTid = pthread_self();
+    std::atomic<bool> done{false};
+    std::thread pepper([&] {
+        while (!done.load()) {
+            ::pthread_kill(writerTid, SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    });
+
+    client.writeAll(payload.data(), payload.size(), 20000);
+    done = true;
+    pepper.join();
+    reader.join();
+
+    EXPECT_EQ(payload, received);
+    EXPECT_GT(gSignalsSeen.load(), 0);
+    ::sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(UtilNet, FragmentedFramesReassembleThroughChaosProxy)
+{
+    TcpListener listener(0);
+    TcpStream server;
+    std::thread accepter = acceptOne(listener, server);
+
+    tests::ChaosProxy proxy(listener.port());
+    proxy.chunk(/*bytes=*/7, /*delayMs=*/1);
+
+    TcpStream client = TcpStream::connect("127.0.0.1", proxy.port());
+    accepter.join();
+
+    // A frame a few hundred bytes long, delivered 7 bytes at a time:
+    // CRC must verify and the body must round-trip exactly.
+    std::string body = "bench=164.gzip\nmodel=ooo\n";
+    body += std::string(300, 'z');
+    svc::writeFrame(client, svc::MsgType::SubmitSweep, body, 5000);
+
+    const auto frame = svc::readFrame(server, 10000);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(svc::MsgType::SubmitSweep, frame->type);
+    EXPECT_EQ(body, frame->body);
+    proxy.stop();
+}
+
+TEST(UtilNet, MidFrameTruncationIsProtocolNotSuccess)
+{
+    TcpListener listener(0);
+    TcpStream server;
+    std::thread accepter = acceptOne(listener, server);
+
+    tests::ChaosProxy proxy(listener.port());
+    TcpStream client = TcpStream::connect("127.0.0.1", proxy.port());
+    accepter.join();
+
+    // Let the server's reply die 10 bytes in: the client sees a valid
+    // header start and then EOF — a truncated frame, Protocol.
+    proxy.truncateAfter(10);
+    const std::string body(200, 'q');
+    std::thread replier([&] {
+        try {
+            svc::writeFrame(server, svc::MsgType::Results, body, 5000);
+        } catch (const SvcError &) {
+            // The proxy may sever before the write drains; fine.
+        }
+    });
+
+    EXPECT_EQ(ErrorCode::Protocol,
+              codeOf([&] { svc::readFrame(client, 10000); }));
+    replier.join();
+    proxy.stop();
+}
+
+TEST(UtilNet, OrderlyEofBetweenFramesIsCleanNullopt)
+{
+    TcpListener listener(0);
+    TcpStream server;
+    std::thread accepter = acceptOne(listener, server);
+    TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+    accepter.join();
+
+    server.close();
+    const auto frame = svc::readFrame(client, 5000);
+    EXPECT_FALSE(frame.has_value());
+}
+
+TEST(UtilNet, ReadDeadlineFiresOnSilentPeer)
+{
+    TcpListener listener(0);
+    TcpStream server;
+    std::thread accepter = acceptOne(listener, server);
+    TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+    accepter.join();
+
+    char byte = 0;
+    const auto started = std::chrono::steady_clock::now();
+    EXPECT_EQ(ErrorCode::NetIo,
+              codeOf([&] { client.readExact(&byte, 1, 200); }));
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    EXPECT_GE(elapsed, 150);
+}
+
+TEST(UtilNet, RefusedConnectThrowsTypedNetIo)
+{
+    // Bind-then-close guarantees a port that refuses connections.
+    std::uint16_t deadPort = 0;
+    {
+        TcpListener listener(0);
+        deadPort = listener.port();
+    }
+    EXPECT_EQ(ErrorCode::NetIo, codeOf([&] {
+                  TcpStream::connect("127.0.0.1", deadPort, 1000);
+              }));
+}
+
+TEST(UtilNet, ConnectTimeoutIsTyped)
+{
+    // A listener with a zero backlog whose accept queue we saturate
+    // and never drain: once the queue is full the kernel drops further
+    // SYNs, so the final connect gets no answer and only its deadline
+    // can end the attempt.  (Loopback-only on purpose: unroutable
+    // external addresses behave differently under NAT/sandboxes.)
+    const int listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listenFd, 0);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(0, ::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)));
+    ASSERT_EQ(0, ::listen(listenFd, 0));
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(0, ::getsockname(
+                     listenFd, reinterpret_cast<sockaddr *>(&addr), &len));
+    const std::uint16_t port = ntohs(addr.sin_port);
+
+    // Saturate the accept queue with non-blocking dials (never
+    // accepted, never closed until the end of the test).
+    std::vector<int> fillers;
+    for (int i = 0; i < 4; ++i) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+        ASSERT_GE(fd, 0);
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+        fillers.push_back(fd);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    const auto started = std::chrono::steady_clock::now();
+    EXPECT_EQ(ErrorCode::NetIo, codeOf([&] {
+                  TcpStream::connect("127.0.0.1", port, 300);
+              }));
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    EXPECT_GE(elapsed, 250);
+    EXPECT_LT(elapsed, 5000);
+
+    for (const int fd : fillers)
+        ::close(fd);
+    ::close(listenFd);
+}
