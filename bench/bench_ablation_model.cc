@@ -34,7 +34,9 @@ harmonicIpc(const core::CoreParams &params, const study::RunSpec &spec,
     std::vector<double> ipcs;
     for (const auto &prof : profiles) {
         trace::SyntheticTraceGenerator gen(prof);
-        auto c = core::makeOooCore(params, spec.predictor);
+        auto c = spec.impl == study::SimImpl::Batched
+                     ? core::makeBatchedOooCore(params, spec.predictor)
+                     : core::makeOooCore(params, spec.predictor);
         ipcs.push_back(
             c->run(gen, spec.instructions, spec.warmup, spec.prewarm)
                 .ipc());
@@ -44,8 +46,10 @@ harmonicIpc(const core::CoreParams &params, const study::RunSpec &spec,
 
 } // namespace
 
+const std::vector<util::KeyDoc> kKeys = bench::specKeys();
+
 int
-main(int argc, char **argv)
+ablation(int argc, char **argv)
 {
     bench::banner(
         "X2 / model ablations",
@@ -53,6 +57,7 @@ main(int argc, char **argv)
         "operating point (not a paper artifact; engineering evidence "
         "for DESIGN.md's choices)");
 
+    util::Config::fromArgs(argc, argv).checkKnown(kKeys);
     auto spec = bench::specFromArgs(argc, argv, 60000, 8000, 400000);
     const auto profiles =
         trace::spec2000Profiles(trace::BenchClass::Integer);
@@ -119,4 +124,11 @@ main(int argc, char **argv)
                    "dispatch, so deeper dispatch-ahead slightly "
                    "overstates burst contention for very large windows)");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return util::runTopLevel(argc, argv, kKeys,
+                             [&] { return ablation(argc, argv); });
 }

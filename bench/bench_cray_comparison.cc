@@ -17,8 +17,10 @@
 
 using namespace fo4;
 
+const std::vector<util::KeyDoc> kKeys = bench::specKeys();
+
 int
-main(int argc, char **argv)
+cray(int argc, char **argv)
 {
     bench::banner(
         "E6 / Section 4.2",
@@ -27,6 +29,7 @@ main(int argc, char **argv)
         "8 gate levels = 10.9 FO4; the modern optimum of 6 FO4 is less "
         "than the Cray scalar optimum largely because of on-chip caches");
 
+    util::Config::fromArgs(argc, argv).checkKnown(kKeys);
     const auto spec = bench::specFromArgs(argc, argv, 60000, 8000, 300000);
     const auto profiles =
         trace::spec2000Profiles(trace::BenchClass::Integer);
@@ -67,4 +70,11 @@ main(int argc, char **argv)
                    "substantially shallower pipeline than the cached "
                    "machine, near the Kunkel-Smith 10.9 FO4 point");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return util::runTopLevel(argc, argv, kKeys,
+                             [&] { return cray(argc, argv); });
 }

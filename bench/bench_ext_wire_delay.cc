@@ -20,8 +20,10 @@
 
 using namespace fo4;
 
+const std::vector<util::KeyDoc> kKeys = bench::specKeys();
+
 int
-main(int argc, char **argv)
+extWireDelay(int argc, char **argv)
 {
     bench::banner(
         "X1 / Section 7 extension (wire delay)",
@@ -30,6 +32,7 @@ main(int argc, char **argv)
         "more wire-bound (paper future work; Pentium 4 spent two stages "
         "on data transport)");
 
+    util::Config::fromArgs(argc, argv).checkKnown(kKeys);
     const auto spec = bench::specFromArgs(argc, argv, 60000, 8000, 400000);
     const auto profiles =
         trace::spec2000Profiles(trace::BenchClass::Integer);
@@ -78,4 +81,11 @@ main(int argc, char **argv)
                        : "UNEXPECTED: wire delay did not move the "
                          "optimum shallower");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return util::runTopLevel(argc, argv, kKeys,
+                             [&] { return extWireDelay(argc, argv); });
 }

@@ -28,7 +28,9 @@ harmonicIpc(const core::CoreParams &params, const study::RunSpec &spec,
     std::vector<double> ipcs;
     for (const auto &prof : profiles) {
         trace::SyntheticTraceGenerator gen(prof);
-        auto c = core::makeOooCore(params, spec.predictor);
+        auto c = spec.impl == study::SimImpl::Batched
+                     ? core::makeBatchedOooCore(params, spec.predictor)
+                     : core::makeOooCore(params, spec.predictor);
         ipcs.push_back(
             c->run(gen, spec.instructions, spec.warmup, spec.prewarm)
                 .ipc());
@@ -38,8 +40,10 @@ harmonicIpc(const core::CoreParams &params, const study::RunSpec &spec,
 
 } // namespace
 
+const std::vector<util::KeyDoc> kKeys = bench::specKeys();
+
 int
-main(int argc, char **argv)
+fig11(int argc, char **argv)
 {
     bench::banner(
         "E11 / Figure 11",
@@ -47,6 +51,7 @@ main(int argc, char **argv)
         "stages; ~11% integer / ~5% FP loss at 10 stages (naive "
         "pipelining without back-to-back issue would cost up to 27%)");
 
+    util::Config::fromArgs(argc, argv).checkKnown(kKeys);
     const auto spec = bench::specFromArgs(argc, argv, 60000, 8000, 400000);
     const auto ints = trace::spec2000Profiles(trace::BenchClass::Integer);
     auto fps = trace::spec2000Profiles(trace::BenchClass::VectorFp);
@@ -99,4 +104,11 @@ main(int argc, char **argv)
                    "modest amount at 10, hits integer codes harder than "
                    "FP, and beats naive pipelining by a wide margin");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return util::runTopLevel(argc, argv, kKeys,
+                             [&] { return fig11(argc, argv); });
 }

@@ -16,8 +16,14 @@
 
 using namespace fo4;
 
+namespace
+{
+
+const std::vector<util::KeyDoc> kKeys = bench::keyUnion(
+    {bench::specKeys(), {bench::jobsKey()}, bench::observabilityKeys()});
+
 int
-main(int argc, char **argv)
+fig4(int argc, char **argv)
 {
     bench::banner(
         "E4+E5 / Figures 4a and 4b",
@@ -25,6 +31,7 @@ main(int argc, char **argv)
         "shrink; with 1.8 FO4 overhead the integer optimum is 6 FO4 of "
         "useful logic per stage");
 
+    util::Config::fromArgs(argc, argv).checkKnown(kKeys);
     auto spec = bench::specFromArgs(argc, argv, 60000, 8000, 400000);
     spec.model = study::CoreModel::InOrder;
     const auto obs = bench::observabilityFromArgs(argc, argv);
@@ -108,4 +115,13 @@ main(int argc, char **argv)
     bench::printMetricsRegistry(bench::verboseFromArgs(argc, argv));
     bench::verdict(v);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return util::runTopLevel(argc, argv, kKeys,
+                             [&] { return fig4(argc, argv); });
 }

@@ -29,21 +29,14 @@ using namespace fo4;
 namespace
 {
 
-const std::vector<util::KeyDoc> kKeys = {
-    {"instructions", "measured instructions per benchmark"},
-    {"warmup", "instructions simulated but discarded first"},
-    {"prewarm", "instructions streamed through caches/predictor first"},
-    {"jobs", "worker threads (1 = serial, 0 = all cores)"},
-    {"csv", "write the figure's data points to this CSV"},
-    {"checkpoint", "journal file; an interrupted sweep resumes from it"},
-    {"resume", "resume=0 discards an existing journal and starts over"},
-    {"attempts", "max attempts per cell for transient failures"},
-    {"verbose", "print cache and metrics diagnostics"},
-    {"stats", "write per-point stall-attribution CSV here"},
-    {"trace", "write a Chrome pipeline trace of one benchmark here"},
-    {"trace_start", "first cycle the trace records"},
-    {"trace_cycles", "length of the traced cycle window"},
-};
+const std::vector<util::KeyDoc> kKeys = bench::keyUnion(
+    {bench::specKeys(),
+     {bench::jobsKey()},
+     {{"csv", "write the figure's data points to this CSV"},
+      {"checkpoint", "journal file; an interrupted sweep resumes from it"},
+      {"resume", "resume=0 discards an existing journal and starts over"},
+      {"attempts", "max attempts per cell for transient failures"}},
+     bench::observabilityKeys()});
 
 int
 fig5(int argc, char **argv)

@@ -18,8 +18,14 @@
 
 using namespace fo4;
 
+namespace
+{
+
+const std::vector<util::KeyDoc> kKeys = bench::keyUnion(
+    {bench::specKeys(), {bench::jobsKey()}, bench::observabilityKeys()});
+
 int
-main(int argc, char **argv)
+fig6(int argc, char **argv)
 {
     bench::banner(
         "E8 / Figure 6",
@@ -27,6 +33,7 @@ main(int argc, char **argv)
         "1..5 FO4; deep pipelines gain more from overhead reduction than "
         "shallow ones");
 
+    util::Config::fromArgs(argc, argv).checkKnown(kKeys);
     const auto spec = bench::specFromArgs(argc, argv);
     const auto obs = bench::observabilityFromArgs(argc, argv);
     const auto profiles =
@@ -99,4 +106,13 @@ main(int argc, char **argv)
                    "overheads 1..5, and overhead reduction helps deep "
                    "pipelines more than shallow ones");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return util::runTopLevel(argc, argv, kKeys,
+                             [&] { return fig6(argc, argv); });
 }

@@ -16,8 +16,14 @@
 
 using namespace fo4;
 
+namespace
+{
+
+const std::vector<util::KeyDoc> kKeys = bench::keyUnion(
+    {bench::specKeys(), {bench::jobsKey()}, bench::observabilityKeys()});
+
 int
-main(int argc, char **argv)
+fig7(int argc, char **argv)
 {
     bench::banner(
         "E9 / Figure 7",
@@ -26,6 +32,7 @@ main(int argc, char **argv)
         "at 6 FO4 the paper picks a 64KB DL1, a 512KB L2 and a 64-entry "
         "window");
 
+    util::Config::fromArgs(argc, argv).checkKnown(kKeys);
     auto spec = bench::specFromArgs(argc, argv, 40000, 5000, 300000);
     const auto obs = bench::observabilityFromArgs(argc, argv);
     const auto profiles = trace::spec2000Profiles();
@@ -90,4 +97,13 @@ main(int argc, char **argv)
     bench::verdict("optimization lifts the whole curve without moving "
                    "the optimal logic depth away from ~6 FO4");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return util::runTopLevel(argc, argv, kKeys,
+                             [&] { return fig7(argc, argv); });
 }

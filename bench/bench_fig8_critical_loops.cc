@@ -44,8 +44,11 @@ extendedParams(int loop, int ext)
 
 } // namespace
 
+const std::vector<util::KeyDoc> kKeys = bench::keyUnion(
+    {bench::specKeys(), bench::observabilityKeys()});
+
 int
-main(int argc, char **argv)
+fig8(int argc, char **argv)
 {
     bench::banner(
         "E10 / Figure 8",
@@ -53,6 +56,7 @@ main(int argc, char **argv)
         "its 21264 length: issue-wakeup is the most sensitive loop, then "
         "load-use (DL1), then the branch misprediction penalty");
 
+    util::Config::fromArgs(argc, argv).checkKnown(kKeys);
     const auto spec = bench::specFromArgs(argc, argv, 60000, 8000, 400000);
     const auto obs = bench::observabilityFromArgs(argc, argv);
     const auto profiles =
@@ -128,4 +132,11 @@ main(int argc, char **argv)
               "load-use > branch misprediction"
             : "ORDERING MISMATCH with the paper");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return util::runTopLevel(argc, argv, kKeys,
+                             [&] { return fig8(argc, argv); });
 }

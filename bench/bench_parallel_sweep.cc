@@ -36,6 +36,11 @@ namespace
 
 using Clock = std::chrono::steady_clock;
 
+const std::vector<fo4::util::KeyDoc> kKeys = fo4::bench::keyUnion(
+    {fo4::bench::specKeys(),
+     {fo4::bench::jobsKey()},
+     {{"verbose", "print cache diagnostics"}}});
+
 double
 seconds(Clock::time_point begin, Clock::time_point end)
 {
@@ -50,6 +55,7 @@ parallelSweep(int argc, char **argv)
                   "engine check: N-thread sweep is faster than and "
                   "bit-identical to the serial sweep");
 
+    util::Config::fromArgs(argc, argv).checkKnown(kKeys);
     auto spec = bench::specFromArgs(argc, argv, 20000, 2500, 200000);
     spec.cycleLimit = 10000000;
     int jobs = bench::jobsFromArgs(argc, argv);
@@ -110,5 +116,6 @@ parallelSweep(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return fo4::util::runTopLevel([&] { return parallelSweep(argc, argv); });
+    return fo4::util::runTopLevel(argc, argv, kKeys,
+                                  [&] { return parallelSweep(argc, argv); });
 }

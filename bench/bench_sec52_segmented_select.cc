@@ -27,7 +27,9 @@ harmonicIpc(const core::CoreParams &params, const study::RunSpec &spec,
     std::vector<double> ipcs;
     for (const auto &prof : profiles) {
         trace::SyntheticTraceGenerator gen(prof);
-        auto c = core::makeOooCore(params, spec.predictor);
+        auto c = spec.impl == study::SimImpl::Batched
+                     ? core::makeBatchedOooCore(params, spec.predictor)
+                     : core::makeOooCore(params, spec.predictor);
         ipcs.push_back(
             c->run(gen, spec.instructions, spec.warmup, spec.prewarm)
                 .ipc());
@@ -37,8 +39,10 @@ harmonicIpc(const core::CoreParams &params, const study::RunSpec &spec,
 
 } // namespace
 
+const std::vector<util::KeyDoc> kKeys = bench::specKeys();
+
 int
-main(int argc, char **argv)
+sec52(int argc, char **argv)
 {
     bench::banner(
         "E12 / Section 5.2 (Figure 12)",
@@ -46,6 +50,7 @@ main(int argc, char **argv)
         "5/2/1: ~4% integer and ~1% FP IPC loss versus a single-cycle "
         "monolithic window with full fan-in");
 
+    util::Config::fromArgs(argc, argv).checkKnown(kKeys);
     const auto spec = bench::specFromArgs(argc, argv, 60000, 8000, 400000);
     const auto ints = trace::spec2000Profiles(trace::BenchClass::Integer);
     auto fps = trace::spec2000Profiles(trace::BenchClass::VectorFp);
@@ -95,4 +100,11 @@ main(int argc, char **argv)
                    "less on FP than integer codes, while cutting select "
                    "fan-in from 32 to 16");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return util::runTopLevel(argc, argv, kKeys,
+                             [&] { return sec52(argc, argv); });
 }

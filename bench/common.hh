@@ -42,7 +42,9 @@ banner(const std::string &id, const std::string &claim)
     std::printf("paper claim: %s\n\n", claim.c_str());
 }
 
-/** Standard run spec with command-line overrides. */
+/** Standard run spec with command-line overrides.  `sim_impl=` selects
+ *  the core implementation; the default is the one-pass batched engine,
+ *  which is byte-identical to `sim_impl=reference` (DESIGN.md §14). */
 inline study::RunSpec
 specFromArgs(int argc, char **argv, std::uint64_t instructions = 80000,
              std::uint64_t warmup = 10000, std::uint64_t prewarm = 500000)
@@ -52,7 +54,54 @@ specFromArgs(int argc, char **argv, std::uint64_t instructions = 80000,
     spec.instructions = cfg.getInt("instructions", instructions);
     spec.warmup = cfg.getInt("warmup", warmup);
     spec.prewarm = cfg.getInt("prewarm", prewarm);
+    spec.impl =
+        study::simImplFromName(cfg.getString("sim_impl", "batched"));
     return spec;
+}
+
+/** KeyDocs for the run-length/engine knobs specFromArgs reads — the
+ *  baseline every sweep bench's kKeys starts from. */
+inline std::vector<util::KeyDoc>
+specKeys()
+{
+    return {
+        {"instructions", "measured instructions per benchmark"},
+        {"warmup", "instructions simulated but discarded first"},
+        {"prewarm",
+         "instructions streamed through caches/predictor first"},
+        {"sim_impl", "core implementation: 'batched' (default, one-pass "
+                     "engine) or 'reference'; results byte-identical"},
+    };
+}
+
+/** KeyDoc for the sweep-engine thread count jobsFromArgs reads. */
+inline util::KeyDoc
+jobsKey()
+{
+    return {"jobs", "worker threads (1 = serial, 0 = all cores)"};
+}
+
+/** KeyDocs for the observability knobs observabilityFromArgs reads. */
+inline std::vector<util::KeyDoc>
+observabilityKeys()
+{
+    return {
+        {"verbose", "print cache and metrics diagnostics"},
+        {"stats", "write per-point stall-attribution CSV here"},
+        {"trace", "write a Chrome pipeline trace of one benchmark here"},
+        {"trace_start", "first cycle the trace records"},
+        {"trace_cycles", "length of the traced cycle window"},
+    };
+}
+
+/** kKeys = specKeys() + jobsKey() + per-bench extras, concatenated. */
+inline std::vector<util::KeyDoc>
+keyUnion(std::initializer_list<std::vector<util::KeyDoc>> lists)
+{
+    std::vector<util::KeyDoc> keys;
+    for (const auto &list : lists)
+        keys.insert(keys.end(), list.begin(), list.end());
+    return keys;
 }
 
 /**

@@ -10,6 +10,7 @@
 #define FO4_BP_PREDICTOR_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "isa/microop.hh"
 
@@ -34,6 +35,14 @@ class BranchPredictor
 
     /** Clear all state. */
     virtual void reset() = 0;
+
+    /**
+     * Deep copy, training state included.  Lets a warm-state cache
+     * train a predictor prototype once per sweep column and hand each
+     * cell its own copy (every concrete predictor is a plain value
+     * type, so the copy is exact).
+     */
+    virtual std::unique_ptr<BranchPredictor> clone() const = 0;
 
     virtual const char *name() const = 0;
 };

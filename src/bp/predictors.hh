@@ -25,6 +25,10 @@ class AlwaysTaken : public BranchPredictor
     void update(const isa::MicroOp &, bool) override {}
     void reset() override {}
     const char *name() const override { return "always-taken"; }
+    std::unique_ptr<BranchPredictor> clone() const override
+    {
+        return std::make_unique<AlwaysTaken>(*this);
+    }
 };
 
 /** Oracle: always correct.  Used to isolate non-branch effects. */
@@ -35,6 +39,10 @@ class PerfectPredictor : public BranchPredictor
     void update(const isa::MicroOp &, bool) override {}
     void reset() override {}
     const char *name() const override { return "perfect"; }
+    std::unique_ptr<BranchPredictor> clone() const override
+    {
+        return std::make_unique<PerfectPredictor>(*this);
+    }
 };
 
 /** Classic bimodal table of 2-bit counters indexed by PC. */
@@ -47,6 +55,10 @@ class Bimodal : public BranchPredictor
     void update(const isa::MicroOp &op, bool taken) override;
     void reset() override;
     const char *name() const override { return "bimodal"; }
+    std::unique_ptr<BranchPredictor> clone() const override
+    {
+        return std::make_unique<Bimodal>(*this);
+    }
 
   private:
     std::size_t index(std::uint64_t pc) const;
@@ -63,6 +75,10 @@ class GShare : public BranchPredictor
     void update(const isa::MicroOp &op, bool taken) override;
     void reset() override;
     const char *name() const override { return "gshare"; }
+    std::unique_ptr<BranchPredictor> clone() const override
+    {
+        return std::make_unique<GShare>(*this);
+    }
 
   private:
     std::size_t index(std::uint64_t pc) const;
@@ -82,6 +98,10 @@ class LocalHistory : public BranchPredictor
     void update(const isa::MicroOp &op, bool taken) override;
     void reset() override;
     const char *name() const override { return "local"; }
+    std::unique_ptr<BranchPredictor> clone() const override
+    {
+        return std::make_unique<LocalHistory>(*this);
+    }
 
   private:
     std::vector<std::uint16_t> histories;
@@ -103,6 +123,10 @@ class Tournament : public BranchPredictor
     void update(const isa::MicroOp &op, bool taken) override;
     void reset() override;
     const char *name() const override { return "tournament"; }
+    std::unique_ptr<BranchPredictor> clone() const override
+    {
+        return std::make_unique<Tournament>(*this);
+    }
 
   private:
     LocalHistory local;

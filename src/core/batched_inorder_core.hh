@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Throughput-optimized in-order core (`sim_impl=batched`): the same
+ * cycle-level model as InorderCore — byte-identical results, pinned by
+ * tests/test_core_differential.cc — restructured for raw speed:
+ *
+ *  - struct-of-arrays issue queue (the hot per-cycle scalars live in
+ *    dense arrays, not an array of structs);
+ *  - devirtualized trace reads when fed a trace::DecodedTraceView
+ *    (packed records from the shared one-pass cache);
+ *  - shared prewarm state via core::WarmStartCache, so a sweep column
+ *    prewarms once instead of once per clock-period cell;
+ *  - idle-span skipping: stall spans whose per-cycle accounting is
+ *    provably constant (empty-queue refill shadows, scoreboard stalls
+ *    under a full queue) are charged in bulk instead of walked.
+ *
+ * DESIGN.md §14 is the contract: none of these may change bytes.
+ */
+
+#ifndef FO4_CORE_BATCHED_INORDER_CORE_HH
+#define FO4_CORE_BATCHED_INORDER_CORE_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "bp/predictor.hh"
+#include "core/core.hh"
+#include "mem/hierarchy.hh"
+#include "trace/decoded_trace.hh"
+#include "util/status.hh"
+
+namespace fo4::core
+{
+
+/** The batched in-order pipeline model. */
+class BatchedInorderCore : public Core
+{
+  public:
+    /**
+     * `predictorKey` names the predictor's factory configuration and
+     * enables the shared warm-state cache; empty disables sharing (the
+     * core then prewarms per run, still byte-identically).
+     */
+    BatchedInorderCore(const CoreParams &params,
+                       std::unique_ptr<bp::BranchPredictor> predictor,
+                       std::string predictorKey = "");
+
+    SimResult run(trace::TraceSource &trace, std::uint64_t instructions,
+                  std::uint64_t warmup = 0, std::uint64_t prewarm = 0,
+                  std::uint64_t cycleLimit = 0,
+                  const util::CancelToken *cancel = nullptr) override;
+
+    const CoreParams &params() const override { return prm; }
+
+    void setTracer(util::TraceEventRing *ring) override { tracer = ring; }
+
+  private:
+    void doIssue(SimResult &result);
+    void doFetch(SimResult &result);
+    isa::MicroOp nextOp();
+    /** Bulk-account a provably-idle span; returns cycles skipped. */
+    std::int64_t skipIdleSpan(SimResult &result, OccupancySample &occ,
+                              std::uint64_t limit);
+    util::DeadlockDump watchdogDump(const SimResult &result,
+                                    std::uint64_t total,
+                                    std::uint64_t limit) const;
+
+    CoreParams prm;
+    std::unique_ptr<bp::BranchPredictor> bpred;
+    std::string bpredKey;
+    mem::MemoryHierarchy memory;
+
+    // Issue queue, struct-of-arrays over a fixed ring.
+    std::vector<isa::MicroOp> qOp;
+    std::vector<std::int64_t> qIssueReady;
+    std::vector<std::uint8_t> qMispredicted;
+    std::size_t qHead = 0;
+    std::size_t qSize = 0;
+    std::size_t qCap = 0;
+
+    std::size_t qAt(std::size_t i) const
+    {
+        const std::size_t p = qHead + i;
+        return p >= qCap ? p - qCap : p;
+    }
+
+    std::array<std::int64_t, isa::numArchRegs> regEarliestUse{};
+    std::array<StallCause, isa::numArchRegs> regPendingKind{};
+
+    std::int64_t now = 0;
+    std::int64_t fetchResumeCycle = 0;
+    bool fetchHalted = false;
+    int frontDepth = 2;
+    std::int64_t mispredictShadowEnd = 0;
+    StallCause stallReason = StallCause::FrontEnd;
+
+    util::TraceEventRing *tracer = nullptr;
+
+    trace::TraceSource *source = nullptr;
+    trace::DecodedTraceView *view = nullptr;
+};
+
+} // namespace fo4::core
+
+#endif // FO4_CORE_BATCHED_INORDER_CORE_HH

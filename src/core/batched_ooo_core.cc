@@ -1,0 +1,689 @@
+#include "core/batched_ooo_core.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "bp/predictors.hh"
+#include "core/prewarm.hh"
+#include "core/warm_start.hh"
+#include "isa/opclass.hh"
+#include "util/logging.hh"
+#include "util/status.hh"
+
+namespace fo4::core
+{
+
+namespace
+{
+
+constexpr std::uint64_t noProducer = ~0ull;
+
+/** Reject invalid parameters before any member is constructed. */
+const CoreParams &
+validated(const CoreParams &params)
+{
+    params.validateOrThrow();
+    return params;
+}
+
+std::uint64_t
+nextPowerOfTwo(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+BatchedOooCore::BatchedOooCore(const CoreParams &params,
+                               std::unique_ptr<bp::BranchPredictor> predictor,
+                               std::string predictorKey)
+    : prm(validated(params)), bpred(std::move(predictor)),
+      bpredKey(std::move(predictorKey)),
+      memory(params.dl1, params.l2, params.memLatencies, params.memoryMode)
+{
+    FO4_ASSERT(bpred != nullptr, "core needs a branch predictor");
+
+    frontDepth = prm.fetchStages + prm.decodeStages + prm.renameStages;
+
+    // Same arena sizing as the reference OooCore: slots must outlive
+    // every consumer that can still query a producer.
+    const std::uint64_t needed =
+        prm.robSize + prm.fetchQueueSize +
+        static_cast<std::uint64_t>(frontDepth + 4) * prm.fetchWidth + 64;
+    const std::uint64_t size =
+        std::max<std::uint64_t>(4096, nextPowerOfTwo(needed * 2));
+    aDispatchReady.resize(size);
+    aIssueCycle.resize(size);
+    aDoneCycle.resize(size);
+    aExecLat.resize(size);
+    aDepLat.resize(size);
+    aAddr.resize(size);
+    aCls.resize(size);
+    aSrc1.resize(size);
+    aSrc2.resize(size);
+    aDst.resize(size);
+    aMispredicted.resize(size);
+    aLoadMiss.resize(size);
+    slotMask = size - 1;
+
+    win.reserve(prm.window.capacity);
+    issuedScratch.reserve(16);
+}
+
+isa::MicroOp
+BatchedOooCore::nextOp()
+{
+    if (view != nullptr)
+        return trace::unpackTraceRecord(view->nextRecord());
+    return source->next();
+}
+
+int
+BatchedOooCore::stageOf(std::size_t position) const
+{
+    const int stage =
+        static_cast<int>(position) / prm.window.entriesPerStage();
+    return stage >= prm.window.wakeupStages ? prm.window.wakeupStages - 1
+                                            : stage;
+}
+
+std::int64_t
+BatchedOooCore::depReady(InflightRef producer, int stage) const
+{
+    // The reference WakeupOracle::dependentReadyCycle, devirtualized.
+    if (aIssueCycle[producer] < 0)
+        return -1;
+    const int wakeup = prm.issueLatency + prm.extraWakeup + stage;
+    const int spacing =
+        aDepLat[producer] > wakeup ? aDepLat[producer] : wakeup;
+    return aIssueCycle[producer] + spacing;
+}
+
+bool
+BatchedOooCore::wokenEntry(WinEntry &entry, std::size_t position,
+                           std::int64_t when) const
+{
+    const int stage = stageOf(position);
+    bool allReady = true;
+    for (int s = 0; s < 2; ++s) {
+        const InflightRef producer = entry.producers[s];
+        if (producer == invalidRef)
+            continue;
+        if (entry.srcReadyAt[s] < 0) {
+            const std::int64_t ready = depReady(producer, stage);
+            if (ready < 0) {
+                allReady = false;
+                continue;
+            }
+            entry.srcReadyAt[s] = ready;
+        }
+        if (entry.srcReadyAt[s] > when)
+            allReady = false;
+    }
+    return allReady;
+}
+
+void
+BatchedOooCore::wakeupPass(std::int64_t when)
+{
+    // Idempotent within a cycle: a cached awake result stays valid, and
+    // the frozen per-source cycles depend only on producer schedules and
+    // the entry's position, neither of which moves between passes.
+    for (std::size_t i = 0; i < win.size(); ++i) {
+        if (!win[i].awake)
+            win[i].awake = wokenEntry(win[i], i, now);
+    }
+    (void)when;
+}
+
+void
+BatchedOooCore::selectAndRemove()
+{
+    wakeupPass(now);
+
+    const bool partitioned =
+        prm.window.select == SelectModel::Partitioned;
+    int intLeft = prm.intIssueWidth;
+    int fpLeft = prm.fpIssueWidth;
+    int memLeft = prm.memIssueWidth;
+    issuedScratch.clear();
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < win.size(); ++i) {
+        const WinEntry &e = win[i];
+        bool take = e.awake &&
+                    (!partitioned || stageOf(i) == 0 || e.preselected);
+        if (take) {
+            if (e.fp) {
+                take = fpLeft > 0;
+                fpLeft -= take;
+            } else if (e.mem) {
+                take = memLeft > 0 && intLeft > 0;
+                memLeft -= take;
+                intLeft -= take;
+            } else {
+                take = intLeft > 0;
+                intLeft -= take;
+            }
+        }
+        if (take) {
+            issuedScratch.push_back(e.ref);
+        } else {
+            win[out++] = e;
+        }
+    }
+    win.resize(out);
+
+    if (partitioned) {
+        std::array<int, 8> capLeft = prm.window.preselectCap;
+        for (std::size_t i = 0; i < win.size(); ++i) {
+            WinEntry &e = win[i];
+            e.preselected = false;
+            const int stage = stageOf(i);
+            if (stage == 0)
+                continue;
+            if (!e.awake)
+                e.awake = wokenEntry(e, i, now);
+            const int capIdx = stage - 1;
+            if (e.awake && capIdx < static_cast<int>(capLeft.size()) &&
+                capLeft[capIdx] > 0) {
+                --capLeft[capIdx];
+                e.preselected = true;
+            }
+        }
+    }
+}
+
+void
+BatchedOooCore::resetState()
+{
+    fetchSeq = 0;
+    dispatchSeq = 0;
+    commitSeq = 0;
+    now = 0;
+    fetchResumeCycle = 0;
+    haltingBranch = ~0ull;
+    lsqOccupancy = 0;
+    mispredictShadowEnd = 0;
+    renameMap.fill(noProducer);
+    win.clear();
+}
+
+void
+BatchedOooCore::doCommit(SimResult &result)
+{
+    for (int i = 0; i < prm.commitWidth; ++i) {
+        if (commitSeq == dispatchSeq)
+            return;
+        const std::size_t h = slotIx(commitSeq);
+        if (aIssueCycle[h] < 0 ||
+            aDoneCycle[h] + (prm.commitStages - 1) > now) {
+            return;
+        }
+        if (isa::isMemory(aCls[h]))
+            --lsqOccupancy;
+        if (tracer != nullptr && tracer->wants(now)) {
+            const char *name = isa::opClassName(aCls[h]);
+            const std::uint64_t seq = commitSeq;
+            tracer->emit({name, "pipeline", 0,
+                          aDispatchReady[h] - frontDepth, frontDepth, seq});
+            if (aIssueCycle[h] > aDispatchReady[h])
+                tracer->emit({name, "pipeline", 1, aDispatchReady[h],
+                              aIssueCycle[h] - aDispatchReady[h], seq});
+            tracer->emit({name, "pipeline", 2, aIssueCycle[h],
+                          aDoneCycle[h] - aIssueCycle[h], seq});
+            tracer->emit({name, "pipeline", 3, now, 1, seq});
+        }
+        ++result.instructions;
+        ++commitSeq;
+    }
+}
+
+void
+BatchedOooCore::doIssue()
+{
+    selectAndRemove();
+    for (const InflightRef ref : issuedScratch) {
+        aIssueCycle[ref] = now;
+        aDoneCycle[ref] = now + prm.regReadStages + aExecLat[ref];
+        if (aMispredicted[ref] &&
+            (haltingBranch & slotMask) == ref && haltingBranch != ~0ull) {
+            fetchResumeCycle =
+                aDoneCycle[ref] + prm.extraMispredictPenalty + 1;
+            haltingBranch = ~0ull;
+            mispredictShadowEnd = fetchResumeCycle + frontDepth;
+        }
+    }
+}
+
+void
+BatchedOooCore::doDispatch(SimResult &result)
+{
+    for (int i = 0; i < prm.renameWidth; ++i) {
+        if (dispatchSeq == fetchSeq)
+            return;
+        const std::size_t h = slotIx(dispatchSeq);
+        if (aDispatchReady[h] > now)
+            return;
+        if (win.size() >= static_cast<std::size_t>(prm.window.capacity)) {
+            if (i == 0)
+                ++result.dispatchWindowFull;
+            return;
+        }
+        if (dispatchSeq - commitSeq >=
+            static_cast<std::uint64_t>(prm.robSize)) {
+            if (i == 0)
+                ++result.dispatchRobFull;
+            return;
+        }
+        const bool memOp = isa::isMemory(aCls[h]);
+        if (memOp && lsqOccupancy >= prm.lsqSize) {
+            if (i == 0)
+                ++result.dispatchLsqFull;
+            return;
+        }
+
+        WinEntry e;
+        e.ref = static_cast<InflightRef>(dispatchSeq & slotMask);
+        e.seq = dispatchSeq;
+        e.fp = isa::isFloat(aCls[h]);
+        e.mem = memOp;
+        e.awake = false;
+        e.preselected = false;
+        e.producers = {invalidRef, invalidRef};
+        e.srcReadyAt = {-1, -1};
+        int nsrc = 0;
+        for (const std::int16_t src : {aSrc1[h], aSrc2[h]}) {
+            if (src == isa::noReg)
+                continue;
+            const std::uint64_t pseq = renameMap[src];
+            if (pseq != noProducer && pseq >= commitSeq) {
+                e.producers[nsrc++] =
+                    static_cast<InflightRef>(pseq & slotMask);
+            }
+        }
+
+        aExecLat[h] = prm.execLatency(aCls[h]);
+        aDepLat[h] = aExecLat[h];
+        if (aCls[h] == isa::OpClass::Load) {
+            const std::uint64_t missesBefore = memory.dl1().misses();
+            aDepLat[h] =
+                memory.loadLatency(aAddr[h], now) + prm.extraLoadUse;
+            aExecLat[h] = aDepLat[h];
+            aLoadMiss[h] = memory.dl1().misses() != missesBefore;
+        } else if (aCls[h] == isa::OpClass::Store) {
+            memory.storeLatency(aAddr[h], now);
+        }
+
+        if (aDst[h] != isa::noReg)
+            renameMap[aDst[h]] = dispatchSeq;
+        if (memOp)
+            ++lsqOccupancy;
+
+        win.push_back(e);
+        ++dispatchSeq;
+    }
+}
+
+void
+BatchedOooCore::doFetch(SimResult &result)
+{
+    if (now < fetchResumeCycle || haltingBranch != ~0ull)
+        return;
+
+    const std::uint64_t frontCap =
+        prm.fetchQueueSize +
+        static_cast<std::uint64_t>(frontDepth) * prm.fetchWidth;
+
+    for (int i = 0; i < prm.fetchWidth; ++i) {
+        if (fetchSeq - dispatchSeq >= frontCap)
+            return;
+        const isa::MicroOp op = nextOp();
+
+        const std::size_t h = slotIx(fetchSeq);
+        aDispatchReady[h] = now + frontDepth;
+        aIssueCycle[h] = -1;
+        aDoneCycle[h] = -1;
+        aExecLat[h] = 1;
+        aDepLat[h] = 1;
+        aAddr[h] = op.addr;
+        aCls[h] = op.cls;
+        aSrc1[h] = op.src1;
+        aSrc2[h] = op.src2;
+        aDst[h] = op.dst;
+        aMispredicted[h] = 0;
+        aLoadMiss[h] = 0;
+        const std::uint64_t seq = fetchSeq;
+        ++fetchSeq;
+
+        if (op.isBranch()) {
+            ++result.branches;
+            const bool predicted = bpred->predict(op);
+            bpred->update(op, op.taken);
+            if (predicted != op.taken) {
+                ++result.mispredicts;
+                aMispredicted[h] = 1;
+                haltingBranch = seq;
+                return; // fetch halts until the branch resolves
+            }
+            if (op.taken) {
+                // Redirect bubble on correctly predicted taken branches.
+                fetchResumeCycle = now + 2;
+                return;
+            }
+        } else if (op.isLoad()) {
+            ++result.loads;
+        } else if (op.isStore()) {
+            ++result.stores;
+        }
+    }
+}
+
+StallCause
+BatchedOooCore::classifyStall() const
+{
+    if (commitSeq == dispatchSeq) {
+        return (haltingBranch != ~0ull || now < mispredictShadowEnd)
+                   ? StallCause::BranchMispredict
+                   : StallCause::FrontEnd;
+    }
+    const std::size_t h = slotIx(commitSeq);
+    if (aIssueCycle[h] >= 0) {
+        if (aCls[h] == isa::OpClass::Load)
+            return aLoadMiss[h] ? StallCause::DcacheMiss
+                                : StallCause::RawLoadUse;
+        return StallCause::Execute;
+    }
+    return StallCause::WindowFull;
+}
+
+std::int64_t
+BatchedOooCore::skipIdleSpan(SimResult &result, OccupancySample &occ,
+                             std::uint64_t limit)
+{
+    // A span may be skipped only when commit, issue, dispatch and fetch
+    // are all provably inert for every cycle of the span.  Each stage
+    // either proves it cannot act before a known event cycle (which
+    // bounds the span) or forces a normal per-cycle walk.
+    std::int64_t event = std::numeric_limits<std::int64_t>::max();
+
+    // Commit: the head either retires this cycle (bail) or pins the
+    // span's stall cause and, if issued, bounds the span at the cycle
+    // its commit-stage traversal completes.
+    const bool robEmpty = commitSeq == dispatchSeq;
+    if (!robEmpty) {
+        const std::size_t h = slotIx(commitSeq);
+        if (aIssueCycle[h] >= 0) {
+            const std::int64_t commitAt =
+                aDoneCycle[h] + (prm.commitStages - 1);
+            if (commitAt <= now)
+                return 0;
+            event = std::min(event, commitAt);
+        }
+        // An unissued head wakes no earlier than the window's first
+        // wake event, folded in below.
+    }
+
+    // Issue: any awake entry can be selected (or latched by preselect),
+    // so the window must be entirely asleep.  The pre-freeze performed
+    // by this wakeup pass is exactly what the cycle's own pass would
+    // compute — producer schedules and entry positions cannot change
+    // between here and doIssue.
+    wakeupPass(now);
+    for (const WinEntry &e : win) {
+        if (e.awake)
+            return 0;
+    }
+    // First wake event: entries whose sources' wakeup cycles are all
+    // frozen wake at their max.  Entries waiting on an unissued
+    // producer cannot wake before some other entry issues, which
+    // requires a wake event of its own — they never bound the span.
+    for (const WinEntry &e : win) {
+        bool known = true;
+        std::int64_t wake = -1;
+        for (int s = 0; s < 2; ++s) {
+            if (e.producers[s] == invalidRef)
+                continue;
+            if (e.srcReadyAt[s] < 0) {
+                known = false;
+                break;
+            }
+            wake = std::max(wake, e.srcReadyAt[s]);
+        }
+        if (known && wake > now)
+            event = std::min(event, wake);
+    }
+
+    // Dispatch: blocked on a future ready cycle (bounds the span) or on
+    // a structural limit that cannot clear while nothing commits or
+    // issues (charged per cycle, reference check order).
+    std::uint64_t *dispatchCounter = nullptr;
+    if (dispatchSeq != fetchSeq) {
+        const std::size_t h = slotIx(dispatchSeq);
+        if (aDispatchReady[h] > now) {
+            event = std::min(event, aDispatchReady[h]);
+        } else if (win.size() >=
+                   static_cast<std::size_t>(prm.window.capacity)) {
+            dispatchCounter = &result.dispatchWindowFull;
+        } else if (dispatchSeq - commitSeq >=
+                   static_cast<std::uint64_t>(prm.robSize)) {
+            dispatchCounter = &result.dispatchRobFull;
+        } else if (isa::isMemory(aCls[h]) &&
+                   lsqOccupancy >= prm.lsqSize) {
+            dispatchCounter = &result.dispatchLsqFull;
+        } else {
+            return 0; // the head would dispatch this cycle
+        }
+    }
+
+    // Fetch: halted on an unresolved mispredict (cleared only by issue,
+    // which cannot happen in the span), redirected until a future cycle
+    // (bounds the span), or stopped at the front-end capacity (constant
+    // while nothing dispatches).
+    if (haltingBranch == ~0ull) {
+        if (now < fetchResumeCycle) {
+            event = std::min(event, fetchResumeCycle);
+        } else {
+            const std::uint64_t frontCap =
+                prm.fetchQueueSize +
+                static_cast<std::uint64_t>(frontDepth) * prm.fetchWidth;
+            if (fetchSeq - dispatchSeq < frontCap)
+                return 0; // fetch would run this cycle
+        }
+    }
+
+    // Stall cause, constant across the span.  The only time-dependent
+    // classification — empty ROB leaving the mispredict shadow — bounds
+    // the span at the shadow's end instead.
+    StallCause cause;
+    if (robEmpty) {
+        if (haltingBranch != ~0ull) {
+            cause = StallCause::BranchMispredict;
+        } else if (now < mispredictShadowEnd) {
+            cause = StallCause::BranchMispredict;
+            event = std::min(event, mispredictShadowEnd);
+        } else {
+            cause = StallCause::FrontEnd;
+        }
+    } else {
+        cause = classifyStall();
+    }
+
+    const std::int64_t end =
+        std::min(event, static_cast<std::int64_t>(limit));
+    const std::int64_t n = end - now;
+    if (n <= 0)
+        return 0;
+
+    // Bulk accounting: exactly what n reference zero-commit cycles
+    // would have charged.
+    result.stallCycles += static_cast<std::uint64_t>(n);
+    result.stalls[cause] += static_cast<std::uint64_t>(n);
+    if (dispatchCounter != nullptr)
+        *dispatchCounter += static_cast<std::uint64_t>(n);
+    occ.robSum += (dispatchSeq - commitSeq) * static_cast<std::uint64_t>(n);
+    occ.windowSum += win.size() * static_cast<std::uint64_t>(n);
+    occ.frontSum += (fetchSeq - dispatchSeq) * static_cast<std::uint64_t>(n);
+    occ.lsqSum += static_cast<std::uint64_t>(lsqOccupancy) *
+                  static_cast<std::uint64_t>(n);
+    occ.cycles += static_cast<std::uint64_t>(n);
+    now = end;
+    return n;
+}
+
+SimResult
+BatchedOooCore::run(trace::TraceSource &trace, std::uint64_t instructions,
+                    std::uint64_t warmup, std::uint64_t prewarm,
+                    std::uint64_t cycleLimit, const util::CancelToken *cancel)
+{
+    if (instructions == 0)
+        throw util::ConfigError("nothing to simulate (instructions=0)");
+    trace.reset();
+    resetState();
+
+    view = dynamic_cast<trace::DecodedTraceView *>(&trace);
+    bool warmed = false;
+    if (prewarm > 0 && view != nullptr && !bpredKey.empty()) {
+        // One shared prewarm per sweep column instead of one per cell.
+        const auto warm = WarmStartCache::global().acquire(
+            view->trace(), prewarm, prm, *bpred, bpredKey);
+        memory.adoptWarmState(warm->memory);
+        bpred = warm->bpred->clone();
+        warmed = true;
+    }
+    if (!warmed) {
+        memory.reset();
+        bpred->reset();
+        if (prewarm > 0)
+            prewarmState(trace, prewarm, memory, *bpred);
+    }
+    source = &trace;
+
+    const std::uint64_t total = warmup + instructions;
+    SimResult result;
+    SimResult atWarmup;
+    bool warmupDone = warmup == 0;
+    const std::uint64_t dl1Miss0 = memory.dl1().misses();
+    const std::uint64_t l2Miss0 = memory.l2().misses();
+
+    OccupancySample occ;
+    const std::uint64_t limit =
+        cycleLimit ? cycleLimit : total * 1000 + 100000;
+    while (result.instructions < total) {
+        // The warmup snapshot can never land inside a skipped span: the
+        // committed count is constant there and the snapshot condition
+        // was already false when the preceding cycle checked it.
+        if (skipIdleSpan(result, occ, limit) > 0) {
+            if (static_cast<std::uint64_t>(now) >= limit) {
+                source = nullptr;
+                view = nullptr;
+                throw util::DeadlockError(
+                    watchdogDump(result, total, limit));
+            }
+            if (cancel && cancel->cancelled()) {
+                source = nullptr;
+                view = nullptr;
+                throw util::CancelledError(util::strprintf(
+                    "out-of-order simulation cancelled at cycle %lld "
+                    "after %llu of %llu instructions",
+                    static_cast<long long>(now),
+                    static_cast<unsigned long long>(result.instructions),
+                    static_cast<unsigned long long>(total)));
+            }
+            continue;
+        }
+        const std::uint64_t committedBefore = result.instructions;
+        doCommit(result);
+        if (result.instructions == committedBefore) {
+            ++result.stallCycles;
+            ++result.stalls[classifyStall()];
+        }
+        occ.robSum += dispatchSeq - commitSeq;
+        occ.windowSum += win.size();
+        occ.frontSum += fetchSeq - dispatchSeq;
+        occ.lsqSum += static_cast<std::uint64_t>(lsqOccupancy);
+        ++occ.cycles;
+        if (!warmupDone && result.instructions >= warmup) {
+            result.occupancy = occ;
+            atWarmup = result;
+            atWarmup.cycles = static_cast<std::uint64_t>(now);
+            atWarmup.dl1Misses = memory.dl1().misses() - dl1Miss0;
+            atWarmup.l2Misses = memory.l2().misses() - l2Miss0;
+            warmupDone = true;
+        }
+        if (result.instructions >= total)
+            break;
+        doIssue();
+        doDispatch(result);
+        doFetch(result);
+        ++now;
+        if (static_cast<std::uint64_t>(now) >= limit) {
+            source = nullptr;
+            view = nullptr;
+            throw util::DeadlockError(watchdogDump(result, total, limit));
+        }
+        if (cancel && cancel->cancelled()) {
+            source = nullptr;
+            view = nullptr;
+            throw util::CancelledError(util::strprintf(
+                "out-of-order simulation cancelled at cycle %lld after "
+                "%llu of %llu instructions",
+                static_cast<long long>(now),
+                static_cast<unsigned long long>(result.instructions),
+                static_cast<unsigned long long>(total)));
+        }
+    }
+
+    result.occupancy = occ;
+    result.cycles = static_cast<std::uint64_t>(now);
+    result.dl1Misses = memory.dl1().misses() - dl1Miss0;
+    result.l2Misses = memory.l2().misses() - l2Miss0;
+    source = nullptr;
+    view = nullptr;
+    return result - atWarmup;
+}
+
+util::DeadlockDump
+BatchedOooCore::watchdogDump(const SimResult &result, std::uint64_t total,
+                             std::uint64_t limit) const
+{
+    util::DeadlockDump dump;
+    dump.model = "out-of-order";
+    dump.cycle = now;
+    dump.cycleLimit = limit;
+    dump.committed = result.instructions;
+    dump.target = total;
+    dump.robOccupancy = dispatchSeq - commitSeq;
+    dump.windowOccupancy = win.size();
+    dump.frontEndOccupancy = fetchSeq - dispatchSeq;
+    dump.lsqOccupancy = lsqOccupancy;
+    if (commitSeq != dispatchSeq) {
+        const std::size_t h = slotIx(commitSeq);
+        dump.oldestStalled = util::strprintf(
+            "%s seq=%llu dispatchReady=%lld issue=%lld done=%lld",
+            isa::opClassName(aCls[h]),
+            static_cast<unsigned long long>(commitSeq),
+            static_cast<long long>(aDispatchReady[h]),
+            static_cast<long long>(aIssueCycle[h]),
+            static_cast<long long>(aDoneCycle[h]));
+    } else if (dispatchSeq != fetchSeq) {
+        const std::size_t h = slotIx(dispatchSeq);
+        dump.oldestStalled = util::strprintf(
+            "%s seq=%llu waiting to dispatch (ready cycle %lld)",
+            isa::opClassName(aCls[h]),
+            static_cast<unsigned long long>(dispatchSeq),
+            static_cast<long long>(aDispatchReady[h]));
+    }
+    return dump;
+}
+
+std::unique_ptr<Core>
+makeBatchedOooCore(const CoreParams &params, const std::string &predictor)
+{
+    return std::make_unique<BatchedOooCore>(
+        params, bp::makePredictor(predictor), predictor);
+}
+
+} // namespace fo4::core

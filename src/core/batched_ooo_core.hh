@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Throughput-optimized out-of-order core (`sim_impl=batched`): the same
+ * cycle-level model as OooCore — byte-identical results, pinned by
+ * tests/test_core_differential.cc — restructured for raw speed:
+ *
+ *  - struct-of-arrays in-flight arena (the per-cycle hot scalars live in
+ *    dense typed arrays indexed by sequence slot, not an array of
+ *    DynInst structs);
+ *  - the issue window inlined with a non-virtual wakeup query, removing
+ *    the WakeupOracle virtual dispatch from the hottest loop;
+ *  - devirtualized trace reads when fed a trace::DecodedTraceView;
+ *  - shared prewarm state via core::WarmStartCache;
+ *  - idle-span skipping: spans where commit, issue, dispatch and fetch
+ *    are all provably inert (no awake window entry, every stage blocked
+ *    on a known future event) are charged in bulk instead of walked.
+ *
+ * DESIGN.md §14 is the contract: none of these may change bytes.
+ */
+
+#ifndef FO4_CORE_BATCHED_OOO_CORE_HH
+#define FO4_CORE_BATCHED_OOO_CORE_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "bp/predictor.hh"
+#include "core/core.hh"
+#include "core/window.hh"
+#include "isa/microop.hh"
+#include "mem/hierarchy.hh"
+#include "trace/decoded_trace.hh"
+#include "util/status.hh"
+
+namespace fo4::core
+{
+
+/** The batched out-of-order pipeline model. */
+class BatchedOooCore : public Core
+{
+  public:
+    /**
+     * `predictorKey` names the predictor's factory configuration and
+     * enables the shared warm-state cache; empty disables sharing (the
+     * core then prewarms per run, still byte-identically).
+     */
+    BatchedOooCore(const CoreParams &params,
+                   std::unique_ptr<bp::BranchPredictor> predictor,
+                   std::string predictorKey = "");
+
+    SimResult run(trace::TraceSource &trace, std::uint64_t instructions,
+                  std::uint64_t warmup = 0, std::uint64_t prewarm = 0,
+                  std::uint64_t cycleLimit = 0,
+                  const util::CancelToken *cancel = nullptr) override;
+
+    const CoreParams &params() const override { return prm; }
+
+    void setTracer(util::TraceEventRing *ring) override { tracer = ring; }
+
+  private:
+    /** One issue-window entry; the same state window.cc keeps. */
+    struct WinEntry
+    {
+        InflightRef ref;
+        std::uint64_t seq;
+        bool fp;
+        bool mem;
+        bool awake;
+        bool preselected;
+        std::array<InflightRef, 2> producers;
+        std::array<std::int64_t, 2> srcReadyAt;
+    };
+
+    void resetState();
+    util::DeadlockDump watchdogDump(const SimResult &result,
+                                    std::uint64_t total,
+                                    std::uint64_t limit) const;
+    void doCommit(SimResult &result);
+    void doIssue();
+    void doDispatch(SimResult &result);
+    void doFetch(SimResult &result);
+    StallCause classifyStall() const;
+    isa::MicroOp nextOp();
+
+    // Inlined issue-window algorithm (window.cc semantics, devirtualized
+    // wakeup, stats omitted — they are not part of SimResult).
+    int stageOf(std::size_t position) const;
+    std::int64_t depReady(InflightRef producer, int stage) const;
+    bool wokenEntry(WinEntry &entry, std::size_t position,
+                    std::int64_t when) const;
+    void wakeupPass(std::int64_t when);
+    void selectAndRemove();
+
+    /** Bulk-account a provably-idle span; returns cycles skipped. */
+    std::int64_t skipIdleSpan(SimResult &result, OccupancySample &occ,
+                              std::uint64_t limit);
+
+    std::size_t slotIx(std::uint64_t seq) const { return seq & slotMask; }
+
+    CoreParams prm;
+    std::unique_ptr<bp::BranchPredictor> bpred;
+    std::string bpredKey;
+    mem::MemoryHierarchy memory;
+
+    // In-flight arena, struct-of-arrays over sequence slots.
+    std::vector<std::int64_t> aDispatchReady;
+    std::vector<std::int64_t> aIssueCycle;
+    std::vector<std::int64_t> aDoneCycle;
+    std::vector<int> aExecLat;
+    std::vector<int> aDepLat;
+    std::vector<std::uint64_t> aAddr;
+    std::vector<isa::OpClass> aCls;
+    std::vector<std::int16_t> aSrc1;
+    std::vector<std::int16_t> aSrc2;
+    std::vector<std::int16_t> aDst;
+    std::vector<std::uint8_t> aMispredicted;
+    std::vector<std::uint8_t> aLoadMiss;
+    std::uint64_t slotMask = 0;
+
+    // Issue window (age order, oldest first).
+    std::vector<WinEntry> win;
+    std::vector<InflightRef> issuedScratch;
+
+    std::uint64_t fetchSeq = 0;
+    std::uint64_t dispatchSeq = 0;
+    std::uint64_t commitSeq = 0;
+
+    std::int64_t now = 0;
+    std::int64_t fetchResumeCycle = 0;
+    std::uint64_t haltingBranch = ~0ull;
+    int frontDepth = 3;
+    int lsqOccupancy = 0;
+    std::int64_t mispredictShadowEnd = 0;
+
+    util::TraceEventRing *tracer = nullptr;
+
+    std::array<std::uint64_t, isa::numArchRegs> renameMap{};
+
+    trace::TraceSource *source = nullptr;
+    trace::DecodedTraceView *view = nullptr;
+};
+
+} // namespace fo4::core
+
+#endif // FO4_CORE_BATCHED_OOO_CORE_HH

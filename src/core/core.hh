@@ -232,6 +232,19 @@ std::unique_ptr<Core> makeInorderCore(const CoreParams &params,
                                       const std::string &predictor =
                                           "tournament");
 
+/**
+ * Throughput-optimized variants (`sim_impl=batched`): the same models,
+ * byte-identical results (DESIGN.md §14), restructured for speed —
+ * struct-of-arrays state, devirtualized decoded-trace reads, shared
+ * prewarm state, and idle-span skipping.
+ */
+std::unique_ptr<Core> makeBatchedOooCore(const CoreParams &params,
+                                         const std::string &predictor =
+                                             "tournament");
+std::unique_ptr<Core> makeBatchedInorderCore(const CoreParams &params,
+                                             const std::string &predictor =
+                                                 "tournament");
+
 } // namespace fo4::core
 
 #endif // FO4_CORE_CORE_HH

@@ -1,0 +1,91 @@
+#include "core/warm_start.hh"
+
+#include "util/metrics.hh"
+#include "util/status.hh"
+
+namespace fo4::core
+{
+
+WarmStartCache &
+WarmStartCache::global()
+{
+    static WarmStartCache cache;
+    return cache;
+}
+
+std::shared_ptr<const WarmState>
+WarmStartCache::acquire(trace::DecodedTrace &trace, std::uint64_t prewarm,
+                        const CoreParams &params,
+                        const bp::BranchPredictor &prototype,
+                        const std::string &predictorKey)
+{
+    const std::string key = util::strprintf(
+        "%s;%llu;%s;%llu/%u/%u;%llu/%u/%u;%d", trace.key().c_str(),
+        static_cast<unsigned long long>(prewarm), predictorKey.c_str(),
+        static_cast<unsigned long long>(params.dl1.capacityBytes),
+        params.dl1.lineBytes, params.dl1.associativity,
+        static_cast<unsigned long long>(params.l2.capacityBytes),
+        params.l2.lineBytes, params.l2.associativity,
+        static_cast<int>(params.memoryMode));
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> guard(lock);
+        auto &slot = entries[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+
+    std::call_once(entry->once, [&] {
+        static auto &built =
+            util::MetricsRegistry::global().counter("core.warm_state.built");
+        auto state = std::make_shared<WarmState>(
+            WarmState{mem::MemoryHierarchy(params.dl1, params.l2,
+                                           params.memLatencies,
+                                           params.memoryMode),
+                      prototype.clone()});
+        state->bpred->reset();
+        // The reference prewarm procedure (core/prewarm.hh), fed from
+        // the decoded records: functional accesses in stream order,
+        // then the bus bookkeeping resets.
+        for (std::uint64_t i = 0; i < prewarm; ++i) {
+            const isa::MicroOp op =
+                trace::unpackTraceRecord(trace.record(i));
+            if (op.isLoad()) {
+                state->memory.loadLatency(op.addr,
+                                          static_cast<std::int64_t>(i));
+            } else if (op.isStore()) {
+                state->memory.storeLatency(op.addr,
+                                           static_cast<std::int64_t>(i));
+            } else if (op.isBranch()) {
+                state->bpred->predict(op);
+                state->bpred->update(op, op.taken);
+            }
+        }
+        state->memory.resetContention();
+        entry->state = std::move(state);
+        built.inc();
+    });
+
+    static auto &served =
+        util::MetricsRegistry::global().counter("core.warm_state.served");
+    served.inc();
+    return entry->state;
+}
+
+std::size_t
+WarmStartCache::size() const
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return entries.size();
+}
+
+void
+WarmStartCache::clear()
+{
+    std::lock_guard<std::mutex> guard(lock);
+    entries.clear();
+}
+
+} // namespace fo4::core

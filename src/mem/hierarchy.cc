@@ -75,4 +75,24 @@ MemoryHierarchy::resetContention()
     memBusFreeAt = 0;
 }
 
+void
+MemoryHierarchy::adoptWarmState(const MemoryHierarchy &donor)
+{
+    FO4_ASSERT(mode_ == donor.mode_ &&
+                   dl1_.params().capacityBytes ==
+                       donor.dl1_.params().capacityBytes &&
+                   dl1_.params().lineBytes == donor.dl1_.params().lineBytes &&
+                   dl1_.params().associativity ==
+                       donor.dl1_.params().associativity &&
+                   l2_.params().capacityBytes ==
+                       donor.l2_.params().capacityBytes &&
+                   l2_.params().lineBytes == donor.l2_.params().lineBytes &&
+                   l2_.params().associativity ==
+                       donor.l2_.params().associativity,
+               "warm-state donor has a different cache geometry");
+    dl1_ = donor.dl1_;
+    l2_ = donor.l2_;
+    resetContention();
+}
+
 } // namespace fo4::mem

@@ -73,6 +73,16 @@ class MemoryHierarchy
     /** Clear only the bus-busy bookkeeping (after functional prewarm). */
     void resetContention();
 
+    /**
+     * Copy the cache state (tags, LRU order, hit/miss counters) of a
+     * donor hierarchy with identical geometry and mode; bus bookkeeping
+     * resets, exactly as after prewarmState().  Cache contents depend
+     * only on geometry and the access stream — never on latencies — so
+     * one prewarmed donor serves every clock-period cell of a sweep
+     * column.
+     */
+    void adoptWarmState(const MemoryHierarchy &donor);
+
     const Cache &dl1() const { return dl1_; }
     const Cache &l2() const { return l2_; }
     const HierarchyLatencies &latencies() const { return lat; }

@@ -1,0 +1,164 @@
+#include "study/batch.hh"
+
+#include <chrono>
+#include <mutex>
+
+#include "util/metrics.hh"
+#include "util/thread_pool.hh"
+
+namespace fo4::study
+{
+
+namespace
+{
+
+double
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+std::vector<BenchJob>
+jobsFromProfiles(const std::vector<trace::BenchmarkProfile> &profiles)
+{
+    std::vector<BenchJob> jobs;
+    jobs.reserve(profiles.size());
+    for (const auto &profile : profiles)
+        jobs.push_back(BenchJob::fromProfile(profile));
+    return jobs;
+}
+
+} // namespace
+
+BatchRunner::BatchRunner(int threads)
+    : nThreads(threads <= 0 ? util::ThreadPool::hardwareThreads() : threads)
+{
+}
+
+std::vector<SuiteResult>
+BatchRunner::runGrid(const std::vector<GridPoint> &points,
+                     const std::vector<BenchJob> &jobs, const RunSpec &spec,
+                     GridProfile *profile) const
+{
+    RunSpec batched = spec;
+    batched.impl = SimImpl::Batched;
+
+    // Fail fast on any misconfigured point before fanning anything out,
+    // with the serial runner's exact validation and exception.
+    for (const auto &point : points)
+        validateSuiteInputs(point.params, point.clock, jobs, batched);
+
+    const auto runStart = std::chrono::steady_clock::now();
+    const cacti::LatencyCacheStats cache0 =
+        cacti::LatencyCache::global().stats();
+    std::mutex profileMutex;
+    if (profile != nullptr) {
+        *profile = GridProfile{};
+        profile->cells.reserve(points.size() * jobs.size());
+    }
+
+    // Preallocate every result slot: each cell writes results[p][j] and
+    // nothing else, so the merge order is the grid order no matter the
+    // execution order — which here is the grid's *transpose*.  Walking
+    // a benchmark's cells consecutively means the first one decodes the
+    // stream and builds the prewarm state, and the rest reuse both.
+    std::vector<SuiteResult> results(points.size());
+    for (auto &suite : results)
+        suite.benchmarks.resize(jobs.size());
+
+    util::ThreadPool pool(nThreads);
+    util::TaskGroup group(pool);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        for (std::size_t p = 0; p < points.size(); ++p) {
+            group.submit([&, p, j] {
+                const auto cellStart = std::chrono::steady_clock::now();
+                results[p].benchmarks[j] = runJobIsolated(
+                    points[p].params, points[p].clock, jobs[j], batched);
+                static util::MetricCounter &cellsExecuted =
+                    util::MetricsRegistry::global().counter(
+                        "study.cells.executed");
+                cellsExecuted.inc();
+                if (profile != nullptr) {
+                    std::lock_guard<std::mutex> lock(profileMutex);
+                    profile->cells.push_back(
+                        {p, j, elapsedMs(cellStart)});
+                }
+            });
+        }
+    }
+    group.wait();
+
+    if (profile != nullptr) {
+        profile->wallMs = elapsedMs(runStart);
+        const cacti::LatencyCacheStats cache1 =
+            cacti::LatencyCache::global().stats();
+        profile->cacheDelta.hits = cache1.hits - cache0.hits;
+        profile->cacheDelta.misses = cache1.misses - cache0.misses;
+        profile->cacheDelta.inserts = cache1.inserts - cache0.inserts;
+    }
+    return results;
+}
+
+SuiteResult
+BatchRunner::runSuite(const core::CoreParams &params,
+                      const tech::ClockModel &clock,
+                      const std::vector<BenchJob> &jobs,
+                      const RunSpec &spec) const
+{
+    std::vector<GridPoint> point(1);
+    point[0].params = params;
+    point[0].clock = clock;
+    return std::move(runGrid(point, jobs, spec).front());
+}
+
+SuiteResult
+BatchRunner::runSuite(const core::CoreParams &params,
+                      const tech::ClockModel &clock,
+                      const std::vector<trace::BenchmarkProfile> &profiles,
+                      const RunSpec &spec) const
+{
+    return runSuite(params, clock, jobsFromProfiles(profiles), spec);
+}
+
+std::vector<SweepPointResult>
+sweepScalingBatched(const std::vector<double> &tUseful,
+                    const SweepOptions &options,
+                    const std::vector<BenchJob> &jobs, const RunSpec &spec)
+{
+    std::vector<GridPoint> points;
+    points.reserve(tUseful.size());
+    for (const double u : tUseful) {
+        GridPoint point;
+        point.params = scaledCoreParams(u, options.scaling);
+        point.clock = scaledClock(u, options.overhead);
+        points.push_back(std::move(point));
+    }
+
+    const BatchRunner runner(options.threads);
+    auto suites = runner.runGrid(points, jobs, spec);
+
+    std::vector<SweepPointResult> out;
+    out.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SweepPointResult r;
+        r.tUseful = tUseful[i];
+        r.clock = points[i].clock;
+        r.suite = std::move(suites[i]);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::vector<SweepPointResult>
+sweepScalingBatched(const std::vector<double> &tUseful,
+                    const SweepOptions &options,
+                    const std::vector<trace::BenchmarkProfile> &profiles,
+                    const RunSpec &spec)
+{
+    return sweepScalingBatched(tUseful, options, jobsFromProfiles(profiles),
+                               spec);
+}
+
+} // namespace fo4::study

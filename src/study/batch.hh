@@ -1,0 +1,91 @@
+/**
+ * @file
+ * One-pass batched sweep execution.  A scaling sweep is a (clock-period
+ * x benchmark) grid; the reference engine walks it point-major, so each
+ * benchmark's instruction stream is regenerated and its caches re-warmed
+ * once per clock period.  BatchRunner walks the transpose: all cells of
+ * one benchmark *column* run consecutively against the batched cores
+ * (study::SimImpl::Batched), so the column's stream is decoded once into
+ * the process-wide trace::DecodedTraceRegistry and its prewarm state is
+ * computed once in core::WarmStartCache — every later cell replays and
+ * copies instead of regenerating.
+ *
+ * Byte-identity contract (DESIGN.md §14, pinned by test_parallel_runner
+ * and test_core_differential): every cell still runs through
+ * study::runJobIsolated into its own preallocated result slot, so
+ * BatchRunner's merged results are serializeSuite-equal to
+ * ParallelRunner's and to the serial runSuite's, at every thread count,
+ * on every input — including failed rows and their typed errors.
+ */
+
+#ifndef FO4_STUDY_BATCH_HH
+#define FO4_STUDY_BATCH_HH
+
+#include <vector>
+
+#include "study/parallel.hh"
+#include "study/runner.hh"
+
+namespace fo4::study
+{
+
+/**
+ * Fans sweep grids across a fixed number of threads, column-major, on
+ * the batched core implementation.  `threads == 1` (the default) is
+ * strictly serial; `threads <= 0` selects the hardware thread count.
+ */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(int threads = 1);
+
+    /** Actual parallelism this runner fans out to (>= 1). */
+    int threads() const { return nThreads; }
+
+    /**
+     * Run the full (point x job) grid one benchmark column at a time;
+     * the spec's impl is forced to SimImpl::Batched (that is the point
+     * of this runner).  Same validation, same per-cell isolation and
+     * the same merged results as ParallelRunner::runGrid.
+     */
+    std::vector<SuiteResult> runGrid(const std::vector<GridPoint> &points,
+                                     const std::vector<BenchJob> &jobs,
+                                     const RunSpec &spec,
+                                     GridProfile *profile = nullptr) const;
+
+    /** Batched drop-in for study::runSuite (a one-point grid). */
+    SuiteResult runSuite(const core::CoreParams &params,
+                         const tech::ClockModel &clock,
+                         const std::vector<BenchJob> &jobs,
+                         const RunSpec &spec) const;
+
+    /** Convenience overload: every profile becomes a plain job. */
+    SuiteResult runSuite(const core::CoreParams &params,
+                         const tech::ClockModel &clock,
+                         const std::vector<trace::BenchmarkProfile>
+                             &profiles,
+                         const RunSpec &spec) const;
+
+  private:
+    int nThreads;
+};
+
+/**
+ * The paper's standard experiment on the one-pass engine: identical
+ * points and results to study::sweepScaling, executed by BatchRunner.
+ */
+std::vector<SweepPointResult>
+sweepScalingBatched(const std::vector<double> &tUseful,
+                    const SweepOptions &options,
+                    const std::vector<BenchJob> &jobs, const RunSpec &spec);
+
+/** Convenience overload for profile lists. */
+std::vector<SweepPointResult>
+sweepScalingBatched(const std::vector<double> &tUseful,
+                    const SweepOptions &options,
+                    const std::vector<trace::BenchmarkProfile> &profiles,
+                    const RunSpec &spec);
+
+} // namespace fo4::study
+
+#endif // FO4_STUDY_BATCH_HH

@@ -188,6 +188,9 @@ hashSpec(IdentityHasher &h, const RunSpec &spec)
 {
     // spec.tracer is deliberately absent: tracing observes a run
     // without changing its bytes, so it must not block a resume.
+    // spec.impl is absent for the same reason: the batched and
+    // reference implementations are byte-identical by contract
+    // (DESIGN.md §14), so a sweep may be resumed under either.
     h.i(static_cast<int>(spec.model));
     h.s(spec.predictor);
     h.u(spec.instructions);

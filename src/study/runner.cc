@@ -1,5 +1,6 @@
 #include "study/runner.hh"
 
+#include "trace/decoded_trace.hh"
 #include "trace/file_trace.hh"
 #include "trace/generator.hh"
 #include "util/logging.hh"
@@ -89,6 +90,30 @@ SuiteResult::totalCycles() const
     return sum;
 }
 
+const char *
+simImplName(SimImpl impl)
+{
+    switch (impl) {
+    case SimImpl::Reference:
+        return "reference";
+    case SimImpl::Batched:
+        return "batched";
+    }
+    return "?";
+}
+
+SimImpl
+simImplFromName(const std::string &name)
+{
+    if (name == "reference")
+        return SimImpl::Reference;
+    if (name == "batched")
+        return SimImpl::Batched;
+    throw util::ConfigError(util::strprintf(
+        "unknown sim_impl '%s' (expected 'reference' or 'batched')",
+        name.c_str()));
+}
+
 util::Status
 RunSpec::validate() const
 {
@@ -134,9 +159,16 @@ runJob(const core::CoreParams &params, const tech::ClockModel &clock,
     }
 
     // Build the instruction stream; a corrupt trace file or invalid
-    // profile surfaces here as TraceError/ConfigError.
+    // profile surfaces here as TraceError/ConfigError.  The batched
+    // implementation replays the process-wide decoded cache instead of
+    // regenerating the stream — identical ops (op.seq == position in
+    // both paths), identical errors (load failures are never cached).
     std::unique_ptr<trace::TraceSource> source;
-    if (job.profile) {
+    if (spec.impl == SimImpl::Batched) {
+        auto &registry = trace::DecodedTraceRegistry::global();
+        source = job.profile ? registry.viewForProfile(*job.profile)
+                             : registry.viewForFile(job.tracePath);
+    } else if (job.profile) {
         source =
             std::make_unique<trace::SyntheticTraceGenerator>(*job.profile);
     } else {
@@ -144,9 +176,17 @@ runJob(const core::CoreParams &params, const tech::ClockModel &clock,
     }
 
     const core::CoreParams &effective = job.params ? *job.params : params;
-    auto core = spec.model == CoreModel::OutOfOrder
-                    ? core::makeOooCore(effective, spec.predictor)
-                    : core::makeInorderCore(effective, spec.predictor);
+    std::unique_ptr<core::Core> core;
+    if (spec.impl == SimImpl::Batched) {
+        core = spec.model == CoreModel::OutOfOrder
+                   ? core::makeBatchedOooCore(effective, spec.predictor)
+                   : core::makeBatchedInorderCore(effective,
+                                                  spec.predictor);
+    } else {
+        core = spec.model == CoreModel::OutOfOrder
+                   ? core::makeOooCore(effective, spec.predictor)
+                   : core::makeInorderCore(effective, spec.predictor);
+    }
 
     if (spec.tracer != nullptr)
         core->setTracer(spec.tracer);

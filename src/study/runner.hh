@@ -37,6 +37,27 @@ enum class CoreModel
     OutOfOrder,
 };
 
+/**
+ * Which core implementation services a run.  Both produce byte-identical
+ * results — serializeSuite-equal on every input, including failed rows
+ * (DESIGN.md §14) — so the choice is purely an engineering speed knob:
+ * Reference is the plain per-cycle model, Batched is the one-pass
+ * throughput path (decoded-trace replay, shared prewarm state,
+ * idle-span skipping).  Excluded from gridFingerprint for the same
+ * reason tracers are: unable to change bytes, must not block a resume.
+ */
+enum class SimImpl
+{
+    Reference,
+    Batched,
+};
+
+/** Stable name of an implementation ("reference", "batched"). */
+const char *simImplName(SimImpl impl);
+
+/** Parse a sim_impl name; throws ConfigError on unknown values. */
+SimImpl simImplFromName(const std::string &name);
+
 /** One benchmark's outcome. */
 struct BenchResult
 {
@@ -98,6 +119,9 @@ struct RunSpec
     std::uint64_t prewarm = 500000;
     /** Watchdog budget in cycles; 0 picks the core's default. */
     std::uint64_t cycleLimit = 0;
+
+    /** Core implementation (reference or batched; identical bytes). */
+    SimImpl impl = SimImpl::Reference;
 
     /**
      * Optional pipeline event tracer attached to the core before the

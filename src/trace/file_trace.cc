@@ -15,20 +15,6 @@ constexpr char magic[8] = {'F', 'O', '4', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t version = 1;
 constexpr long headerBytes = 16;
 
-/** Fixed-size on-disk record (little-endian, packed by hand). */
-struct Record
-{
-    std::uint64_t seq;
-    std::uint64_t pc;
-    std::uint64_t addr;
-    std::int16_t src1;
-    std::int16_t src2;
-    std::int16_t dst;
-    std::uint8_t cls;
-    std::uint8_t taken;
-};
-static_assert(sizeof(Record) == 32, "trace record must be 32 bytes");
-
 /** Closes the stream on every exit path, including thrown TraceErrors. */
 struct FileCloser
 {
@@ -36,23 +22,9 @@ struct FileCloser
     ~FileCloser() { std::fclose(f); }
 };
 
-Record
-toRecord(const isa::MicroOp &op)
-{
-    Record r;
-    r.seq = op.seq;
-    r.pc = op.pc;
-    r.addr = op.addr;
-    r.src1 = op.src1;
-    r.src2 = op.src2;
-    r.dst = op.dst;
-    r.cls = static_cast<std::uint8_t>(op.cls);
-    r.taken = op.taken ? 1 : 0;
-    return r;
-}
-
+/** Range-check then unpack a record read from an untrusted file. */
 isa::MicroOp
-fromRecord(const Record &r, const std::string &path, std::size_t index)
+fromRecord(const TraceRecord &r, const std::string &path, std::size_t index)
 {
     if (r.cls >= isa::numOpClasses) {
         throw util::TraceError(
@@ -72,6 +44,29 @@ fromRecord(const Record &r, const std::string &path, std::size_t index)
                                 isa::numArchRegs));
         }
     }
+    return unpackTraceRecord(r);
+}
+
+} // namespace
+
+TraceRecord
+packTraceRecord(const isa::MicroOp &op)
+{
+    TraceRecord r;
+    r.seq = op.seq;
+    r.pc = op.pc;
+    r.addr = op.addr;
+    r.src1 = op.src1;
+    r.src2 = op.src2;
+    r.dst = op.dst;
+    r.cls = static_cast<std::uint8_t>(op.cls);
+    r.taken = op.taken ? 1 : 0;
+    return r;
+}
+
+isa::MicroOp
+unpackTraceRecord(const TraceRecord &r)
+{
     isa::MicroOp op;
     op.seq = r.seq;
     op.pc = r.pc;
@@ -83,8 +78,6 @@ fromRecord(const Record &r, const std::string &path, std::size_t index)
     op.taken = r.taken != 0;
     return op;
 }
-
-} // namespace
 
 void
 recordTrace(const std::string &path, TraceSource &source,
@@ -102,12 +95,12 @@ recordTrace(const std::string &path, TraceSource &source,
     FileCloser closer{f};
 
     std::fwrite(magic, sizeof(magic), 1, f);
-    const std::uint32_t header[2] = {version, sizeof(Record)};
+    const std::uint32_t header[2] = {version, sizeof(TraceRecord)};
     std::fwrite(header, sizeof(header), 1, f);
 
     source.reset();
     for (std::uint64_t i = 0; i < count; ++i) {
-        const Record r = toRecord(source.next());
+        const TraceRecord r = packTraceRecord(source.next());
         if (std::fwrite(&r, sizeof(r), 1, f) != 1) {
             throw util::TraceError(
                 util::ErrorCode::TraceIo,
@@ -161,20 +154,20 @@ FileTrace::FileTrace(const std::string &path)
                             "(expected %u)",
                             path.c_str(), header[0], version));
     }
-    if (header[1] != sizeof(Record)) {
+    if (header[1] != sizeof(TraceRecord)) {
         throw util::TraceError(
             util::ErrorCode::TraceFormat,
             util::strprintf("trace file '%s' declares %u-byte records "
                             "(expected %zu)",
-                            path.c_str(), header[1], sizeof(Record)));
+                            path.c_str(), header[1], sizeof(TraceRecord)));
     }
 
     // A trailing partial record means the file was truncated mid-write;
     // silently dropping it would replay a different instruction stream
     // than was recorded.
     const long payloadBytes = fileBytes - headerBytes;
-    const long leftover = payloadBytes % static_cast<long>(sizeof(Record));
-    const long records = payloadBytes / static_cast<long>(sizeof(Record));
+    const long leftover = payloadBytes % static_cast<long>(sizeof(TraceRecord));
+    const long records = payloadBytes / static_cast<long>(sizeof(TraceRecord));
     if (leftover != 0) {
         throw util::TraceError(
             util::ErrorCode::TraceCorrupt,
@@ -190,7 +183,7 @@ FileTrace::FileTrace(const std::string &path)
     }
 
     ops.reserve(static_cast<std::size_t>(records));
-    Record r;
+    TraceRecord r;
     for (long i = 0; i < records; ++i) {
         if (std::fread(&r, sizeof(r), 1, f) != 1) {
             throw util::TraceError(

@@ -23,6 +23,34 @@ namespace fo4::trace
 {
 
 /**
+ * Fixed-size packed instruction record: both the on-disk layout of a
+ * recorded trace file (little-endian) and the in-memory layout of the
+ * DecodedTrace cache, so a materialized stream is exactly what a
+ * recorder would have written.
+ */
+struct TraceRecord
+{
+    std::uint64_t seq;
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::int16_t src1;
+    std::int16_t src2;
+    std::int16_t dst;
+    std::uint8_t cls;
+    std::uint8_t taken;
+};
+static_assert(sizeof(TraceRecord) == 32, "trace record must be 32 bytes");
+
+/** Pack a MicroOp into the record layout (no validation needed: a
+ *  MicroOp is in range by construction). */
+TraceRecord packTraceRecord(const isa::MicroOp &op);
+
+/** Unpack a record assumed valid (e.g. produced by packTraceRecord).
+ *  Records read from untrusted files are range-checked by FileTrace
+ *  before they reach this layout. */
+isa::MicroOp unpackTraceRecord(const TraceRecord &r);
+
+/**
  * Write `count` instructions from a source to a trace file.  Throws
  * TraceError on I/O failure.
  */

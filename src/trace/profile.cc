@@ -54,6 +54,29 @@ BenchmarkProfile::validate() const
     return errs.status(util::ErrorCode::InvalidConfig);
 }
 
+std::string
+BenchmarkProfile::identityKey() const
+{
+    std::string key;
+    // Length-prefix the name so no choice of name can collide with the
+    // rendering of another profile's fields.
+    key += util::strprintf("%zu:%s|%d|", name.size(), name.c_str(),
+                           static_cast<int>(cls));
+    for (const double d :
+         {wIntAlu, wIntMult, wFpAdd, wFpMult, wFpDiv, wFpSqrt, wLoad,
+          wStore, meanDepDistance, minDepDistance, src2Prob,
+          fpSourceAffinity, fpLoadFraction, meanBlockSize,
+          biasedBranchFraction, strongBias, patternBranchFraction,
+          correlatedBranchFraction, takenBiasFraction, branchDepDistance,
+          strideFraction, lineStrideProb, zipfExponent})
+        key += util::strprintf("%a|", d);
+    key += util::strprintf("%d|%llu|%d|%llu", staticBranches,
+                           static_cast<unsigned long long>(workingSetBytes),
+                           strideStreams,
+                           static_cast<unsigned long long>(seed));
+    return key;
+}
+
 void
 BenchmarkProfile::validateOrThrow() const
 {

@@ -110,6 +110,14 @@ struct BenchmarkProfile
 
     /** Throw ConfigError (with the full violation list) if invalid. */
     void validateOrThrow() const;
+
+    /**
+     * Canonical rendering of every field that shapes the generated
+     * instruction stream, doubles in hexfloat so no precision is lost.
+     * Two profiles with equal keys generate identical streams; used as
+     * the DecodedTrace registry key.
+     */
+    std::string identityKey() const;
 };
 
 } // namespace fo4::trace

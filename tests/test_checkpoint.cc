@@ -563,3 +563,78 @@ TEST(CheckpointedRunner, InvalidRetryPolicyIsConfigError)
     EXPECT_THROW(runner.runGrid(points, jobs, smallSpec()),
                  util::ConfigError);
 }
+
+TEST(GridFingerprint, IgnoresSimImplLikeTracers)
+{
+    // The batched and reference implementations are byte-identical by
+    // contract (DESIGN.md §14), so the implementation choice — like an
+    // attached tracer — must not change the journal identity: a sweep
+    // journaled under one implementation resumes under the other.
+    const auto points = twoPoints();
+    const std::vector<study::BenchJob> jobs{study::BenchJob::fromProfile(
+        trace::spec2000Profile("176.gcc"))};
+    auto reference = smallSpec();
+    reference.impl = study::SimImpl::Reference;
+    auto batched = smallSpec();
+    batched.impl = study::SimImpl::Batched;
+    EXPECT_EQ(study::gridFingerprint(points, jobs, reference),
+              study::gridFingerprint(points, jobs, batched));
+}
+
+TEST(CheckpointedRunner, CancelMidBatchedSweepResumesUnderEitherImpl)
+{
+    // The interrupted-sweep drill on the one-pass engine: cancel a
+    // batched journaled run mid-grid, then resume it — once under the
+    // batched implementation and once under the reference one — and
+    // demand the uninterrupted reference runner's exact bytes both
+    // times.
+    const std::vector<study::BenchJob> jobs{
+        study::BenchJob::fromProfile(trace::spec2000Profile("176.gcc")),
+        study::BenchJob::fromProfile(trace::spec2000Profile("181.mcf")),
+        study::BenchJob::fromProfile(
+            trace::spec2000Profile("256.bzip2"))};
+    const auto points = twoPoints();
+    auto referenceSpec = smallSpec();
+    auto batchedSpec = smallSpec();
+    batchedSpec.impl = study::SimImpl::Batched;
+    const auto path = tempPath("ckpt_cancel_batched.journal");
+
+    const auto reference = serializeAll(
+        study::ParallelRunner(1).runGrid(points, jobs, referenceSpec));
+
+    // Serial batched run, cancelled as the third cell begins.
+    util::CancelToken cancel;
+    std::atomic<int> started{0};
+    study::CheckpointOptions opts;
+    opts.journalPath = path;
+    opts.threads = 1;
+    opts.cancel = &cancel;
+    opts.onAttempt = [&](std::size_t, std::size_t, int) {
+        if (++started == 3)
+            cancel.requestCancel();
+    };
+    study::CheckpointedRunner runner(opts);
+    EXPECT_THROW(runner.runGrid(points, jobs, batchedSpec),
+                 util::CancelledError);
+    EXPECT_EQ(util::readJournal(path).records.size(), 2u);
+
+    // Resume under the batched implementation.
+    study::CheckpointOptions plain;
+    plain.journalPath = path;
+    study::CheckpointedRunner resumeBatched(plain);
+    EXPECT_EQ(
+        serializeAll(resumeBatched.runGrid(points, jobs, batchedSpec)),
+        reference);
+    EXPECT_TRUE(resumeBatched.report().resumed);
+    EXPECT_EQ(resumeBatched.report().replayedCells, 2u);
+
+    // Cross-implementation resume: rewind to one durable record and
+    // finish the batched-started journal on the reference engine.
+    truncateJournalTo(path, 1);
+    study::CheckpointedRunner resumeReference(plain);
+    EXPECT_EQ(
+        serializeAll(resumeReference.runGrid(points, jobs, referenceSpec)),
+        reference);
+    EXPECT_EQ(resumeReference.report().replayedCells, 1u);
+    std::remove(path.c_str());
+}

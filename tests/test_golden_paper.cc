@@ -53,6 +53,12 @@ goldenSpec()
     // ctest timeout: ~200 cycles per instruction is 50x the worst IPC
     // any sane configuration produces here.
     spec.cycleLimit = 1000000;
+    // The pins run on the one-pass engine — the implementation every
+    // bench sweep uses — which the byte-identity contract (DESIGN.md
+    // §14, test_core_differential) makes interchangeable with the
+    // reference cores; Fig5OooIntegerOptimumIs6Fo4 cross-checks the
+    // contract once at this exact golden scale.
+    spec.impl = study::SimImpl::Batched;
     return spec;
 }
 
@@ -116,6 +122,20 @@ TEST(GoldenPaper, Fig5OooIntegerOptimumIs6Fo4)
     // Tolerance statement: 6 FO4 must also be the *sole* point within
     // 0.5% of the maximum — the optimum is a peak, not a plateau edge.
     EXPECT_EQ(bench::plateau(ts, bips, 0.005), std::vector<double>{6.0});
+
+    // One golden-scale byte-identity spot check at the optimum itself:
+    // the pin above is meaningful for the reference cores exactly
+    // because the two implementations cannot differ by a byte.
+    const auto profiles =
+        trace::spec2000Profiles(trace::BenchClass::Integer);
+    auto referenceSpec = goldenSpec();
+    referenceSpec.impl = study::SimImpl::Reference;
+    const auto params = study::scaledCoreParams(6.0, {});
+    const auto clock = study::scaledClock(6.0);
+    EXPECT_EQ(study::serializeSuite(
+                  study::runSuite(params, clock, profiles, goldenSpec())),
+              study::serializeSuite(study::runSuite(params, clock, profiles,
+                                                    referenceSpec)));
 }
 
 TEST(GoldenPaper, Fig4bInorderIntegerOptimumIs6Fo4)

@@ -16,9 +16,11 @@
 #include <vector>
 
 #include "cacti/latency_cache.hh"
+#include "study/batch.hh"
 #include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
+#include "trace/decoded_trace.hh"
 #include "trace/file_trace.hh"
 #include "trace/generator.hh"
 #include "trace/spec2000.hh"
@@ -228,6 +230,120 @@ TEST(ParallelRunner, SuiteLevelMisconfigurationThrowsBeforeFanout)
                  util::ConfigError);
 
     // An invalid *point* in a grid poisons the whole grid up front.
+    std::vector<study::GridPoint> points(2);
+    points[0].params = params;
+    points[0].clock = clock;
+    points[1].params = params;
+    points[1].clock.tUsefulFo4 = -1.0;
+    std::vector<study::BenchJob> jobs{study::BenchJob::fromProfile(
+        trace::spec2000Profile("164.gzip"))};
+    EXPECT_THROW(runner.runGrid(points, jobs, smallSpec()),
+                 util::ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// BatchRunner: the one-pass batched engine must be indistinguishable —
+// serializeSuite-equal — from the serial reference runner on the full
+// Table 2 suite, on grids, and on suites with injected faults.
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, AllProfilesByteIdenticalAtEveryThreadCount)
+{
+    const auto profiles = trace::spec2000Profiles();
+    ASSERT_EQ(profiles.size(), 18u); // the paper's full Table 2 suite
+    const auto params = study::scaledCoreParams(6.0, {});
+    const auto clock = study::scaledClock(6.0);
+    const auto spec = smallSpec();
+
+    const auto serial =
+        study::serializeSuite(study::runSuite(params, clock, profiles, spec));
+    for (const int threads : kThreadCounts) {
+        const study::BatchRunner runner(threads);
+        const auto batched = study::serializeSuite(
+            runner.runSuite(params, clock, profiles, spec));
+        EXPECT_EQ(batched, serial) << "threads=" << threads;
+    }
+}
+
+TEST(BatchRunner, ForcesBatchedImplementation)
+{
+    EXPECT_EQ(study::BatchRunner(3).threads(), 3);
+    EXPECT_EQ(study::BatchRunner(0).threads(),
+              util::ThreadPool::hardwareThreads());
+
+    // The spec's impl field is overridden, not trusted: handing a
+    // Reference spec to BatchRunner must still populate the decoded
+    // registry (i.e. run on the batched path).
+    trace::DecodedTraceRegistry::global().clear();
+    const std::vector<trace::BenchmarkProfile> one{
+        trace::spec2000Profile("197.parser")};
+    auto spec = smallSpec();
+    spec.impl = study::SimImpl::Reference;
+    (void)study::BatchRunner(1).runSuite(study::scaledCoreParams(6.0, {}),
+                                         study::scaledClock(6.0), one, spec);
+    EXPECT_GE(trace::DecodedTraceRegistry::global().size(), 1u);
+}
+
+TEST(BatchRunner, SweepGridMatchesSerialReferencePointByPoint)
+{
+    const std::vector<double> ts{4, 6, 8, 11};
+    const auto profiles =
+        trace::spec2000Profiles(trace::BenchClass::VectorFp);
+    const auto spec = smallSpec();
+
+    std::vector<std::string> reference;
+    for (const double u : ts) {
+        reference.push_back(study::serializeSuite(
+            study::runSuite(study::scaledCoreParams(u, {}),
+                            study::scaledClock(u), profiles, spec)));
+    }
+
+    for (const int threads : kThreadCounts) {
+        study::SweepOptions options;
+        options.threads = threads;
+        const auto points =
+            study::sweepScalingBatched(ts, options, profiles, spec);
+        ASSERT_EQ(points.size(), ts.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            EXPECT_EQ(points[i].tUseful, ts[i]);
+            EXPECT_EQ(study::serializeSuite(points[i].suite), reference[i])
+                << "threads=" << threads << " t=" << ts[i];
+        }
+    }
+}
+
+TEST(BatchRunner, FaultRowsSurviveBatchedExecution)
+{
+    // Corrupt traces and watchdog trips must land in the same rows with
+    // the same typed errors and messages as the serial reference —
+    // through the decoded-trace registry, at every thread count.
+    const auto corrupt = makeCorruptTrace("batch_corrupt.fo4t");
+    const auto jobs = faultyJobs(corrupt);
+    const auto params = study::scaledCoreParams(6.0, {});
+    const auto clock = study::scaledClock(6.0);
+    const auto spec = smallSpec();
+
+    const auto serial =
+        study::serializeSuite(study::runSuite(params, clock, jobs, spec));
+    for (const int threads : kThreadCounts) {
+        const study::BatchRunner runner(threads);
+        const auto batched = study::serializeSuite(
+            runner.runSuite(params, clock, jobs, spec));
+        EXPECT_EQ(batched, serial) << "threads=" << threads;
+    }
+    std::remove(corrupt.c_str());
+}
+
+TEST(BatchRunner, MisconfigurationThrowsBeforeFanout)
+{
+    const study::BatchRunner runner(4);
+    const auto params = study::scaledCoreParams(6.0, {});
+    const auto clock = study::scaledClock(6.0);
+
+    const std::vector<study::BenchJob> none;
+    EXPECT_THROW(runner.runSuite(params, clock, none, smallSpec()),
+                 util::ConfigError);
+
     std::vector<study::GridPoint> points(2);
     points[0].params = params;
     points[0].clock = clock;
