@@ -9,6 +9,7 @@
  * no matter what the fleet does — see DESIGN.md §13.
  *
  *   ./fo4coord [port=0] [max_queue=8] [checkpoint_dir=]
+ *              [cache_dir=] [cache_max_bytes=0] [tenant_quota=0]
  *              [heartbeat_ms=1000] [suspect_ms=3000] [dead_ms=10000]
  *              [lease_timeout_ms=60000] [local_fallback=1] [jobs=1]
  *              [verbose=1]
@@ -38,6 +39,9 @@ const std::vector<fo4::util::KeyDoc> kKeys = {
     {"port", "TCP port to listen on; 0 picks an ephemeral port"},
     {"max_queue", "queued sweeps admitted before Overloaded refusals"},
     {"checkpoint_dir", "directory for per-sweep journals (empty = none)"},
+    {"cache_dir", "persistent result store directory (empty = no cache)"},
+    {"cache_max_bytes", "result store size cap in bytes (0 = unlimited)"},
+    {"tenant_quota", "max queued sweeps per tenant (0 = unlimited)"},
     {"heartbeat_ms", "heartbeat cadence told to workers"},
     {"suspect_ms", "silence before a worker turns Suspect"},
     {"dead_ms", "silence before a worker is declared Dead"},
@@ -61,6 +65,11 @@ coordMain(int argc, char **argv)
     options.checkpointDir = cfg.getString("checkpoint_dir", "");
     if (!options.checkpointDir.empty())
         ::mkdir(options.checkpointDir.c_str(), 0777);
+    options.cacheDir = cfg.getString("cache_dir", "");
+    options.cacheMaxBytes =
+        static_cast<std::uint64_t>(cfg.getInt("cache_max_bytes", 0));
+    options.tenantQuota =
+        static_cast<std::size_t>(cfg.getInt("tenant_quota", 0));
 
     options.detector.heartbeatMs = static_cast<std::uint64_t>(
         cfg.getPositiveInt("heartbeat_ms", 1000));

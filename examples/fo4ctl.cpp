@@ -7,12 +7,19 @@
  *   ./fo4ctl fetch   id=<n> [out=file]
  *   ./fo4ctl cancel  id=<n>
  *   ./fo4ctl stats
+ *   ./fo4ctl cache
  *   ./fo4ctl workers
  *   ./fo4ctl local   [sweep keys] [jobs=n] [out=file]
  *
  * Sweep keys: bench= (comma list of SPEC 2000 profile names), model=,
  * instructions=, warmup=, prewarm=, cycle_limit=, overhead=, t_useful=
- * (comma list of FO4 depths).
+ * (comma list of FO4 depths), tenant= (admission-quota accounting name;
+ * deliberately NOT part of the result identity — see DESIGN.md §15).
+ *
+ * `cache` summarises the daemon's persistent result store: size on
+ * disk, entry count, and lifetime hit rate (from the svc.cache.hit and
+ * svc.cache.miss counters).  A daemon running without cache_dir=
+ * reports an empty store and no traffic.
  *
  * `local` runs the identical request in-process through the same
  * svc::runSweep code path the daemon uses — `cmp` of a fetched result
@@ -60,6 +67,7 @@ const std::vector<fo4::util::KeyDoc> kKeys = {
     {"cycle_limit", "watchdog budget in cycles (0 = core default)"},
     {"overhead", "clocking overhead per stage, FO4"},
     {"t_useful", "comma list of useful FO4 depths to sweep"},
+    {"tenant", "tenant name for per-tenant admission quotas"},
 };
 
 std::vector<std::string>
@@ -95,6 +103,7 @@ requestFromConfig(const fo4::util::Config &cfg)
     request.cycleLimit =
         static_cast<std::uint64_t>(cfg.getInt("cycle_limit", 0));
     request.overheadFo4 = cfg.getDouble("overhead", 1.8);
+    request.tenant = cfg.getString("tenant", "");
 
     for (const auto &field :
          splitCommaList(cfg.getString("t_useful", "8,6"))) {
@@ -220,8 +229,8 @@ ctlMain(int argc, char **argv)
     cfg.checkKnown(kKeys);
     if (cfg.positional().empty()) {
         throw util::ConfigError(
-            "usage: fo4ctl <submit|poll|fetch|cancel|stats|workers"
-            "|local> [key=value ...] (--help lists the keys)");
+            "usage: fo4ctl <submit|poll|fetch|cancel|stats|cache"
+            "|workers|local> [key=value ...] (--help lists the keys)");
     }
     const std::string command = cfg.positional().front();
 
@@ -243,10 +252,10 @@ ctlMain(int argc, char **argv)
 
     if (command != "submit" && command != "poll" && command != "fetch" &&
         command != "cancel" && command != "stats" &&
-        command != "workers") {
+        command != "cache" && command != "workers") {
         throw util::ConfigError("unknown command '" + command +
                                 "' (want submit, poll, fetch, cancel, "
-                                "stats, workers or local)");
+                                "stats, cache, workers or local)");
     }
     try {
         return remoteMain(cfg, command);
@@ -331,15 +340,45 @@ remoteMain(const fo4::util::Config &cfg, const std::string &command)
                     "%.2f\n",
                     static_cast<unsigned long long>(s.latencySamples),
                     s.latencyMeanMs);
+        std::printf("cache: %llu bytes in %llu entries\n",
+                    static_cast<unsigned long long>(s.cacheBytes),
+                    static_cast<unsigned long long>(s.cacheEntries));
+        // The counter dump covers svc.cache.* (hit/miss/evict/corrupt/
+        // disk_error/dedup), svc.shed.* and the per-tenant
+        // svc.tenant.<name>.{submitted,rejected} accounting.
         for (const auto &[name, value] : s.counters) {
             std::printf("  %-32s %llu\n", name.c_str(),
                         static_cast<unsigned long long>(value));
         }
         return 0;
     }
+    if (command == "cache") {
+        const svc::StatsSnapshot s = client.stats();
+        std::uint64_t hits = 0, misses = 0;
+        for (const auto &[name, value] : s.counters) {
+            if (name == "svc.cache.hit")
+                hits = value;
+            else if (name == "svc.cache.miss")
+                misses = value;
+        }
+        std::printf("store: %llu bytes in %llu entries\n",
+                    static_cast<unsigned long long>(s.cacheBytes),
+                    static_cast<unsigned long long>(s.cacheEntries));
+        const std::uint64_t lookups = hits + misses;
+        if (lookups == 0) {
+            std::printf("hit rate: no lookups yet\n");
+        } else {
+            std::printf("hit rate: %.1f%% (%llu hits / %llu lookups)\n",
+                        100.0 * static_cast<double>(hits) /
+                            static_cast<double>(lookups),
+                        static_cast<unsigned long long>(hits),
+                        static_cast<unsigned long long>(lookups));
+        }
+        return 0;
+    }
     throw util::ConfigError("unknown command '" + command +
                             "' (want submit, poll, fetch, cancel, "
-                            "stats, workers or local)");
+                            "stats, cache, workers or local)");
 }
 
 } // namespace

@@ -5,9 +5,10 @@
  * crash-safe checkpointed runner, and serves results, progress, cancel
  * and stats to fo4ctl (or any client of svc::Client).
  *
- *   ./fo4d [port=0] [jobs=1] [max_queue=8] [checkpoint_dir=] [verbose=1]
+ *   ./fo4d [port=0] [jobs=1] [max_queue=8] [checkpoint_dir=]
+ *          [cache_dir=] [cache_max_bytes=0] [tenant_quota=0] [verbose=1]
  *   ./fo4d worker coordinator_port=<n> [coordinator_host=] [name=]
- *                 [timeout_ms=]
+ *                 [timeout_ms=] [cache_dir=] [cache_max_bytes=0]
  *
  * port=0 binds an ephemeral port; the bound port is printed on stdout
  * ("fo4d listening on 127.0.0.1:<port>") so scripts can scrape it.
@@ -42,6 +43,9 @@ const std::vector<fo4::util::KeyDoc> kKeys = {
     {"jobs", "worker threads per sweep (1 = serial, 0 = all cores)"},
     {"max_queue", "queued sweeps admitted before Overloaded refusals"},
     {"checkpoint_dir", "directory for per-sweep journals (empty = none)"},
+    {"cache_dir", "persistent result store directory (empty = no cache)"},
+    {"cache_max_bytes", "result store size cap in bytes (0 = unlimited)"},
+    {"tenant_quota", "max queued sweeps per tenant (0 = unlimited)"},
     {"verbose", "print the metrics registry on exit"},
     {"coordinator_host", "worker mode: coordinator host (127.0.0.1)"},
     {"coordinator_port", "worker mode: coordinator port (required)"},
@@ -69,6 +73,9 @@ workerMain(const fo4::util::Config &cfg)
         options.ioTimeoutMs = t;
         options.connectTimeoutMs = t;
     }
+    options.cacheDir = cfg.getString("cache_dir", "");
+    options.cacheMaxBytes =
+        static_cast<std::uint64_t>(cfg.getInt("cache_max_bytes", 0));
 
     util::setMetricsEnabled(true);
     util::CancelToken cancel;
@@ -90,8 +97,10 @@ workerMain(const fo4::util::Config &cfg)
     worker.join();
     if (cfg.getBool("verbose", false))
         util::MetricsRegistry::global().dump(std::cout);
-    std::printf("fo4d worker drained (%llu cells executed)\n",
-                static_cast<unsigned long long>(worker.cellsExecuted()));
+    std::printf("fo4d worker drained (%llu cells executed, %llu from "
+                "cache)\n",
+                static_cast<unsigned long long>(worker.cellsExecuted()),
+                static_cast<unsigned long long>(worker.cellsFromCache()));
     return 0;
 }
 
@@ -123,6 +132,11 @@ daemonMain(int argc, char **argv)
     // journal creation; one level of mkdir covers the common case.
     if (!options.checkpointDir.empty())
         ::mkdir(options.checkpointDir.c_str(), 0777);
+    options.cacheDir = cfg.getString("cache_dir", "");
+    options.cacheMaxBytes =
+        static_cast<std::uint64_t>(cfg.getInt("cache_max_bytes", 0));
+    options.tenantQuota =
+        static_cast<std::size_t>(cfg.getInt("tenant_quota", 0));
 
     // The Stats record reports the registry, so collection is on for
     // the daemon's whole lifetime.

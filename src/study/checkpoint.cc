@@ -636,9 +636,24 @@ CheckpointedRunner::runGrid(const std::vector<GridPoint> &points,
         // replay lands each record back in its keyed slot.
         {
             std::lock_guard<std::mutex> lock(journalMutex);
-            if (writer)
-                writer->append(encodeCellRecord(
-                    {p, j, results[p].benchmarks[j]}));
+            if (writer) {
+                const util::Status st = writer->tryAppend(
+                    encodeCellRecord({p, j, results[p].benchmarks[j]}));
+                if (!st.isOk()) {
+                    // A full or failing disk costs durability, never the
+                    // sweep: drop the journal (its intact prefix is still
+                    // a valid resume point — a torn tail is discarded on
+                    // recovery) and keep computing without checkpoints.
+                    util::warn("checkpoint journal disabled, sweep "
+                               "continues without crash-resume: %s",
+                               st.message().c_str());
+                    writer.reset();
+                    static util::MetricCounter &appendErrors =
+                        util::MetricsRegistry::global().counter(
+                            "study.journal.append_errors");
+                    appendErrors.inc();
+                }
+            }
         }
         static util::MetricCounter &cellsExecuted =
             util::MetricsRegistry::global().counter(

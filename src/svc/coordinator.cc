@@ -49,9 +49,12 @@ ms(std::uint64_t v)
 } // namespace
 
 Coordinator::Coordinator(CoordinatorOptions options)
-    : SessionServer(options.port, options.maxQueue),
+    : SessionServer(options.port, options.maxQueue, options.tenantQuota),
       opts(std::move(options)), fleet(opts.detector)
 {
+    if (!opts.cacheDir.empty())
+        store = std::make_unique<ResultStore>(opts.cacheDir,
+                                              opts.cacheMaxBytes);
     dispatchThread = std::thread([this] { dispatchLoop(); });
     startAccepting();
 }
@@ -152,7 +155,8 @@ Coordinator::replayJournal(ActiveSweep &sweep)
 }
 
 std::string
-Coordinator::assembleResults(ActiveSweep &sweep, bool executeRemainder)
+Coordinator::assembleResults(ActiveSweep &sweep, bool executeRemainder,
+                             bool *anyFailed)
 {
     // One code path for assembly: the same CheckpointedRunner a local
     // run uses, seeded with every fabric-merged cell.  With nothing
@@ -178,6 +182,15 @@ Coordinator::assembleResults(ActiveSweep &sweep, bool executeRemainder)
     const auto suites =
         runner.runGrid(sweep.plan.points, sweep.plan.jobs,
                        sweep.plan.spec);
+    if (anyFailed) {
+        *anyFailed = false;
+        for (const auto &suite : suites) {
+            for (const auto &bench : suite.benchmarks) {
+                if (bench.failed())
+                    *anyFailed = true;
+            }
+        }
+    }
     return renderResults(sweep.plan, suites);
 }
 
@@ -200,6 +213,25 @@ Coordinator::runOneSweep(const std::shared_ptr<JobRecord> &job)
     try {
         SweepPlan plan = planSweep(job->request);
         const std::uint64_t fp = planFingerprint(plan);
+
+        // Zero-compute paths first: an identical sweep already finished
+        // in this process, then the persistent store.  Either way the
+        // bytes are the ones the fabric would compute — the fingerprint
+        // pins every input (DESIGN.md §15).
+        if (std::optional<std::string> prior =
+                table.reuseDoneResult(fp)) {
+            fabricCounter("svc.cache.dedup").inc();
+            table.markDone(job->id, std::move(*prior));
+            return;
+        }
+        if (store) {
+            if (std::optional<std::string> cached =
+                    store->fetchSweep(fp)) {
+                table.markDone(job->id, std::move(*cached));
+                return;
+            }
+        }
+
         auto sweep = std::make_unique<ActiveSweep>(
             job, std::move(plan), fp, FabricClock::now());
         if (!opts.checkpointDir.empty()) {
@@ -215,6 +247,7 @@ Coordinator::runOneSweep(const std::shared_ptr<JobRecord> &job)
         job->cellsDone.store(sweep->scheduler.doneCount());
 
         std::string resultBytes;
+        bool anyFailed = false;
         {
             std::unique_lock<std::mutex> lock(fabricMutex);
             active = std::move(sweep);
@@ -245,7 +278,7 @@ Coordinator::runOneSweep(const std::shared_ptr<JobRecord> &job)
                         s.writer->close();
                     s.writer.reset();
                     lock.unlock();
-                    resultBytes = assembleResults(s, false);
+                    resultBytes = assembleResults(s, false, &anyFailed);
                     break;
                 }
                 // Graceful degradation: no live worker left (or none
@@ -262,7 +295,7 @@ Coordinator::runOneSweep(const std::shared_ptr<JobRecord> &job)
                         s.writer->close();
                     s.writer.reset();
                     lock.unlock();
-                    resultBytes = assembleResults(s, true);
+                    resultBytes = assembleResults(s, true, &anyFailed);
                     break;
                 }
                 fabricCv.wait_for(lock, ms(
@@ -273,6 +306,10 @@ Coordinator::runOneSweep(const std::shared_ptr<JobRecord> &job)
             std::lock_guard<std::mutex> lock(fabricMutex);
             active.reset();
         }
+        // Only clean sweeps enter the cache: a row's transient failure
+        // must not be replayed to later submissions.
+        if (store && !anyFailed)
+            store->storeSweep(fp, resultBytes);
         table.markDone(job->id, std::move(resultBytes));
     } catch (const util::CancelledError &) {
         // Local fallback drained cooperatively with its journal
@@ -514,6 +551,10 @@ Coordinator::buildStats() const
     s.completed = table.completed();
     s.failed = table.failed();
     s.cancelled = table.cancelled();
+    if (store) {
+        s.cacheBytes = store->blobs().sizeBytes();
+        s.cacheEntries = store->blobs().entries();
+    }
 
     const util::MetricHistogram &histogram = latencyHistogram();
     for (std::size_t i = 0; i < histogram.bucketCount(); ++i)

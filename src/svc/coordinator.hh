@@ -47,6 +47,7 @@
 #include "study/checkpoint.hh"
 #include "svc/lease.hh"
 #include "svc/session_server.hh"
+#include "svc/store.hh"
 #include "svc/sweep.hh"
 #include "util/journal.hh"
 
@@ -63,6 +64,13 @@ struct CoordinatorOptions
     /** Directory for per-sweep journals keyed by grid fingerprint;
      *  empty disables durability (and restart-resume). */
     std::string checkpointDir;
+    /** Directory for the persistent result store; empty disables
+     *  caching (see svc/store.hh for the degradation contract). */
+    std::string cacheDir;
+    /** Result-store size cap in bytes (0 = unlimited). */
+    std::uint64_t cacheMaxBytes = 0;
+    /** Max queued sweeps per tenant (0 = unlimited). */
+    std::size_t tenantQuota = 0;
 
     /** Failure-detector timing (heartbeat cadence told to workers,
      *  suspect and dead thresholds). */
@@ -135,9 +143,11 @@ class Coordinator : public SessionServer
     void replayJournal(ActiveSweep &sweep);
     /** Assemble final bytes from merged cells (plus local execution of
      *  whatever remains, when `executeRemainder`).  Called without the
-     *  fabric lock; `sweep.fallback` is already set. */
-    std::string assembleResults(ActiveSweep &sweep,
-                                bool executeRemainder);
+     *  fabric lock; `sweep.fallback` is already set.  `anyFailed`
+     *  reports whether any cell carries a per-row failure (such a
+     *  result must not enter the persistent store). */
+    std::string assembleResults(ActiveSweep &sweep, bool executeRemainder,
+                                bool *anyFailed);
 
     void handleFrame(util::TcpStream &stream, const Frame &frame) override;
     StatsSnapshot buildStats() const override;
@@ -149,6 +159,8 @@ class Coordinator : public SessionServer
     void handleWorkers(util::TcpStream &stream);
 
     CoordinatorOptions opts;
+    /** Persistent result cache; null when cacheDir is empty. */
+    std::unique_ptr<ResultStore> store;
     std::thread dispatchThread;
 
     mutable std::mutex fabricMutex;

@@ -341,6 +341,10 @@ SweepRequest::encode() const
     out += util::strprintf("cycle_limit=%llu\n",
                            static_cast<unsigned long long>(cycleLimit));
     out += util::strprintf("overhead=%a\n", overheadFo4);
+    // The default tenant is omitted, keeping pre-tenant request bodies
+    // byte-stable.
+    if (!tenant.empty())
+        out += "tenant=" + tenant + "\n";
     out += "t_useful=";
     for (std::size_t i = 0; i < tUseful.size(); ++i)
         out += util::strprintf(i ? " %a" : "%a", tUseful[i]);
@@ -388,6 +392,20 @@ SweepRequest::decode(std::string_view body)
             req.cycleLimit = parseU64(value, "cycle_limit");
         } else if (key == "overhead") {
             req.overheadFo4 = parseHexDouble(value, "overhead");
+        } else if (key == "tenant") {
+            req.tenant = std::string(value);
+            if (req.tenant.empty() || req.tenant.size() > 64)
+                throwProtocol("tenant must be 1..64 characters");
+            for (const char c : req.tenant) {
+                const bool ok = (c >= 'a' && c <= 'z') ||
+                                (c >= 'A' && c <= 'Z') ||
+                                (c >= '0' && c <= '9') || c == '.' ||
+                                c == '_' || c == '-';
+                if (!ok) {
+                    throwProtocol(
+                        "tenant may only contain [A-Za-z0-9._-]");
+                }
+            }
         } else if (key == "t_useful") {
             sawUseful = true;
             std::size_t start = 0;
@@ -540,6 +558,8 @@ StatsSnapshot::encode() const
     u64("completed", completed);
     u64("failed", failed);
     u64("cancelled", cancelled);
+    u64("cache_bytes", cacheBytes);
+    u64("cache_entries", cacheEntries);
     out += "latency_buckets=";
     for (std::size_t i = 0; i < latencyBuckets.size(); ++i) {
         out += util::strprintf(
@@ -585,6 +605,10 @@ StatsSnapshot::decode(std::string_view body)
             s.failed = parseU64(value, "failed");
         else if (key == "cancelled")
             s.cancelled = parseU64(value, "cancelled");
+        else if (key == "cache_bytes")
+            s.cacheBytes = parseU64(value, "cache_bytes");
+        else if (key == "cache_entries")
+            s.cacheEntries = parseU64(value, "cache_entries");
         else if (key == "latency_buckets") {
             std::size_t start = 0;
             const std::string text(value);

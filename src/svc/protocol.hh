@@ -53,8 +53,11 @@ namespace fo4::svc
 
 /** Protocol version spoken by this build; mismatches are refused.
  *  v2 added the fleet records (worker registration, heartbeats, cell
- *  leases) and the cells_done progress field of JobStatusInfo. */
-constexpr std::uint16_t kProtocolVersion = 2;
+ *  leases) and the cells_done progress field of JobStatusInfo.
+ *  v3 added the tenant field of SweepRequest (per-tenant admission
+ *  quotas) and the cache gauges of StatsSnapshot — decoders are
+ *  strict, so new fields force the bump. */
+constexpr std::uint16_t kProtocolVersion = 3;
 
 /** Frame header: u32 payload length + u32 payload CRC. */
 constexpr std::size_t kFrameHeaderBytes = 8;
@@ -191,6 +194,14 @@ struct SweepRequest
     /** The t_useful axis, hexfloat on wire. */
     std::vector<double> tUseful;
     std::vector<WireJob> jobs;
+    /**
+     * Submitting tenant, for admission quotas ("" = the default
+     * tenant).  Omitted from the wire when empty; restricted to
+     * [A-Za-z0-9._-], at most 64 chars, so ids are safe inside metric
+     * names.  Deliberately *not* part of the grid fingerprint — tenants
+     * share cache hits; quotas meter admission, not bytes.
+     */
+    std::string tenant;
 
     std::string encode() const;
     /** Throws SvcError(Protocol) on malformed bodies. */
@@ -256,6 +267,11 @@ struct StatsSnapshot
     std::uint64_t completed = 0;
     std::uint64_t failed = 0;
     std::uint64_t cancelled = 0;
+
+    /** Result-store occupancy (0/0 when no cache_dir= is configured);
+     *  v3 fields, decode tolerates their absence. */
+    std::uint64_t cacheBytes = 0;
+    std::uint64_t cacheEntries = 0;
 
     /** Sweep wall-time histogram (fixed buckets, see svc/server.cc). */
     std::vector<std::uint64_t> latencyBuckets;

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace fo4::svc
 {
@@ -11,17 +12,45 @@ namespace fo4::svc
 using util::ErrorCode;
 using util::SvcError;
 
-JobTable::JobTable(std::size_t maxQueue) : bound(maxQueue)
+namespace
+{
+
+/** Tenant name used for accounting when the request carries none. */
+const std::string &
+tenantOf(const SweepRequest &request)
+{
+    static const std::string kDefault = "default";
+    return request.tenant.empty() ? kDefault : request.tenant;
+}
+
+void
+bumpTenantCounter(const std::string &tenant, const char *what)
+{
+    util::MetricsRegistry::global()
+        .counter("svc.tenant." + tenant + "." + what)
+        .inc();
+}
+
+} // namespace
+
+JobTable::JobTable(std::size_t maxQueue, std::size_t tenantQuota)
+    : bound(maxQueue), quota(tenantQuota)
 {
     FO4_ASSERT(bound >= 1, "job queue bound must be >= 1");
 }
 
 std::uint64_t
-JobTable::submit(SweepRequest request, std::uint64_t cellsTotal)
+JobTable::submit(SweepRequest request, std::uint64_t cellsTotal,
+                 std::uint64_t fingerprint)
 {
     std::lock_guard<std::mutex> lock(mutex);
+    const std::string tenant = tenantOf(request);
     if (stopping || queue.size() >= bound) {
         nRejected.fetch_add(1);
+        util::MetricsRegistry::global()
+            .counter("svc.shed.queue_full")
+            .inc();
+        bumpTenantCounter(tenant, "rejected");
         throw SvcError(
             ErrorCode::Overloaded,
             stopping
@@ -30,15 +59,53 @@ JobTable::submit(SweepRequest request, std::uint64_t cellsTotal)
                                   " — retry after a job finishes",
                                   queue.size(), bound));
     }
+    if (quota != 0) {
+        const auto it = queuedByTenant.find(tenant);
+        const std::size_t queued =
+            it == queuedByTenant.end() ? 0 : it->second;
+        if (queued >= quota) {
+            nRejected.fetch_add(1);
+            util::MetricsRegistry::global()
+                .counter("svc.shed.tenant_quota")
+                .inc();
+            bumpTenantCounter(tenant, "rejected");
+            throw SvcError(
+                ErrorCode::Overloaded,
+                util::strprintf("tenant '%s' already has %zu queued "
+                                "sweep%s (per-tenant quota %zu) — retry "
+                                "after one starts",
+                                tenant.c_str(), queued,
+                                queued == 1 ? "" : "s", quota));
+        }
+    }
     auto record = std::make_shared<JobRecord>();
     record->id = nextId++;
     record->request = std::move(request);
     record->cellsTotal = cellsTotal;
+    record->fingerprint = fingerprint;
     jobs.emplace(record->id, record);
     queue.push_back(record->id);
+    ++queuedByTenant[tenant];
     nSubmitted.fetch_add(1);
+    bumpTenantCounter(tenant, "submitted");
     cv.notify_one();
     return record->id;
+}
+
+std::optional<std::string>
+JobTable::reuseDoneResult(std::uint64_t fingerprint) const
+{
+    if (fingerprint == 0)
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex);
+    // Newest first: later Done jobs are more likely still interesting.
+    for (auto it = jobs.rbegin(); it != jobs.rend(); ++it) {
+        const JobRecord &record = *it->second;
+        if (record.state == JobState::Done &&
+            record.fingerprint == fingerprint)
+            return record.results;
+    }
+    return std::nullopt;
 }
 
 std::shared_ptr<JobRecord>
@@ -52,9 +119,18 @@ JobTable::takeNext(int timeoutMs)
     const std::uint64_t id = queue.front();
     queue.pop_front();
     auto record = jobs.at(id);
+    dropQueuedTenantLocked(*record);
     record->state = JobState::Running;
     running = record;
     return record;
+}
+
+void
+JobTable::dropQueuedTenantLocked(const JobRecord &record)
+{
+    const auto it = queuedByTenant.find(tenantOf(record.request));
+    if (it != queuedByTenant.end() && --it->second == 0)
+        queuedByTenant.erase(it);
 }
 
 void
@@ -112,6 +188,7 @@ JobTable::cancelJob(std::uint64_t id)
         // Never starts: drop it from the queue and settle it here.
         queue.erase(std::remove(queue.begin(), queue.end(), id),
                     queue.end());
+        dropQueuedTenantLocked(*record);
         record->state = JobState::Cancelled;
         nCancelled.fetch_add(1);
         break;
@@ -186,6 +263,7 @@ JobTable::shutdown()
         nCancelled.fetch_add(1);
     }
     queue.clear();
+    queuedByTenant.clear();
     if (running)
         running->cancel.requestCancel();
     cv.notify_all();

@@ -50,6 +50,9 @@ struct JobRecord
     SweepRequest request;
     JobState state = JobState::Queued;
     std::uint64_t cellsTotal = 0;
+    /** gridFingerprint of the planned sweep (0 if never planned) — the
+     *  key for in-memory dedup and the persistent result store. */
+    std::uint64_t fingerprint = 0;
     /** Cells whose first attempt has started this run (worker threads
      *  bump this through the onAttempt hook; read lock-free). */
     std::atomic<std::uint64_t> cellsStarted{0};
@@ -72,14 +75,34 @@ struct JobRecord
 class JobTable
 {
   public:
-    explicit JobTable(std::size_t maxQueue);
+    /**
+     * `tenantQuota` bounds how many sweeps one tenant may have *queued*
+     * at once (0 = unlimited); the overall `maxQueue` bound still
+     * applies on top.  Quota exhaustion is the same typed Overloaded
+     * refusal as a full queue, with a distinct detail naming the tenant
+     * — so a greedy tenant backs off while others keep submitting.
+     */
+    explicit JobTable(std::size_t maxQueue, std::size_t tenantQuota = 0);
 
     /**
      * Admit a validated request.  Returns the new job id; throws
-     * SvcError(Overloaded) when the queue is full (the record is not
-     * created — a rejected submit leaves no trace but a counter).
+     * SvcError(Overloaded) when the queue is full or the submitting
+     * tenant's quota is exhausted (the record is not created — a
+     * rejected submit leaves no trace but counters:
+     * svc.shed.{queue_full,tenant_quota} and
+     * svc.tenant.<tenant>.{submitted,rejected}).
      */
-    std::uint64_t submit(SweepRequest request, std::uint64_t cellsTotal);
+    std::uint64_t submit(SweepRequest request, std::uint64_t cellsTotal,
+                         std::uint64_t fingerprint = 0);
+
+    /**
+     * The result bytes of an already-Done job with this fingerprint, if
+     * any — the in-memory single-flight dedup the dispatcher consults
+     * before touching the persistent store.  Fingerprint 0 never
+     * matches.
+     */
+    std::optional<std::string>
+    reuseDoneResult(std::uint64_t fingerprint) const;
 
     /**
      * Dequeue the oldest queued job, waiting up to `timeoutMs` for one
@@ -116,6 +139,7 @@ class JobTable
 
     std::size_t queueDepth() const;
     std::size_t maxQueue() const { return bound; }
+    std::size_t tenantQuota() const { return quota; }
 
     /** Lifetime totals for the Stats record. */
     std::uint64_t submitted() const { return nSubmitted.load(); }
@@ -131,8 +155,11 @@ class JobTable
     JobStatusInfo statusLocked(const JobRecord &record,
                                std::uint64_t queuePosition) const;
     std::uint64_t queuePositionLocked(std::uint64_t id) const;
+    /** A queued job left the queue: release its tenant quota slot. */
+    void dropQueuedTenantLocked(const JobRecord &record);
 
     const std::size_t bound;
+    const std::size_t quota;
     mutable std::mutex mutex;
     std::condition_variable cv;
     bool stopping = false;
@@ -140,6 +167,8 @@ class JobTable
     std::map<std::uint64_t, std::shared_ptr<JobRecord>> jobs;
     std::deque<std::uint64_t> queue;
     std::shared_ptr<JobRecord> running;
+    /** Queued (not running) jobs per tenant, for quota admission. */
+    std::map<std::string, std::size_t> queuedByTenant;
 
     std::atomic<std::uint64_t> nSubmitted{0};
     std::atomic<std::uint64_t> nRejected{0};

@@ -41,9 +41,14 @@ latencyHistogram()
 } // namespace
 
 Server::Server(ServerOptions options)
-    : SessionServer(options.port, options.maxQueue),
+    : SessionServer(options.port, options.maxQueue, options.tenantQuota),
       opts(std::move(options))
 {
+    // A bad cache dir throws ConfigError here, at startup — a config
+    // mistake is refused eagerly; only runtime faults degrade to misses.
+    if (!opts.cacheDir.empty())
+        store = std::make_unique<ResultStore>(opts.cacheDir,
+                                              opts.cacheMaxBytes);
     dispatchThread = std::thread([this] { dispatchLoop(); });
     startAccepting();
 }
@@ -96,21 +101,52 @@ Server::dispatchLoop()
             // Re-derive the plan from the request: planSweep is a pure
             // function, and it already passed at submit time.
             const SweepPlan plan = planSweep(job->request);
+            const std::uint64_t fingerprint = planFingerprint(plan);
+
+            // Single-flight dedup: the dispatcher is the only executor,
+            // so an identical sweep already finished in this process can
+            // be answered from its in-memory record — before the store,
+            // which it seeded anyway.
+            if (std::optional<std::string> prior =
+                    table.reuseDoneResult(fingerprint)) {
+                util::MetricsRegistry::global()
+                    .counter("svc.cache.dedup")
+                    .inc();
+                table.markDone(job->id, std::move(*prior));
+                continue;
+            }
+            // Persistent store: a verified hit is the same bytes the
+            // sweep would compute (the fingerprint pins every input, the
+            // CRC frame pins the bytes); any fault was already degraded
+            // to nullopt inside the store.
+            if (store) {
+                if (std::optional<std::string> cached =
+                        store->fetchSweep(fingerprint)) {
+                    table.markDone(job->id, std::move(*cached));
+                    continue;
+                }
+            }
+
             std::string journalPath;
             if (!opts.checkpointDir.empty()) {
                 journalPath = util::strprintf(
                     "%s/sweep-%016llx.journal",
                     opts.checkpointDir.c_str(),
-                    static_cast<unsigned long long>(
-                        planFingerprint(plan)));
+                    static_cast<unsigned long long>(fingerprint));
             }
+            bool anyFailed = false;
             std::string results = runSweep(
                 plan, opts.threads, journalPath, &job->cancel,
                 [job](std::size_t, std::size_t, int attempt) {
                     if (attempt == 1)
                         job->cellsStarted.fetch_add(
                             1, std::memory_order_relaxed);
-                });
+                },
+                &anyFailed);
+            // Only clean sweeps enter the cache: a row's transient
+            // failure must not be replayed to later submissions.
+            if (store && !anyFailed)
+                store->storeSweep(fingerprint, results);
             table.markDone(job->id, std::move(results));
         } catch (const util::CancelledError &) {
             // Drained cooperatively with the journal flushed: the job
@@ -145,6 +181,10 @@ Server::buildStats() const
     s.completed = table.completed();
     s.failed = table.failed();
     s.cancelled = table.cancelled();
+    if (store) {
+        s.cacheBytes = store->blobs().sizeBytes();
+        s.cacheEntries = store->blobs().entries();
+    }
 
     const util::MetricHistogram &histogram = latencyHistogram();
     for (std::size_t i = 0; i < histogram.bucketCount(); ++i)

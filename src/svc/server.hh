@@ -26,10 +26,12 @@
 #define FO4_SVC_SERVER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "svc/session_server.hh"
+#include "svc/store.hh"
 
 namespace fo4::svc
 {
@@ -46,6 +48,14 @@ struct ServerOptions
     /** Directory for per-job checkpoint journals, keyed by grid
      *  fingerprint; empty disables durability. */
     std::string checkpointDir;
+    /** Directory for the persistent result store; empty disables
+     *  caching.  A repeat sweep is then served at zero compute, with
+     *  every store fault degrading to recompute (svc/store.hh). */
+    std::string cacheDir;
+    /** Result-store size cap in bytes (0 = unlimited). */
+    std::uint64_t cacheMaxBytes = 0;
+    /** Max queued sweeps per tenant (0 = unlimited). */
+    std::size_t tenantQuota = 0;
 };
 
 /** The daemon.  Construction binds and starts serving; see stop(). */
@@ -67,6 +77,8 @@ class Server : public SessionServer
     StatsSnapshot buildStats() const override;
 
     ServerOptions opts;
+    /** Persistent result cache; null when cacheDir is empty. */
+    std::unique_ptr<ResultStore> store;
     std::thread dispatchThread;
 };
 

@@ -10,8 +10,9 @@ namespace fo4::svc
 using util::ErrorCode;
 using util::SvcError;
 
-SessionServer::SessionServer(std::uint16_t port, std::size_t maxQueue)
-    : table(maxQueue), listener(port)
+SessionServer::SessionServer(std::uint16_t port, std::size_t maxQueue,
+                             std::size_t tenantQuota)
+    : table(maxQueue, tenantQuota), listener(port)
 {
 }
 
@@ -126,7 +127,8 @@ SessionServer::handleClientFrame(util::TcpStream &stream,
             // synchronously, not failed minutes later in the queue.
             const SweepPlan plan = planSweep(request);
             cells = plan.cells();
-            id = table.submit(std::move(request), cells);
+            id = table.submit(std::move(request), cells,
+                              planFingerprint(plan));
         } catch (const util::SimError &e) {
             if (e.code() == ErrorCode::Protocol)
                 throw; // malformed body: the session-fatal path

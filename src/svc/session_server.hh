@@ -60,8 +60,10 @@ class SessionServer
     void join();
 
   protected:
-    /** Binds (but does not serve) 127.0.0.1:port; 0 = ephemeral. */
-    SessionServer(std::uint16_t port, std::size_t maxQueue);
+    /** Binds (but does not serve) 127.0.0.1:port; 0 = ephemeral.
+     *  `tenantQuota` bounds queued sweeps per tenant (0 = unlimited). */
+    SessionServer(std::uint16_t port, std::size_t maxQueue,
+                  std::size_t tenantQuota = 0);
 
     /** Launch the accept loop.  MUST be the last statement of the
      *  derived constructor. */

@@ -1,0 +1,77 @@
+#include "svc/store.hh"
+
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace fo4::svc
+{
+
+ResultStore::ResultStore(std::string dir, std::uint64_t maxBytes)
+    : store(std::move(dir), maxBytes, "svc.cache")
+{
+}
+
+std::string
+ResultStore::sweepKey(std::uint64_t fingerprint)
+{
+    return util::strprintf("sweep-%016llx",
+                           static_cast<unsigned long long>(fingerprint));
+}
+
+std::string
+ResultStore::cellKey(std::uint64_t fingerprint, std::size_t point,
+                     std::size_t job)
+{
+    return util::strprintf("cell-%016llx-%zu-%zu",
+                           static_cast<unsigned long long>(fingerprint),
+                           point, job);
+}
+
+std::optional<std::string>
+ResultStore::fetchSweep(std::uint64_t fingerprint)
+{
+    return store.get(sweepKey(fingerprint));
+}
+
+void
+ResultStore::storeSweep(std::uint64_t fingerprint,
+                        std::string_view payload)
+{
+    store.put(sweepKey(fingerprint), payload);
+}
+
+std::optional<study::CellRecord>
+ResultStore::fetchCell(std::uint64_t fingerprint, std::size_t point,
+                       std::size_t job)
+{
+    const std::string key = cellKey(fingerprint, point, job);
+    std::optional<std::string> payload = store.get(key);
+    if (!payload)
+        return std::nullopt;
+    try {
+        study::CellRecord cell =
+            study::decodeCellRecord(*payload, store.pathFor(key));
+        if (cell.point != point || cell.job != job)
+            throw util::JournalError(
+                util::ErrorCode::JournalCorrupt,
+                util::strprintf("cell blob '%s' claims slot (%zu, %zu)",
+                                key.c_str(), cell.point, cell.job));
+        return cell;
+    } catch (const util::SimError &) {
+        // Framed fine but does not decode (or lies about its slot):
+        // same quarantine treatment BlobStore gives a bad CRC.
+        store.remove(key);
+        util::MetricsRegistry::global().counter("svc.cache.corrupt").inc();
+        return std::nullopt;
+    }
+}
+
+void
+ResultStore::storeCell(std::uint64_t fingerprint,
+                       const study::CellRecord &cell)
+{
+    store.put(cellKey(fingerprint, cell.point, cell.job),
+              study::encodeCellRecord(cell));
+}
+
+} // namespace fo4::svc

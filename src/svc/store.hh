@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Persistent result store: the service-level cache over util::BlobStore.
+ *
+ * Two entry kinds, both keyed by study::gridFingerprint — the identity
+ * over every result-influencing input (DESIGN.md §7), so a key can only
+ * ever name one byte sequence:
+ *
+ *  - `sweep-<fingerprint>`: the full rendered result payload of a sweep
+ *    (exactly the bytes a FetchResult frame carries), served by fo4d
+ *    and fo4coord so a repeat submission costs zero compute;
+ *  - `cell-<fingerprint>-<point>-<job>`: one encodeCellRecord payload,
+ *    read by fleet workers so a warm cache skips execution of
+ *    individual cells.
+ *
+ * The degradation ladder is inherited from BlobStore (every fault is a
+ * miss) with one extra rung here: a blob that frames correctly but does
+ * not decode as a cell record — or decodes to the wrong slot — is
+ * quarantined and reported as a miss too.  Nothing in this layer
+ * throws on the fetch/store paths.
+ *
+ * Tenancy: the tenant id is deliberately *not* part of any key.  The
+ * fingerprint already pins the bytes, so tenants share hits — quotas
+ * meter admission (svc::JobTable), not cached bytes.
+ */
+
+#ifndef FO4_SVC_STORE_HH
+#define FO4_SVC_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "study/checkpoint.hh"
+#include "util/blob_store.hh"
+
+namespace fo4::svc
+{
+
+class ResultStore
+{
+  public:
+    /**
+     * Open a store rooted at `dir` with a `maxBytes` size cap (0 =
+     * unlimited).  Counters land under `svc.cache.*`.  Throws
+     * ConfigError only if `dir` cannot be created.
+     */
+    ResultStore(std::string dir, std::uint64_t maxBytes);
+
+    /** Full rendered sweep payload for `fingerprint`, or miss. */
+    std::optional<std::string> fetchSweep(std::uint64_t fingerprint);
+
+    /** Publish a sweep's rendered payload (best effort, never throws). */
+    void storeSweep(std::uint64_t fingerprint, std::string_view payload);
+
+    /**
+     * One cached cell, decoded and slot-checked, or miss.  A blob that
+     * fails to decode — or claims a different (point, job) than its key
+     * — is quarantined.
+     */
+    std::optional<study::CellRecord> fetchCell(std::uint64_t fingerprint,
+                                               std::size_t point,
+                                               std::size_t job);
+
+    /** Publish one cell record (best effort, never throws). */
+    void storeCell(std::uint64_t fingerprint,
+                   const study::CellRecord &cell);
+
+    /** Underlying blob store (stats, size scans, chaos hooks). */
+    util::BlobStore &blobs() { return store; }
+    const util::BlobStore &blobs() const { return store; }
+
+    static std::string sweepKey(std::uint64_t fingerprint);
+    static std::string cellKey(std::uint64_t fingerprint,
+                               std::size_t point, std::size_t job);
+
+  private:
+    util::BlobStore store;
+};
+
+} // namespace fo4::svc
+
+#endif // FO4_SVC_STORE_HH

@@ -75,7 +75,8 @@ planFingerprint(const SweepPlan &plan)
 std::string
 runSweep(const SweepPlan &plan, int threads,
          const std::string &journalPath, const util::CancelToken *cancel,
-         std::function<void(std::size_t, std::size_t, int)> onAttempt)
+         std::function<void(std::size_t, std::size_t, int)> onAttempt,
+         bool *anyFailed)
 {
     study::CheckpointOptions options;
     options.journalPath = journalPath;
@@ -85,6 +86,15 @@ runSweep(const SweepPlan &plan, int threads,
     study::CheckpointedRunner runner(std::move(options));
     const std::vector<study::SuiteResult> suites =
         runner.runGrid(plan.points, plan.jobs, plan.spec);
+    if (anyFailed) {
+        *anyFailed = false;
+        for (const auto &suite : suites) {
+            for (const auto &bench : suite.benchmarks) {
+                if (bench.failed())
+                    *anyFailed = true;
+            }
+        }
+    }
     return renderResults(plan, suites);
 }
 

@@ -68,13 +68,20 @@ std::uint64_t planFingerprint(const SweepPlan &plan);
  * `cancel` and `onAttempt` are passed through to CheckpointOptions.
  * Throws what the runner throws (CancelledError on cancellation,
  * after the journal is flushed — the run stays resumable).
+ *
+ * `anyFailed`, if given, reports whether any cell carries a per-row
+ * typed failure.  Failed rows are part of the canonical bytes (the
+ * identity contract covers them), but a result containing one must not
+ * enter the persistent cache — a transient fault would otherwise be
+ * replayed to every later submission of the same sweep.
  */
 std::string runSweep(const SweepPlan &plan, int threads,
                      const std::string &journalPath,
                      const util::CancelToken *cancel,
                      std::function<void(std::size_t point, std::size_t job,
                                         int attempt)>
-                         onAttempt);
+                         onAttempt,
+                     bool *anyFailed = nullptr);
 
 /**
  * Canonical rendering shared by the service and local execution: a

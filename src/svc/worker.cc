@@ -50,6 +50,9 @@ Worker::Worker(WorkerOptions options) : opts(std::move(options))
         throw util::ConfigError("reconnect policy: " + st.message());
     if (const auto st = opts.retry.validate(); !st.isOk())
         throw util::ConfigError("retry policy: " + st.message());
+    if (!opts.cacheDir.empty())
+        store = std::make_unique<ResultStore>(opts.cacheDir,
+                                              opts.cacheMaxBytes);
     workThread = std::thread([this] { workLoop(); });
     heartbeatThread = std::thread([this] { heartbeatLoop(); });
 }
@@ -105,6 +108,8 @@ Worker::workLoop()
 {
     auto &cellsExecuted = util::MetricsRegistry::global().counter(
         "svc.worker.cells_executed");
+    auto &cellsFromCache = util::MetricsRegistry::global().counter(
+        "svc.worker.cells_from_cache");
     auto &reconnects = util::MetricsRegistry::global().counter(
         "svc.worker.reconnects");
 
@@ -199,33 +204,50 @@ Worker::workLoop()
                             plan.points.size(), plan.jobs.size()));
                 }
 
-                // Execute with the same transient-retry discipline as
-                // the local runner (same jitter key, same verdicts).
-                const auto &gp = plan.points[lease.point];
-                const std::uint64_t cellKey =
-                    lease.point * plan.jobs.size() + lease.job;
-                study::BenchResult result;
-                for (int attempt = 1;; ++attempt) {
-                    result = study::runJobIsolated(
-                        gp.params, gp.clock, plan.jobs[lease.job],
-                        plan.spec, &cellCancel);
-                    if (!result.failed() ||
-                        attempt >= opts.retry.maxAttempts ||
-                        !study::RetryPolicy::transientCode(
-                            result.error.code()))
-                        break;
-                    const double delay =
-                        opts.retry.delayMs(attempt + 1, cellKey);
-                    if (!sleepFor(delay))
-                        return;
+                // Warm-cache read path first: a stored cell for this
+                // (fingerprint, point, job) is the same bytes execution
+                // would produce — cells are pure and the fingerprint
+                // pins every input — so a verified hit skips the
+                // simulator entirely.  Every cache fault already
+                // degraded to nullopt inside the store.
+                study::CellRecord cell;
+                bool fromCache = false;
+                if (store) {
+                    if (std::optional<study::CellRecord> cached =
+                            store->fetchCell(lease.sweep, lease.point,
+                                             lease.job)) {
+                        cell = std::move(*cached);
+                        fromCache = true;
+                    }
+                }
+                if (!fromCache) {
+                    // Execute with the same transient-retry discipline
+                    // as the local runner (same jitter key, same
+                    // verdicts).
+                    const auto &gp = plan.points[lease.point];
+                    const std::uint64_t cellKey =
+                        lease.point * plan.jobs.size() + lease.job;
+                    study::BenchResult result;
+                    for (int attempt = 1;; ++attempt) {
+                        result = study::runJobIsolated(
+                            gp.params, gp.clock, plan.jobs[lease.job],
+                            plan.spec, &cellCancel);
+                        if (!result.failed() ||
+                            attempt >= opts.retry.maxAttempts ||
+                            !study::RetryPolicy::transientCode(
+                                result.error.code()))
+                            break;
+                        const double delay =
+                            opts.retry.delayMs(attempt + 1, cellKey);
+                        if (!sleepFor(delay))
+                            return;
+                    }
+                    cell.point = lease.point;
+                    cell.job = lease.job;
+                    cell.result = std::move(result);
                 }
                 if (stopping.load())
                     return; // killed: the result never reaches the wire
-
-                study::CellRecord cell;
-                cell.point = lease.point;
-                cell.job = lease.job;
-                cell.result = std::move(result);
                 CellDoneInfo done;
                 done.workerId = id.load();
                 done.sweep = lease.sweep;
@@ -248,8 +270,18 @@ Worker::workLoop()
                                         static_cast<unsigned>(d.type)));
                 }
                 decodeAccepted(d.body); // accepted or duplicate: done
-                nExecuted.fetch_add(1, std::memory_order_relaxed);
-                cellsExecuted.inc();
+                if (fromCache) {
+                    nFromCache.fetch_add(1, std::memory_order_relaxed);
+                    cellsFromCache.inc();
+                } else {
+                    // Publish the computed cell for future warm-cache
+                    // runs — clean results only: a transient failure
+                    // must not be replayed from disk later.
+                    if (store && !cell.result.failed())
+                        store->storeCell(lease.sweep, cell);
+                    nExecuted.fetch_add(1, std::memory_order_relaxed);
+                    cellsExecuted.inc();
+                }
             }
         } catch (const util::CancelledError &) {
             return; // stop()/kill() aborted the in-flight cell

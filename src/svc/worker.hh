@@ -32,11 +32,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "study/checkpoint.hh"
+#include "svc/store.hh"
 #include "svc/sweep.hh"
 #include "util/cancel.hh"
 #include "util/net.hh"
@@ -64,6 +66,13 @@ struct WorkerOptions
     };
     /** Per-cell transient retry, mirroring the local runner's. */
     study::RetryPolicy retry;
+    /** Directory of a persistent cell cache; empty disables it.  With a
+     *  warm cache a leased cell is answered from disk instead of
+     *  executed — byte-identical, because the cache key is the grid
+     *  fingerprint plus the (point, job) slot (svc/store.hh). */
+    std::string cacheDir;
+    /** Cell-cache size cap in bytes (0 = unlimited). */
+    std::uint64_t cacheMaxBytes = 0;
 };
 
 /** One worker; construction starts its threads. */
@@ -86,8 +95,13 @@ class Worker
     /** Wait for both threads; call after stop()/kill(). */
     void join();
 
-    /** Cells this worker has completed and reported. */
+    /** Cells this worker has *computed* and reported (cache hits are
+     *  counted separately in cellsFromCache()). */
     std::uint64_t cellsExecuted() const { return nExecuted.load(); }
+
+    /** Cells answered from the persistent cell cache, skipping
+     *  execution entirely. */
+    std::uint64_t cellsFromCache() const { return nFromCache.load(); }
 
     /** The id the coordinator last assigned (0 before registration). */
     std::uint64_t workerId() const { return id.load(); }
@@ -103,7 +117,10 @@ class Worker
     std::atomic<std::uint64_t> id{0};
     std::atomic<std::uint64_t> heartbeatMs{1000};
     std::atomic<std::uint64_t> nExecuted{0};
+    std::atomic<std::uint64_t> nFromCache{0};
     util::CancelToken cellCancel;
+    /** Persistent cell cache; null when cacheDir is empty. */
+    std::unique_ptr<ResultStore> store;
 
     std::mutex sleepMutex;
     std::condition_variable sleepCv;

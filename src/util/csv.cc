@@ -25,64 +25,99 @@ throwIo(const std::string &path, const char *what)
                                  std::strerror(errno)));
 }
 
-/** fsync a path opened read-only (a closed file). */
-void
-fsyncPath(const std::string &path, const std::string &reported)
+Status
+csvError(const std::string &path, const char *what)
 {
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
-        throwIo(reported, "open for fsync failed");
-    if (::fsync(fd) != 0) {
-        const int saved = errno;
-        ::close(fd);
-        errno = saved;
-        throwIo(reported, "fsync failed");
+    return Status(ErrorCode::JournalIo,
+                  strprintf("csv '%s': %s: %s", path.c_str(), what,
+                            std::strerror(errno)));
+}
+
+/** Render one row exactly as CsvWriter would stream it. */
+std::string
+renderRow(const std::vector<std::string> &cells)
+{
+    std::string row;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            row += ',';
+        row += CsvWriter::escape(cells[i]);
     }
-    ::close(fd);
+    row += '\n';
+    return row;
 }
 
 } // namespace
 
 AtomicCsvFile::AtomicCsvFile(std::string p)
-    : path(std::move(p)), tmp(path + ".tmp"), out(tmp, std::ios::trunc),
-      writer(out)
+    : path(std::move(p)), tmp(path + ".tmp")
 {
-    if (!out.is_open())
+    fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0)
         throwIo(path, "cannot create temporary");
 }
 
 AtomicCsvFile::~AtomicCsvFile()
 {
-    if (!done) {
-        out.close();
+    if (fd >= 0)
+        ::close(fd);
+    if (!done)
         std::remove(tmp.c_str()); // best effort; a stale .tmp is harmless
-    }
 }
 
 void
 AtomicCsvFile::writeRow(const std::vector<std::string> &cells)
 {
+    if (const Status st = tryWriteRow(cells); !st.isOk())
+        throw JournalError(st.code(), st.message());
+}
+
+Status
+AtomicCsvFile::tryWriteRow(const std::vector<std::string> &cells)
+{
     FO4_ASSERT(!done, "writeRow after commit()");
-    writer.writeRow(cells);
-    if (!out.good())
-        throwIo(path, "write failed");
+    const std::string row = renderRow(cells);
+    const Status st = writeAllStatus(fd, row.data(), row.size(), tmp);
+    if (!st.isOk())
+        failed = true;
+    return st;
 }
 
 void
 AtomicCsvFile::commit()
 {
+    if (const Status st = tryCommit(); !st.isOk())
+        throw JournalError(st.code(), st.message());
+}
+
+Status
+AtomicCsvFile::tryCommit()
+{
     FO4_ASSERT(!done, "commit() called twice");
-    out.flush();
-    if (!out.good())
-        throwIo(path, "flush failed");
-    out.close();
-    fsyncPath(tmp, path);
+    if (failed) {
+        return Status(ErrorCode::JournalIo,
+                      strprintf("csv '%s': commit refused after an "
+                                "earlier write failure",
+                                path.c_str()));
+    }
+    if (::fsync(fd) != 0)
+        return csvError(path, "fsync failed");
+    if (::close(fd) != 0) {
+        fd = -1;
+        return csvError(path, "close failed");
+    }
+    fd = -1;
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        throwIo(path, "rename into place failed");
+        return csvError(path, "rename into place failed");
     // The rename is only durable once the directory entry is: without
     // this the published CSV can vanish on power loss (DESIGN.md §8).
-    fsyncParentDirectory(path);
+    try {
+        fsyncParentDirectory(path);
+    } catch (const JournalError &e) {
+        return Status(e.code(), e.what());
+    }
     done = true;
+    return Status::ok();
 }
 
 std::string

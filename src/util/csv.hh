@@ -9,10 +9,11 @@
 #ifndef FO4_UTIL_CSV_HH
 #define FO4_UTIL_CSV_HH
 
-#include <fstream>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/status.hh"
 
 namespace fo4::util
 {
@@ -41,7 +42,10 @@ class CsvWriter
  *
  * Failures to create, write, sync or rename throw
  * JournalError(ErrorCode::JournalIo) — the same durability error class
- * the write-ahead journal uses.
+ * the write-ahead journal uses.  The try* variants return the same
+ * failures as a typed Status instead, so a caller mid-sweep can treat a
+ * full disk as "no CSV today" rather than an aborted run; writes go
+ * through writeAllStatus and therefore honour the disk-fault hook.
  */
 class AtomicCsvFile
 {
@@ -57,12 +61,20 @@ class AtomicCsvFile
 
     void writeRow(const std::vector<std::string> &cells);
 
+    /** writeRow() as a Status: ENOSPC/short writes come back typed.
+     *  After a failure the temporary is suspect; commit() is refused. */
+    Status tryWriteRow(const std::vector<std::string> &cells);
+
     /**
      * Make the file visible at its final path: flush, fsync, rename,
      * fsync the parent directory.  Call exactly once, after the last
      * row; no rows may be written afterwards.
      */
     void commit();
+
+    /** commit() as a Status (no partial final file on failure: the
+     *  rename only happens after a clean fsync of the temporary). */
+    Status tryCommit();
 
     bool committed() const { return done; }
 
@@ -72,8 +84,8 @@ class AtomicCsvFile
   private:
     std::string path;
     std::string tmp;
-    std::ofstream out;
-    CsvWriter writer;
+    int fd = -1;
+    bool failed = false;
     bool done = false;
 };
 

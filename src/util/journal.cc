@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
@@ -90,21 +91,20 @@ openOrThrow(const std::string &path, int flags, mode_t mode = 0644)
     return fd;
 }
 
+DiskFaultHook &
+diskFaultHook()
+{
+    static DiskFaultHook hook;
+    return hook;
+}
+
 void
 writeAllOrThrow(int fd, const void *data, std::size_t size,
                 const std::string &path)
 {
-    const auto *p = static_cast<const unsigned char *>(data);
-    while (size > 0) {
-        const ssize_t n = ::write(fd, p, size);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            throwErrno(ErrorCode::JournalIo, "write failed", path);
-        }
-        p += n;
-        size -= static_cast<std::size_t>(n);
-    }
+    if (const Status st = writeAllStatus(fd, data, size, path);
+        !st.isOk())
+        throw JournalError(st.code(), st.message());
 }
 
 void
@@ -115,6 +115,59 @@ fsyncOrThrow(int fd, const std::string &path)
 }
 
 } // namespace
+
+void
+setDiskFaultHook(DiskFaultHook hook)
+{
+    diskFaultHook() = std::move(hook);
+}
+
+Status
+writeAllStatus(int fd, const void *data, std::size_t size,
+               const std::string &path)
+{
+    const std::size_t requested = size;
+    const auto *p = static_cast<const unsigned char *>(data);
+
+    if (const DiskFaultHook &hook = diskFaultHook()) {
+        if (const std::optional<DiskFault> fault = hook(path)) {
+            // Land the partial prefix for real (a torn record the
+            // recovery reader must cope with), then fail typed.
+            std::size_t landed = 0;
+            while (landed < fault->shortWriteBytes && landed < size) {
+                const ssize_t n = ::write(
+                    fd, p + landed,
+                    std::min(fault->shortWriteBytes, size) - landed);
+                if (n <= 0)
+                    break;
+                landed += static_cast<std::size_t>(n);
+            }
+            return Status(
+                ErrorCode::JournalIo,
+                strprintf("'%s': write failed after %zu of %zu bytes: "
+                          "%s (injected fault)",
+                          path.c_str(), landed, requested,
+                          std::strerror(fault->failErrno)));
+        }
+    }
+
+    while (size > 0) {
+        const ssize_t n = ::write(fd, p, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status(
+                ErrorCode::JournalIo,
+                strprintf("'%s': write failed after %zu of %zu bytes: "
+                          "%s",
+                          path.c_str(), requested - size, requested,
+                          std::strerror(errno)));
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return Status::ok();
+}
 
 void
 fsyncParentDirectory(const std::string &path)
@@ -338,6 +391,13 @@ JournalWriter::~JournalWriter()
 void
 JournalWriter::append(std::string_view payload)
 {
+    if (const Status st = tryAppend(payload); !st.isOk())
+        throw JournalError(st.code(), st.message());
+}
+
+Status
+JournalWriter::tryAppend(std::string_view payload)
+{
     FO4_ASSERT(fd >= 0, "append on a closed journal");
     FO4_ASSERT(payload.size() <= 0xFFFFFFFFu,
                "journal record too large (%zu bytes)", payload.size());
@@ -349,9 +409,13 @@ JournalWriter::append(std::string_view payload)
     putU32(head, static_cast<std::uint32_t>(payload.size()));
     putU32(head + 4, crc32(payload.data(), payload.size()));
     frame.append(payload);
-    writeAllOrThrow(fd, frame.data(), frame.size(), path);
+    if (const Status st =
+            writeAllStatus(fd, frame.data(), frame.size(), path);
+        !st.isOk())
+        return st;
     if (syncEach)
-        fsyncOrThrow(fd, path);
+        return trySync();
+    return Status::ok();
 }
 
 void
@@ -359,6 +423,18 @@ JournalWriter::sync()
 {
     FO4_ASSERT(fd >= 0, "sync on a closed journal");
     fsyncOrThrow(fd, path);
+}
+
+Status
+JournalWriter::trySync()
+{
+    FO4_ASSERT(fd >= 0, "sync on a closed journal");
+    if (::fsync(fd) != 0) {
+        return Status(ErrorCode::JournalIo,
+                      strprintf("'%s': fsync failed: %s", path.c_str(),
+                                std::strerror(errno)));
+    }
+    return Status::ok();
 }
 
 void

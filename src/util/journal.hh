@@ -36,6 +36,8 @@
 #define FO4_UTIL_JOURNAL_HH
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +46,41 @@
 
 namespace fo4::util
 {
+
+// ---------------------------------------------------------------------
+// Disk-fault injection (test seam)
+// ---------------------------------------------------------------------
+
+/**
+ * One injected disk fault: the write lands `shortWriteBytes` bytes for
+ * real (modelling a partial write as the disk fills), then fails with
+ * `failErrno`.  The default is an immediate ENOSPC.
+ */
+struct DiskFault
+{
+    int failErrno = 28; // ENOSPC
+    std::size_t shortWriteBytes = 0;
+};
+
+/**
+ * Process-wide hook consulted by every durable write path (journal
+ * appends, atomic CSV rows, blob-store publication).  Return a fault to
+ * inject for writes to `path`, nullopt to let the write proceed.  Test
+ * seam only; pass nullptr to clear.  Not thread-safe against concurrent
+ * writers — install before the writers start.
+ */
+using DiskFaultHook =
+    std::function<std::optional<DiskFault>(const std::string &path)>;
+void setDiskFaultHook(DiskFaultHook hook);
+
+/**
+ * Write all `size` bytes to `fd` (EINTR-safe), honouring the disk-fault
+ * hook.  Returns Ok or a JournalIo Status naming `path`, the errno text
+ * and how many bytes actually landed — the typed surface for ENOSPC and
+ * short writes that the journal/CSV durability paths build on.
+ */
+Status writeAllStatus(int fd, const void *data, std::size_t size,
+                      const std::string &path);
 
 /**
  * Current journal format version (header field).  v2 widened the cell
@@ -138,11 +175,24 @@ class JournalWriter
     /** Closes without a final sync; call close() for a durable end. */
     ~JournalWriter();
 
-    /** Append one record (single write(); fsync if syncEveryRecord). */
+    /** Append one record (single write(); fsync if syncEveryRecord).
+     *  Throws JournalError(JournalIo) on write/sync failure. */
     void append(std::string_view payload);
+
+    /**
+     * append() as a Status: ENOSPC, short writes and sync failures come
+     * back typed instead of thrown, so a caller mid-sweep can degrade
+     * (stop journaling, keep computing) rather than abort.  A failed
+     * tryAppend may leave a torn record at the tail; recovery discards
+     * it, so the journal's valid prefix stays trustworthy.
+     */
+    Status tryAppend(std::string_view payload);
 
     /** fsync the journal file. */
     void sync();
+
+    /** sync() as a Status (same degradation contract as tryAppend). */
+    Status trySync();
 
     /** sync and close; further appends are a caller bug. */
     void close();

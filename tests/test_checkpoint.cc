@@ -25,6 +25,7 @@
 #include "trace/generator.hh"
 #include "trace/spec2000.hh"
 #include "util/journal.hh"
+#include "util/metrics.hh"
 #include "util/status.hh"
 #include "util/thread_pool.hh"
 
@@ -242,6 +243,59 @@ TEST(CheckpointedRunner, JournallessRunMatchesParallelEngine)
     EXPECT_EQ(runner.report().executedCells,
               points.size() * jobs.size());
     EXPECT_FALSE(runner.report().resumed);
+    std::remove(corrupt.c_str());
+}
+
+TEST(CheckpointedRunner, JournalWriteFailureDegradesToJournallessRun)
+{
+    // The disk fills mid-sweep: every record append to the journal
+    // fails with ENOSPC.  The contract is graceful degradation — the
+    // sweep keeps computing without crash-resume, produces the same
+    // bytes as a journalless run, and counts the failure — never an
+    // aborted sweep over lost durability.
+    const bool wasEnabled = util::setMetricsEnabled(true);
+    const auto corrupt = makeCorruptTrace("ckpt_degraded_corrupt.fo4t");
+    const auto jobs = mixedJobs(corrupt);
+    const auto points = twoPoints();
+    const auto spec = smallSpec();
+
+    const auto reference = serializeAll(
+        study::ParallelRunner(1).runGrid(points, jobs, spec));
+
+    const std::string journal = tempPath("ckpt_degraded.j");
+    // Creation writes the header via <path>.tmp and is keyed off that
+    // name, so only the per-cell record appends see the fault.
+    util::setDiskFaultHook(
+        [journal](const std::string &p)
+            -> std::optional<util::DiskFault> {
+            if (p == journal)
+                return util::DiskFault{};
+            return std::nullopt;
+        });
+    const std::uint64_t errs0 = util::MetricsRegistry::global().value(
+        "study.journal.append_errors");
+
+    study::CheckpointOptions opts;
+    opts.journalPath = journal;
+    opts.threads = 2;
+    study::CheckpointedRunner runner(opts);
+    const std::string bytes =
+        serializeAll(runner.runGrid(points, jobs, spec));
+    util::setDiskFaultHook(nullptr);
+
+    EXPECT_EQ(bytes, reference);
+    EXPECT_GE(util::MetricsRegistry::global().value(
+                  "study.journal.append_errors") -
+                  errs0,
+              1u);
+    // What remains on disk is still a trustworthy journal — just an
+    // empty one (the failed first append never landed a byte), so a
+    // later resume recomputes rather than trusting damaged state.
+    const auto contents = util::readJournal(journal);
+    EXPECT_TRUE(contents.records.empty());
+
+    util::setMetricsEnabled(wasEnabled);
+    std::remove(journal.c_str());
     std::remove(corrupt.c_str());
 }
 

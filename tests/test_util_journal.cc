@@ -287,3 +287,136 @@ TEST(AtomicCsv, UnwritableDirectoryIsTypedJournalIo)
         EXPECT_EQ(e.code(), util::ErrorCode::JournalIo);
     }
 }
+
+// ---------------------------------------------------------------------
+// Injected disk faults (the ENOSPC/short-write seam)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Scoped disk-fault hook: fault every write to `path`, clear on exit. */
+class ScopedDiskFault
+{
+  public:
+    ScopedDiskFault(std::string path, util::DiskFault fault)
+    {
+        util::setDiskFaultHook(
+            [path = std::move(path),
+             fault](const std::string &p)
+                -> std::optional<util::DiskFault> {
+                if (p == path)
+                    return fault;
+                return std::nullopt;
+            });
+    }
+    ~ScopedDiskFault() { util::setDiskFaultHook(nullptr); }
+};
+
+} // namespace
+
+TEST(Journal, TryAppendSurfacesEnospcAsTypedStatus)
+{
+    const auto path = makeJournal("journal_enospc.j", 7, 2);
+    auto recovered = util::readJournal(path);
+    auto writer = util::JournalWriter::appendTo(path, recovered);
+
+    {
+        ScopedDiskFault fault(path, util::DiskFault{}); // immediate ENOSPC
+        const util::Status st = writer.tryAppend("doomed-record");
+        ASSERT_FALSE(st.isOk());
+        EXPECT_EQ(st.code(), util::ErrorCode::JournalIo);
+        // The status carries enough to act on: the file and the cause.
+        EXPECT_NE(st.message().find(path), std::string::npos);
+        EXPECT_NE(st.message().find("No space left"), std::string::npos);
+    }
+
+    // The fault cleared: the same writer appends again, and recovery
+    // sees the 2 intact records plus the new one — the failed append
+    // left at most a torn tail, which append-time truncation and
+    // recovery both discard.
+    writer.append("record-after-fault");
+    writer.close();
+    const auto contents = util::readJournal(path);
+    ASSERT_GE(contents.records.size(), 3u);
+    EXPECT_EQ(contents.records.back(), "record-after-fault");
+    std::remove(path.c_str());
+}
+
+TEST(Journal, ShortWriteLandsAPrefixThenFailsTyped)
+{
+    const auto path = makeJournal("journal_shortwrite.j", 7, 3);
+    const auto intactBytes = slurp(path).size();
+    auto recovered = util::readJournal(path);
+    auto writer = util::JournalWriter::appendTo(path, recovered);
+
+    {
+        // The disk fills 5 bytes into the frame: a torn tail on disk.
+        ScopedDiskFault fault(
+            path, util::DiskFault{.failErrno = 28, .shortWriteBytes = 5});
+        const util::Status st = writer.tryAppend("never-completes");
+        ASSERT_FALSE(st.isOk());
+        EXPECT_EQ(st.code(), util::ErrorCode::JournalIo);
+    }
+    writer.close();
+
+    // Exactly the crash-legitimate state: recovery reports a torn tail
+    // and the full intact prefix — nothing corrupt, nothing lost.
+    const auto contents = util::readJournal(path);
+    EXPECT_TRUE(contents.tornTail);
+    ASSERT_EQ(contents.records.size(), 3u);
+    EXPECT_EQ(contents.validBytes, intactBytes);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, ThrowingAppendCarriesTheSameTypedCode)
+{
+    const auto path = makeJournal("journal_throwing.j", 7, 1);
+    auto recovered = util::readJournal(path);
+    auto writer = util::JournalWriter::appendTo(path, recovered);
+    ScopedDiskFault fault(path, util::DiskFault{});
+    try {
+        writer.append("doomed");
+        FAIL() << "append under ENOSPC succeeded";
+    } catch (const util::JournalError &e) {
+        EXPECT_EQ(e.code(), util::ErrorCode::JournalIo);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(AtomicCsv, DiskFaultIsTypedAndCommitRefuses)
+{
+    const auto path = tempPath("atomic_enospc.csv");
+    util::AtomicCsvFile csv(path);
+    ASSERT_TRUE(csv.tryWriteRow({"landed", "row"}).isOk());
+
+    {
+        ScopedDiskFault fault(csv.tempPath(), util::DiskFault{});
+        const util::Status st = csv.tryWriteRow({"doomed", "row"});
+        ASSERT_FALSE(st.isOk());
+        EXPECT_EQ(st.code(), util::ErrorCode::JournalIo);
+        EXPECT_NE(st.message().find("No space left"), std::string::npos);
+    }
+
+    // A writer that has lost a row must not publish: commit refuses
+    // (all-or-nothing), and the destination never appears.
+    const util::Status commit = csv.tryCommit();
+    ASSERT_FALSE(commit.isOk());
+    EXPECT_EQ(commit.code(), util::ErrorCode::JournalIo);
+    EXPECT_FALSE(csv.committed());
+    EXPECT_FALSE(std::ifstream(path).is_open());
+}
+
+TEST(AtomicCsv, ShortRowWriteAlsoPoisonsTheCommit)
+{
+    const auto path = tempPath("atomic_shortwrite.csv");
+    util::AtomicCsvFile csv(path);
+    {
+        ScopedDiskFault fault(
+            csv.tempPath(),
+            util::DiskFault{.failErrno = 28, .shortWriteBytes = 3});
+        ASSERT_FALSE(csv.tryWriteRow({"half", "a", "row"}).isOk());
+    }
+    EXPECT_FALSE(csv.tryCommit().isOk());
+    EXPECT_FALSE(std::ifstream(path).is_open());
+}
