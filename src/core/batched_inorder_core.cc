@@ -153,6 +153,9 @@ BatchedInorderCore::doIssue(SimResult &result)
             tracer->emit({name, "pipeline", 2, now, depLat, op.seq});
         }
 
+        if (retireSink != nullptr)
+            retireSink->onRetire(qOp[f]);
+
         qHead = qHead + 1 == qCap ? 0 : qHead + 1;
         --qSize;
         ++result.instructions;

@@ -55,6 +55,11 @@ class BatchedInorderCore : public Core
 
     void setTracer(util::TraceEventRing *ring) override { tracer = ring; }
 
+    void setRetireSink(trace::RetireSink *sink) override
+    {
+        retireSink = sink;
+    }
+
   private:
     void doIssue(SimResult &result);
     void doFetch(SimResult &result);
@@ -96,6 +101,8 @@ class BatchedInorderCore : public Core
     StallCause stallReason = StallCause::FrontEnd;
 
     util::TraceEventRing *tracer = nullptr;
+
+    trace::RetireSink *retireSink = nullptr;
 
     trace::TraceSource *source = nullptr;
     trace::DecodedTraceView *view = nullptr;

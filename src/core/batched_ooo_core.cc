@@ -236,6 +236,8 @@ BatchedOooCore::doCommit(SimResult &result)
                           aDoneCycle[h] - aIssueCycle[h], seq});
             tracer->emit({name, "pipeline", 3, now, 1, seq});
         }
+        if (retireSink != nullptr)
+            retireSink->onRetire(aOp[h]);
         ++result.instructions;
         ++commitSeq;
     }
@@ -343,6 +345,8 @@ BatchedOooCore::doFetch(SimResult &result)
         const isa::MicroOp op = nextOp();
 
         const std::size_t h = slotIx(fetchSeq);
+        if (retireSink != nullptr)
+            aOp[h] = op;
         aDispatchReady[h] = now + frontDepth;
         aIssueCycle[h] = -1;
         aDoneCycle[h] = -1;

@@ -58,6 +58,15 @@ class BatchedOooCore : public Core
 
     void setTracer(util::TraceEventRing *ring) override { tracer = ring; }
 
+    void setRetireSink(trace::RetireSink *sink) override
+    {
+        retireSink = sink;
+        // The side array of full ops exists only while observed, so the
+        // no-sink hot path stays untouched (DESIGN.md §14).
+        if (sink != nullptr && aOp.size() != aCls.size())
+            aOp.resize(aCls.size());
+    }
+
   private:
     /** One issue-window entry; the same state window.cc keeps. */
     struct WinEntry
@@ -116,6 +125,9 @@ class BatchedOooCore : public Core
     std::vector<std::int16_t> aDst;
     std::vector<std::uint8_t> aMispredicted;
     std::vector<std::uint8_t> aLoadMiss;
+    /** Full fetched ops by slot; filled only while a retire sink is
+     *  attached, so the hot no-sink path never touches it. */
+    std::vector<isa::MicroOp> aOp;
     std::uint64_t slotMask = 0;
 
     // Issue window (age order, oldest first).
@@ -134,6 +146,8 @@ class BatchedOooCore : public Core
     std::int64_t mispredictShadowEnd = 0;
 
     util::TraceEventRing *tracer = nullptr;
+
+    trace::RetireSink *retireSink = nullptr;
 
     std::array<std::uint64_t, isa::numArchRegs> renameMap{};
 

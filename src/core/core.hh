@@ -220,6 +220,16 @@ class Core
      * pure observability: it does not perturb timing or results.
      */
     virtual void setTracer(util::TraceEventRing *ring) = 0;
+
+    /**
+     * Attach (or detach, with nullptr) a retired-microop observer.  The
+     * sink must outlive the run and is called once per committed
+     * instruction, in commit order, with the op fetched for that stream
+     * position.  Like the tracer this is pure observability — it must
+     * not change any simulation result — and a sink is never shared
+     * between cores running concurrently.
+     */
+    virtual void setRetireSink(trace::RetireSink *sink) = 0;
 };
 
 /** Build the dynamically-scheduled (Alpha 21264-like) core. */

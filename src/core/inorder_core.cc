@@ -141,6 +141,9 @@ InorderCore::doIssue(SimResult &result)
             tracer->emit({name, "pipeline", 2, now, depLat, qi.op.seq});
         }
 
+        if (retireSink != nullptr)
+            retireSink->onRetire(qi.op);
+
         queue.popFront();
         ++result.instructions;
     }

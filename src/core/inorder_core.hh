@@ -38,6 +38,11 @@ class InorderCore : public Core
 
     void setTracer(util::TraceEventRing *ring) override { tracer = ring; }
 
+    void setRetireSink(trace::RetireSink *sink) override
+    {
+        retireSink = sink;
+    }
+
   private:
     struct QueuedInst
     {
@@ -80,6 +85,8 @@ class InorderCore : public Core
     StallCause stallReason = StallCause::FrontEnd;
 
     util::TraceEventRing *tracer = nullptr;
+
+    trace::RetireSink *retireSink = nullptr;
 
     trace::TraceSource *source = nullptr;
 };

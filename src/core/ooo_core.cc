@@ -116,6 +116,8 @@ OooCore::doCommit(SimResult &result)
                           di.doneCycle - di.issueCycle, seq});
             tracer->emit({name, "pipeline", 3, now, 1, seq});
         }
+        if (retireSink != nullptr)
+            retireSink->onRetire(di.op);
         ++result.instructions;
         ++commitSeq;
     }

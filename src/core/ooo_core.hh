@@ -59,6 +59,11 @@ class OooCore : public Core, private WakeupOracle
 
     void setTracer(util::TraceEventRing *ring) override { tracer = ring; }
 
+    void setRetireSink(trace::RetireSink *sink) override
+    {
+        retireSink = sink;
+    }
+
   private:
     struct DynInst
     {
@@ -121,6 +126,8 @@ class OooCore : public Core, private WakeupOracle
     std::int64_t mispredictShadowEnd = 0;
 
     util::TraceEventRing *tracer = nullptr;
+
+    trace::RetireSink *retireSink = nullptr;
 
     /** Architectural register -> seq of the youngest producer. */
     std::array<std::uint64_t, isa::numArchRegs> renameMap{};

@@ -3,6 +3,7 @@
 #include "trace/decoded_trace.hh"
 #include "trace/file_trace.hh"
 #include "trace/generator.hh"
+#include "trace/recorded_trace.hh"
 #include "util/logging.hh"
 #include "util/means.hh"
 #include "util/table.hh"
@@ -172,7 +173,8 @@ runJob(const core::CoreParams &params, const tech::ClockModel &clock,
         source =
             std::make_unique<trace::SyntheticTraceGenerator>(*job.profile);
     } else {
-        source = std::make_unique<trace::FileTrace>(job.tracePath);
+        // Sniffs the format: capture files and flat v1 traces both work.
+        source = trace::openTraceFile(job.tracePath);
     }
 
     const core::CoreParams &effective = job.params ? *job.params : params;
@@ -190,6 +192,8 @@ runJob(const core::CoreParams &params, const tech::ClockModel &clock,
 
     if (spec.tracer != nullptr)
         core->setTracer(spec.tracer);
+    if (spec.retireSink != nullptr)
+        core->setRetireSink(spec.retireSink);
 
     BenchResult result;
     result.name = job.name;

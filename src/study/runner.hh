@@ -132,6 +132,15 @@ struct RunSpec
      */
     util::TraceEventRing *tracer = nullptr;
 
+    /**
+     * Optional retired-microop observer attached to the core before
+     * the run (trace::Recorder verification, capture tooling).  Same
+     * rules as `tracer`: pure observability, excluded from
+     * gridFingerprint, and never fanned out across parallel cells —
+     * a sink sees one core's commit stream or none.
+     */
+    trace::RetireSink *retireSink = nullptr;
+
     /** Report every problem with the spec (all at once). */
     util::Status validate() const;
 };

@@ -1,6 +1,7 @@
 #include "trace/decoded_trace.hh"
 
 #include "trace/generator.hh"
+#include "trace/recorded_trace.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/status.hh"
@@ -102,10 +103,10 @@ DecodedTraceRegistry::viewForProfile(const BenchmarkProfile &profile)
 std::unique_ptr<DecodedTraceView>
 DecodedTraceRegistry::viewForFile(const std::string &path)
 {
-    return viewFor("file:" + path, [&path] {
-        return std::unique_ptr<TraceSource>(
-            std::make_unique<FileTrace>(path));
-    });
+    // openTraceFile sniffs the format, so capture files and flat v1
+    // trace files both replay through the decoded registry.
+    return viewFor("file:" + path,
+                   [&path] { return openTraceFile(path); });
 }
 
 std::size_t

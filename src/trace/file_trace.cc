@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "trace/trace_codec.hh"
 #include "util/logging.hh"
 #include "util/status.hh"
 
@@ -21,31 +22,6 @@ struct FileCloser
     std::FILE *f;
     ~FileCloser() { std::fclose(f); }
 };
-
-/** Range-check then unpack a record read from an untrusted file. */
-isa::MicroOp
-fromRecord(const TraceRecord &r, const std::string &path, std::size_t index)
-{
-    if (r.cls >= isa::numOpClasses) {
-        throw util::TraceError(
-            util::ErrorCode::TraceCorrupt,
-            util::strprintf("corrupt trace '%s': record %zu has op class "
-                            "%u out of range [0, %d)",
-                            path.c_str(), index, r.cls,
-                            isa::numOpClasses));
-    }
-    for (const std::int16_t reg : {r.src1, r.src2, r.dst}) {
-        if (reg != isa::noReg && (reg < 0 || reg >= isa::numArchRegs)) {
-            throw util::TraceError(
-                util::ErrorCode::TraceCorrupt,
-                util::strprintf("corrupt trace '%s': record %zu names "
-                                "register %d outside [0, %d)",
-                                path.c_str(), index, reg,
-                                isa::numArchRegs));
-        }
-    }
-    return unpackTraceRecord(r);
-}
 
 } // namespace
 
@@ -162,37 +138,29 @@ FileTrace::FileTrace(const std::string &path)
                             path.c_str(), header[1], sizeof(TraceRecord)));
     }
 
-    // A trailing partial record means the file was truncated mid-write;
-    // silently dropping it would replay a different instruction stream
-    // than was recorded.
+    // Decoding and validation (including the trailing-partial-record
+    // refusal: silently dropping a torn tail would replay a different
+    // instruction stream than was recorded) is shared with the capture
+    // container in trace_codec.cc, so both formats reject corruption
+    // identically.
     const long payloadBytes = fileBytes - headerBytes;
-    const long leftover = payloadBytes % static_cast<long>(sizeof(TraceRecord));
-    const long records = payloadBytes / static_cast<long>(sizeof(TraceRecord));
-    if (leftover != 0) {
+    std::vector<unsigned char> payload(
+        static_cast<std::size_t>(payloadBytes));
+    if (payloadBytes > 0 &&
+        std::fread(payload.data(), 1, payload.size(), f) !=
+            payload.size()) {
         throw util::TraceError(
-            util::ErrorCode::TraceCorrupt,
-            util::strprintf("trace file '%s' is truncated: %ld stray "
-                            "bytes after %ld complete records",
-                            path.c_str(), leftover, records));
+            util::ErrorCode::TraceIo,
+            util::strprintf("short read of %ld payload bytes from "
+                            "trace file '%s'",
+                            payloadBytes, path.c_str()));
     }
-    if (records == 0) {
+    appendCheckedRecords(payload.data(), payload.size(), path, ops);
+    if (ops.empty()) {
         throw util::TraceError(
             util::ErrorCode::TraceCorrupt,
             util::strprintf("trace file '%s' contains no instructions",
                             path.c_str()));
-    }
-
-    ops.reserve(static_cast<std::size_t>(records));
-    TraceRecord r;
-    for (long i = 0; i < records; ++i) {
-        if (std::fread(&r, sizeof(r), 1, f) != 1) {
-            throw util::TraceError(
-                util::ErrorCode::TraceIo,
-                util::strprintf("short read of record %ld from trace "
-                                "file '%s'",
-                                i, path.c_str()));
-        }
-        ops.push_back(fromRecord(r, path, static_cast<std::size_t>(i)));
     }
 }
 

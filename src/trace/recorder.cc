@@ -1,0 +1,88 @@
+#include "trace/recorder.hh"
+
+#include "util/logging.hh"
+#include "util/status.hh"
+
+namespace fo4::trace
+{
+
+namespace
+{
+
+/** isa::MicroOp has no operator==; compare every captured field. */
+bool
+sameOp(const isa::MicroOp &a, const isa::MicroOp &b)
+{
+    return a.seq == b.seq && a.pc == b.pc && a.cls == b.cls &&
+           a.src1 == b.src1 && a.src2 == b.src2 && a.dst == b.dst &&
+           a.addr == b.addr && a.taken == b.taken;
+}
+
+} // namespace
+
+Recorder::Recorder(std::unique_ptr<TraceSource> inner)
+    : inner(std::move(inner))
+{
+    FO4_ASSERT(this->inner != nullptr, "recorder needs a source");
+    this->inner->reset();
+}
+
+isa::MicroOp
+Recorder::next()
+{
+    if (pos < ops.size())
+        return ops[pos++];
+    ops.push_back(inner->next());
+    ++pos;
+    return ops.back();
+}
+
+void
+Recorder::reset()
+{
+    pos = 0;
+    retired = 0;
+}
+
+void
+Recorder::onRetire(const isa::MicroOp &op)
+{
+    if (retired >= ops.size()) {
+        throw util::TraceError(
+            util::ErrorCode::TraceCorrupt,
+            util::strprintf("recorder saw retirement %zu past the %zu "
+                            "captured ops",
+                            retired, ops.size()));
+    }
+    const isa::MicroOp &expect = ops[retired];
+    if (!sameOp(op, expect)) {
+        throw util::TraceError(
+            util::ErrorCode::TraceCorrupt,
+            util::strprintf("recorder divergence at op %zu: retired "
+                            "[%s] != captured [%s]",
+                            retired, op.toString().c_str(),
+                            expect.toString().c_str()));
+    }
+    ++retired;
+    ++totalRetired;
+}
+
+void
+Recorder::pad(std::uint64_t margin)
+{
+    ops.reserve(ops.size() + margin);
+    for (std::uint64_t i = 0; i < margin; ++i)
+        ops.push_back(inner->next());
+}
+
+void
+Recorder::writeCapture(const std::string &path,
+                       const CaptureMeta &meta) const
+{
+    CaptureWriter writer = CaptureWriter::create(path, meta);
+    for (const isa::MicroOp &op : ops)
+        writer.append(op);
+    writer.close();
+}
+
+} // namespace fo4::trace

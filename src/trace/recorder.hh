@@ -1,0 +1,80 @@
+#ifndef FO4_TRACE_RECORDER_HH
+#define FO4_TRACE_RECORDER_HH
+
+/**
+ * @file
+ * trace::Recorder — captures the instruction stream of a live run.
+ *
+ * The Recorder sits between a core and any TraceSource as a recording
+ * tee: every op the core pulls is remembered, and reset() replays the
+ * remembered prefix instead of resetting the inner source, so repeated
+ * passes (prewarm, then the timed run) observe the identical stream a
+ * plain source would produce.  Attached to the same core as a
+ * RetireSink it cross-checks that every op the core *retires* is
+ * field-for-field the op that was captured at that stream position —
+ * a live proof that the capture really is the retired-microop stream.
+ *
+ * All repo sources number ops by stream position (op.seq equals the
+ * pull index); the verification relies on this, because the
+ * out-of-order core re-stamps seq with its own fetch counter.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/capture.hh"
+#include "trace/trace.hh"
+
+namespace fo4::trace
+{
+
+class Recorder final : public TraceSource, public RetireSink
+{
+  public:
+    explicit Recorder(std::unique_ptr<TraceSource> inner);
+
+    /** Replays below the high-water mark, pulls and captures above. */
+    isa::MicroOp next() override;
+
+    /**
+     * Rewinds the replay cursor (and the retire check) to position 0.
+     * The inner source is deliberately *not* reset: its cursor stays at
+     * the high-water mark so later pulls extend the capture.
+     */
+    void reset() override;
+
+    /**
+     * Verifies the retired op against the capture at the next retire
+     * position; throws util::TraceError(TraceCorrupt) on divergence.
+     */
+    void onRetire(const isa::MicroOp &op) override;
+
+    /**
+     * Extends the capture `margin` ops past the high-water mark, so a
+     * replayed run whose fetch-ahead reaches slightly further than the
+     * recording run still finds recorded ops.
+     */
+    void pad(std::uint64_t margin);
+
+    const std::vector<isa::MicroOp> &captured() const { return ops; }
+
+    /** Total onRetire() calls verified across all passes. */
+    std::uint64_t retiredOps() const { return totalRetired; }
+
+    /** Writes the capture atomically; see CaptureWriter. */
+    void writeCapture(const std::string &path,
+                      const CaptureMeta &meta = {}) const;
+
+  private:
+    std::unique_ptr<TraceSource> inner;
+    std::vector<isa::MicroOp> ops;
+    std::size_t pos = 0;
+    std::size_t retired = 0;
+    std::uint64_t totalRetired = 0;
+};
+
+} // namespace fo4::trace
+
+#endif // FO4_TRACE_RECORDER_HH

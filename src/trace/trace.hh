@@ -35,6 +35,23 @@ class TraceSource
 };
 
 /**
+ * Observer of the retired-microop stream of a core run.  A core with a
+ * sink attached calls onRetire() once per committed instruction, in
+ * commit order, with the exact op it fetched for that position of the
+ * stream.  Pure observability: attaching a sink must not change any
+ * simulation result.  Sinks may throw (trace::Recorder turns a
+ * divergence into a typed TraceError); the exception propagates out of
+ * Core::run().
+ */
+class RetireSink
+{
+  public:
+    virtual ~RetireSink() = default;
+
+    virtual void onRetire(const isa::MicroOp &op) = 0;
+};
+
+/**
  * Replays a fixed vector of instructions, cycling when exhausted.  Used
  * by unit tests to drive cores with hand-built kernels.
  */

@@ -1,0 +1,62 @@
+#ifndef FO4_TRACE_TRACE_CODEC_HH
+#define FO4_TRACE_TRACE_CODEC_HH
+
+/**
+ * @file
+ * Shared record codec and corruption matrix for the on-disk trace
+ * formats.
+ *
+ * Two containers store packed TraceRecords: the flat v1 trace file
+ * (trace::FileTrace) and the CRC-framed capture container
+ * (trace/capture.hh).  Both decoders funnel every record read from an
+ * untrusted file through the helpers here, so the two formats accept
+ * exactly the same records and reject corruption with the same typed
+ * util::TraceError messages — the formats cannot drift apart.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/microop.hh"
+#include "trace/file_trace.hh"
+
+namespace fo4::trace
+{
+
+/**
+ * Decodes one packed 32-byte record from a byte buffer.  The on-disk
+ * layout is the in-memory layout of TraceRecord (packed, asserted
+ * 32 bytes); this helper keeps that single memcpy in one place.
+ */
+TraceRecord decodeTraceRecord(const unsigned char *bytes);
+
+/** Encodes one record into exactly sizeof(TraceRecord) bytes. */
+void encodeTraceRecord(const TraceRecord &r, unsigned char *bytes);
+
+/**
+ * Range-checks a record read from an untrusted file.  Throws
+ * util::TraceError(TraceCorrupt) naming `path` and the record `index`
+ * when the op class or a register number is out of range.
+ */
+void checkTraceRecord(const TraceRecord &r, const std::string &path,
+                      std::size_t index);
+
+/**
+ * Decodes, validates and appends a run of packed records to `out`.
+ *
+ * `size` must be a whole number of records; a remainder means the
+ * container was truncated mid-record, and silently dropping the tail
+ * would replay a different instruction stream than was recorded —
+ * throws util::TraceError(TraceCorrupt) with the stray-byte count.
+ * Record indices in error messages continue from `out.size()`, so a
+ * framed container reports absolute record numbers across frames.
+ */
+void appendCheckedRecords(const unsigned char *bytes, std::size_t size,
+                          const std::string &path,
+                          std::vector<isa::MicroOp> &out);
+
+} // namespace fo4::trace
+
+#endif // FO4_TRACE_TRACE_CODEC_HH

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "study/goldengen.hh"
+#include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
 #include "trace/decoded_trace.hh"
@@ -289,6 +291,59 @@ TEST(CoreDifferential, SimImplNamesRoundTrip)
               study::SimImpl::Reference);
     EXPECT_EQ(study::simImplFromName("batched"), study::SimImpl::Batched);
     EXPECT_THROW(study::simImplFromName("fast"), util::ConfigError);
+}
+
+TEST(CoreDifferential, RecordedReplaySweepIsByteIdentical)
+{
+    // Tentpole acceptance: a sweep replayed from a capture file is
+    // byte-identical to the live sweep it was recorded from — under
+    // both implementations and at 1 and 8 worker threads.
+    const std::string path = std::string(::testing::TempDir()) +
+                             "/differential_replay.fo4cap";
+    study::CaptureRequest request;
+    request.profile = trace::spec2000Profile("164.gzip");
+    request.params = core::CoreParams::alpha21264();
+    request.spec = baseSpec();
+    const auto info = study::recordCapture(path, request);
+    EXPECT_GE(info.retiredOps, static_cast<std::uint64_t>(
+                                   request.spec.warmup +
+                                   request.spec.instructions));
+    EXPECT_GE(info.capturedOps, info.retiredOps + request.margin);
+
+    std::vector<study::GridPoint> points;
+    for (const double u : {6.0, 8.0})
+        points.push_back({study::scaledCoreParams(u, {}),
+                          study::scaledClock(u)});
+    const auto liveJob = study::BenchJob::fromProfile(request.profile);
+    const auto replayJob = study::BenchJob::fromTraceFile(
+        liveJob.name, trace::BenchClass::Integer, path);
+
+    const auto sweep = [&points](const study::BenchJob &job,
+                                 study::SimImpl impl, int threads) {
+        study::RunSpec spec = baseSpec();
+        spec.impl = impl;
+        const auto suites = study::ParallelRunner(threads).runGrid(
+            points, {job}, spec);
+        std::string out;
+        for (const auto &suite : suites)
+            out += study::serializeSuite(suite);
+        return out;
+    };
+
+    const auto live = sweep(liveJob, study::SimImpl::Reference, 1);
+    ASSERT_NE(live.find("|Ok|"), std::string::npos) << live;
+    for (const auto impl :
+         {study::SimImpl::Reference, study::SimImpl::Batched}) {
+        for (const int threads : {1, 8}) {
+            EXPECT_EQ(sweep(liveJob, impl, threads), live)
+                << "live impl=" << study::simImplName(impl)
+                << " threads=" << threads;
+            EXPECT_EQ(sweep(replayJob, impl, threads), live)
+                << "replay impl=" << study::simImplName(impl)
+                << " threads=" << threads;
+        }
+    }
+    std::remove(path.c_str());
 }
 
 TEST(CoreDifferential, DirectTraceSourceMatchesReference)
