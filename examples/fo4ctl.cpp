@@ -68,6 +68,13 @@ const std::vector<fo4::util::KeyDoc> kKeys = {
     {"overhead", "clocking overhead per stage, FO4"},
     {"t_useful", "comma list of useful FO4 depths to sweep"},
     {"tenant", "tenant name for per-tenant admission quotas"},
+    {"mc_samples", "Monte Carlo dice per sweep point (0 = deterministic)"},
+    {"mc_dist", "per-stage draw family: normal | lognormal"},
+    {"mc_sigma_latch", "per-stage latch overhead sigma"},
+    {"mc_sigma_skew", "per-stage clock skew sigma"},
+    {"mc_sigma_jitter", "per-stage clock jitter sigma"},
+    {"mc_sigma_die", "die-level systematic corner sigma"},
+    {"mc_seed", "root seed of the sampling streams"},
 };
 
 std::vector<std::string>
@@ -104,6 +111,14 @@ requestFromConfig(const fo4::util::Config &cfg)
         static_cast<std::uint64_t>(cfg.getInt("cycle_limit", 0));
     request.overheadFo4 = cfg.getDouble("overhead", 1.8);
     request.tenant = cfg.getString("tenant", "");
+    request.mcSamples =
+        static_cast<std::uint64_t>(cfg.getInt("mc_samples", 0));
+    request.mcDist = cfg.getString("mc_dist", "normal");
+    request.mcSigmaLatch = cfg.getDouble("mc_sigma_latch", 0.0);
+    request.mcSigmaSkew = cfg.getDouble("mc_sigma_skew", 0.0);
+    request.mcSigmaJitter = cfg.getDouble("mc_sigma_jitter", 0.0);
+    request.mcSigmaDie = cfg.getDouble("mc_sigma_die", 0.0);
+    request.mcSeed = static_cast<std::uint64_t>(cfg.getInt("mc_seed", 0));
 
     for (const auto &field :
          splitCommaList(cfg.getString("t_useful", "8,6"))) {

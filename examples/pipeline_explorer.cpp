@@ -19,6 +19,7 @@
 
 #include "bench/common.hh"
 #include "study/checkpoint.hh"
+#include "study/montecarlo.hh"
 #include "study/parallel.hh"
 #include "study/runner.hh"
 #include "study/scaling.hh"
@@ -40,6 +41,13 @@ const std::vector<fo4::util::KeyDoc> kKeys = {
     {"jobs", "worker threads (1 = serial, 0 = all cores)"},
     {"checkpoint", "journal file; an interrupted sweep resumes from it"},
     {"resume", "resume=0 discards an existing journal and starts over"},
+    {"mc_samples", "Monte Carlo dice per sweep point (0 = deterministic)"},
+    {"mc_dist", "per-stage draw family: normal | lognormal"},
+    {"mc_sigma_latch", "per-stage latch overhead sigma"},
+    {"mc_sigma_skew", "per-stage clock skew sigma"},
+    {"mc_sigma_jitter", "per-stage clock jitter sigma"},
+    {"mc_sigma_die", "die-level systematic corner sigma"},
+    {"mc_seed", "root seed of the sampling streams"},
     {"verbose", "print cache and metrics diagnostics"},
     {"stats", "write per-point stall-attribution CSV here"},
     {"trace", "write a Chrome pipeline trace of one benchmark here"},
@@ -94,6 +102,68 @@ explore(int argc, char **argv)
     util::CancelToken cancel;
     util::installSigintCancel(cancel);
 
+    std::vector<double> ts;
+    for (double u = 2; u <= 16; u += 1)
+        ts.push_back(u);
+    study::SweepOptions sweep;
+    sweep.overhead = tech::OverheadModel::uniform(overhead);
+
+    // mc_samples= switches the sweep to the Monte Carlo engine: every
+    // die draws per-stage overhead around the nominal, and the curve
+    // reported is the yield-weighted mean with its confidence band.
+    const int mcSamples = static_cast<int>(cfg.getInt("mc_samples", 0));
+    if (mcSamples > 0) {
+        study::McOptions mopts;
+        mopts.sweep = sweep;
+        mopts.variation.dist =
+            study::mcDistFromName(cfg.getString("mc_dist", "normal"));
+        // The explorer's nominal is uniform(overhead) — the skew and
+        // jitter components decompose to zero — so the default
+        // variation rides the latch component; normal sigmas on a
+        // zero-nominal component would reject every draw.
+        mopts.variation.sigmaLatch = cfg.getDouble("mc_sigma_latch", 0.05);
+        mopts.variation.sigmaSkew = cfg.getDouble("mc_sigma_skew", 0.0);
+        mopts.variation.sigmaJitter =
+            cfg.getDouble("mc_sigma_jitter", 0.0);
+        mopts.variation.sigmaDie = cfg.getDouble("mc_sigma_die", 0.05);
+        mopts.variation.seed =
+            static_cast<std::uint64_t>(cfg.getInt("mc_seed", 0));
+        mopts.variation.samples = mcSamples;
+        mopts.journalPath = checkpoint;
+        mopts.threads = jobs;
+        mopts.cancel = &cancel;
+        study::MonteCarloRunner mc(mopts);
+
+        std::printf("Monte Carlo sweep: t_useful = 2..16 FO4, overhead "
+                    "%.1f FO4 nominal, %d dice/point (%s), %zu "
+                    "benchmark(s), %d worker thread(s)\n\n",
+                    overhead, mcSamples,
+                    study::mcDistName(mopts.variation.dist),
+                    profiles.size(), mc.threads());
+        const study::McSweepResult result = mc.run(ts, profiles, spec);
+
+        util::TextTable mt;
+        mt.setHeader({"t_useful", "period(FO4)", "stages", "mean BIPS",
+                      "p5", "p95", "yield"});
+        for (const auto &pt : result.points) {
+            mt.addRow({util::TextTable::num(pt.tUseful, 0),
+                       util::TextTable::num(
+                           pt.nominalClock.periodFo4(), 1),
+                       util::strprintf("%d", pt.stages),
+                       util::TextTable::num(pt.all.meanBips, 3),
+                       util::TextTable::num(pt.all.p5Bips, 3),
+                       util::TextTable::num(pt.all.p95Bips, 3),
+                       util::TextTable::num(pt.yield, 3)});
+        }
+        mt.print(std::cout);
+        std::printf("\nyield-weighted optimum: %.0f FO4 useful logic "
+                    "per stage\n",
+                    result.optimumTUseful());
+        bench::printLatencyCacheStats(cfg.getBool("verbose", false));
+        bench::printMetricsRegistry(cfg.getBool("verbose", false));
+        return 0;
+    }
+
     study::CheckpointOptions copts;
     copts.journalPath = checkpoint;
     copts.threads = jobs;
@@ -107,11 +177,6 @@ explore(int argc, char **argv)
                                                         : "out-of-order",
                 runner.threads());
 
-    std::vector<double> ts;
-    for (double u = 2; u <= 16; u += 1)
-        ts.push_back(u);
-    study::SweepOptions sweep;
-    sweep.overhead = tech::OverheadModel::uniform(overhead);
     const auto points = runner.sweepScaling(ts, sweep, profiles, spec);
     if (runner.report().resumed) {
         std::printf("resumed from checkpoint: %zu of %zu cells replayed\n",

@@ -439,10 +439,14 @@ RetryPolicy::delayMs(int attempt, std::uint64_t cellKey) const
 
     // Deterministic jitter: the same (seed, cell, attempt) always draws
     // the same factor, so a reproduction of a retried run backs off
-    // identically.
-    util::Rng rng(jitterSeed ^ (cellKey * 0x9e3779b97f4a7c15ull) ^
-                  static_cast<std::uint64_t>(attempt));
-    const double factor = 1.0 + jitterFraction * (rng.uniform() - 0.5);
+    // identically.  The draw is a counter-based util::RandomStream —
+    // the same splittable-stream discipline the Monte Carlo sampler
+    // uses — keyed by the jitter seed and split per cell, per attempt.
+    const util::RandomStream jitter =
+        util::RandomStream::root(jitterSeed)
+            .child(cellKey)
+            .child(static_cast<std::uint64_t>(attempt));
+    const double factor = 1.0 + jitterFraction * (jitter.uniform(0) - 0.5);
     return delay * factor;
 }
 

@@ -68,7 +68,9 @@ struct RetryPolicy
     /** Jitter width: each delay is scaled by a deterministic factor in
      *  [1 - jitterFraction/2, 1 + jitterFraction/2]. */
     double jitterFraction = 0.25;
-    /** Seed of the jitter stream (util::Rng; per-cell, per-attempt). */
+    /** Seed of the jitter stream (a util::RandomStream split per cell
+     *  and per attempt, so each delay is a pure function of
+     *  (seed, cell, attempt)). */
     std::uint64_t jitterSeed = 0xf04;
 
     /**

@@ -345,6 +345,19 @@ SweepRequest::encode() const
     // byte-stable.
     if (!tenant.empty())
         out += "tenant=" + tenant + "\n";
+    // A deterministic sweep (mcSamples == 0) omits every mc_* field,
+    // keeping pre-v4 request bodies byte-stable.
+    if (mcSamples > 0) {
+        out += util::strprintf("mc_samples=%llu\n",
+                               static_cast<unsigned long long>(mcSamples));
+        out += "mc_dist=" + mcDist + "\n";
+        out += util::strprintf("mc_sigma_latch=%a\n", mcSigmaLatch);
+        out += util::strprintf("mc_sigma_skew=%a\n", mcSigmaSkew);
+        out += util::strprintf("mc_sigma_jitter=%a\n", mcSigmaJitter);
+        out += util::strprintf("mc_sigma_die=%a\n", mcSigmaDie);
+        out += util::strprintf("mc_seed=%llu\n",
+                               static_cast<unsigned long long>(mcSeed));
+    }
     out += "t_useful=";
     for (std::size_t i = 0; i < tUseful.size(); ++i)
         out += util::strprintf(i ? " %a" : "%a", tUseful[i]);
@@ -406,6 +419,25 @@ SweepRequest::decode(std::string_view body)
                         "tenant may only contain [A-Za-z0-9._-]");
                 }
             }
+        } else if (key == "mc_samples") {
+            req.mcSamples = parseU64(value, "mc_samples");
+        } else if (key == "mc_dist") {
+            req.mcDist = std::string(value);
+            if (req.mcDist != "normal" && req.mcDist != "lognormal") {
+                throwProtocol(
+                    "mc_dist must be 'normal' or 'lognormal', got '" +
+                    req.mcDist + "'");
+            }
+        } else if (key == "mc_sigma_latch") {
+            req.mcSigmaLatch = parseHexDouble(value, "mc_sigma_latch");
+        } else if (key == "mc_sigma_skew") {
+            req.mcSigmaSkew = parseHexDouble(value, "mc_sigma_skew");
+        } else if (key == "mc_sigma_jitter") {
+            req.mcSigmaJitter = parseHexDouble(value, "mc_sigma_jitter");
+        } else if (key == "mc_sigma_die") {
+            req.mcSigmaDie = parseHexDouble(value, "mc_sigma_die");
+        } else if (key == "mc_seed") {
+            req.mcSeed = parseU64(value, "mc_seed");
         } else if (key == "t_useful") {
             sawUseful = true;
             std::size_t start = 0;

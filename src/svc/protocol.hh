@@ -56,8 +56,11 @@ namespace fo4::svc
  *  leases) and the cells_done progress field of JobStatusInfo.
  *  v3 added the tenant field of SweepRequest (per-tenant admission
  *  quotas) and the cache gauges of StatsSnapshot — decoders are
- *  strict, so new fields force the bump. */
-constexpr std::uint16_t kProtocolVersion = 3;
+ *  strict, so new fields force the bump.
+ *  v4 added the Monte Carlo fields of SweepRequest (mc_samples,
+ *  mc_dist, mc_sigma_* and mc_seed) — omitted from the wire when
+ *  mcSamples == 0, so deterministic request bodies stay byte-stable. */
+constexpr std::uint16_t kProtocolVersion = 4;
 
 /** Frame header: u32 payload length + u32 payload CRC. */
 constexpr std::size_t kFrameHeaderBytes = 8;
@@ -202,6 +205,24 @@ struct SweepRequest
      * share cache hits; quotas meter admission, not bytes.
      */
     std::string tenant;
+
+    /**
+     * Monte Carlo process variation (protocol v4).  mcSamples == 0 (the
+     * default) means a deterministic sweep; the mc_* fields are then
+     * omitted from the wire, keeping pre-v4 request bodies byte-stable.
+     * mcSamples >= 1 expands the planned grid sample-major (see
+     * study::expandMonteCarloGrid); every field below participates in
+     * the grid fingerprint through the sampled clocks it produces.
+     * Sigmas travel in hexfloat, so workers re-derive bit-identical
+     * sampled grids from the request body alone.
+     */
+    std::uint64_t mcSamples = 0;
+    std::string mcDist = "normal"; ///< "normal" | "lognormal"
+    double mcSigmaLatch = 0.0;
+    double mcSigmaSkew = 0.0;
+    double mcSigmaJitter = 0.0;
+    double mcSigmaDie = 0.0;
+    std::uint64_t mcSeed = 0;
 
     std::string encode() const;
     /** Throws SvcError(Protocol) on malformed bodies. */

@@ -1,5 +1,6 @@
 #include "svc/sweep.hh"
 
+#include "study/montecarlo.hh"
 #include "study/scaling.hh"
 #include "trace/spec2000.hh"
 #include "util/logging.hh"
@@ -40,6 +41,36 @@ planSweep(const SweepRequest &request)
         point.params = study::scaledCoreParams(t, scaling);
         point.clock = study::scaledClock(t, overhead);
         plan.points.push_back(std::move(point));
+    }
+
+    // Monte Carlo requests expand the planned grid sample-major: die s
+    // of base point p lands at slot s*nBase+p (study::expandMonteCarloGrid).
+    // Every sampled clock is derived here, from the request alone, so a
+    // fleet worker plans bit-identically the grid the coordinator did —
+    // same points, same fingerprint — and the whole fabric / checkpoint
+    // machinery applies to sampled cells unchanged.
+    if (request.mcSamples > 0) {
+        study::VariationModel variation;
+        variation.dist = study::mcDistFromName(request.mcDist);
+        variation.sigmaLatch = request.mcSigmaLatch;
+        variation.sigmaSkew = request.mcSigmaSkew;
+        variation.sigmaJitter = request.mcSigmaJitter;
+        variation.sigmaDie = request.mcSigmaDie;
+        variation.seed = request.mcSeed;
+        variation.samples = static_cast<int>(request.mcSamples);
+        if (request.mcSamples > 100000) {
+            throw util::ConfigError(util::strprintf(
+                "mc_samples %llu is beyond the service bound of 100000",
+                static_cast<unsigned long long>(request.mcSamples)));
+        }
+        plan.points = study::expandMonteCarloGrid(plan.points, variation);
+        std::vector<double> expandedUseful;
+        expandedUseful.reserve(plan.points.size());
+        for (std::uint64_t s = 0; s < request.mcSamples; ++s) {
+            for (const double t : request.tUseful)
+                expandedUseful.push_back(t);
+        }
+        plan.tUseful = std::move(expandedUseful);
     }
 
     for (const auto &wire : request.jobs) {

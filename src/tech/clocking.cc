@@ -22,6 +22,30 @@ OverheadModel::fromKurdMeasurements(Technology measuredAt, double latchFo4)
     return m;
 }
 
+OverheadModel
+OverheadModel::validated(double latchFo4, double skewFo4, double jitterFo4)
+{
+    util::ErrorCollector errs;
+    const struct
+    {
+        const char *name;
+        double value;
+    } parts[] = {{"latch", latchFo4}, {"skew", skewFo4},
+                 {"jitter", jitterFo4}};
+    for (const auto &part : parts) {
+        if (!std::isfinite(part.value))
+            errs.addf("%s overhead must be finite (got %g)", part.name,
+                      part.value);
+        else if (part.value < 0.0)
+            errs.addf("%s overhead cannot be negative (got %g FO4)",
+                      part.name, part.value);
+    }
+    const util::Status st = errs.status(util::ErrorCode::InvalidConfig);
+    if (!st.isOk())
+        throw util::ConfigError(st.message());
+    return OverheadModel{latchFo4, skewFo4, jitterFo4};
+}
+
 util::Status
 ClockModel::validate() const
 {

@@ -40,6 +40,17 @@ struct OverheadModel
     }
 
     /**
+     * Validated constructor for *computed* overheads — Monte Carlo
+     * sampled draws, user-supplied decompositions — where a negative or
+     * non-finite component is a real possibility.  Rejects such values
+     * with a typed ConfigError naming every bad component at once,
+     * rather than clamping them silently: a clamped draw would corrupt
+     * the sampled distribution and still fingerprint as legitimate.
+     */
+    static OverheadModel validated(double latchFo4, double skewFo4,
+                                   double jitterFo4);
+
+    /**
      * Skew and jitter derived from Kurd et al.'s absolute numbers at a
      * given measurement node, rounded to one decimal as in the paper.
      */

@@ -1,13 +1,17 @@
 /**
  * @file
- * Aggregate means.  The paper reports the harmonic mean of per-benchmark
- * BIPS; these helpers centralize that so every experiment aggregates the
- * same way.
+ * Aggregate means and streaming statistics.  The paper reports the
+ * harmonic mean of per-benchmark BIPS; these helpers centralize that so
+ * every experiment aggregates the same way.  The streaming accumulators
+ * (Welford moments, P-squared quantiles) serve the Monte Carlo study,
+ * whose confidence bands must be computable in one pass over thousands
+ * of samples without retaining them.
  */
 
 #ifndef FO4_UTIL_MEANS_HH
 #define FO4_UTIL_MEANS_HH
 
+#include <cstdint>
 #include <vector>
 
 namespace fo4::util
@@ -21,6 +25,68 @@ double arithmeticMean(const std::vector<double> &values);
 
 /** Geometric mean; all values must be positive. */
 double geometricMean(const std::vector<double> &values);
+
+/**
+ * One-pass mean/variance accumulator (Welford's algorithm): numerically
+ * stable at any count, no stored samples.  Feeding n copies of x yields
+ * mean() == x bit-exactly (the update term (x - mean) is exactly zero),
+ * which is what lets a zero-sigma Monte Carlo aggregate reproduce the
+ * deterministic value byte-for-byte.
+ */
+class StreamingMoments
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return n; }
+    /** Arithmetic mean; requires count() > 0. */
+    double mean() const;
+    /** Unbiased sample variance (n-1 denominator); 0 while count() < 2. */
+    double variance() const;
+    double stddev() const;
+    /** Smallest / largest value seen; require count() > 0. */
+    double min() const;
+    double max() const;
+
+  private:
+    std::uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Streaming quantile estimator (Jain & Chlamtac's P-squared algorithm):
+ * five markers tracking the target quantile in O(1) memory.  Exact for
+ * the first five observations (and for any constant stream); afterwards
+ * a piecewise-parabolic estimate whose error vanishes as the sample
+ * grows.  Deterministic: the estimate is a pure function of the
+ * insertion sequence, so aggregating Monte Carlo samples in slot order
+ * gives byte-identical bands at any thread count.
+ */
+class P2Quantile
+{
+  public:
+    /** Track the q-th quantile, q in (0, 1) (e.g. 0.05, 0.95). */
+    explicit P2Quantile(double q);
+
+    void add(double x);
+
+    /** Current estimate; requires count() > 0. */
+    double value() const;
+
+    std::uint64_t count() const { return n; }
+    double quantile() const { return q; }
+
+  private:
+    double q;
+    std::uint64_t n = 0;
+    double heights[5] = {};
+    double positions[5] = {};
+    double desired[5] = {};
+    double increment[5] = {};
+};
 
 } // namespace fo4::util
 

@@ -35,6 +35,68 @@ Rng::Rng(std::uint64_t seed)
         word = splitmix64(x);
 }
 
+namespace
+{
+
+/** Stafford mix13, the SplitMix64 output finalizer: a bijective 64-bit
+ *  mixer with full avalanche. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+// Distinct odd salts keep the three key-derivation paths (root, child,
+// counter evaluation) from ever colliding structurally: child(i) of one
+// stream cannot alias bits(j) of another merely because i and j are
+// related.
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kRootSalt = 0x8e2f9d4b1c6a3e57ULL;
+constexpr std::uint64_t kChildSalt = 0xc2b2ae3d27d4eb4fULL;
+constexpr std::uint64_t kCounterGamma = 0xd1342543de82ef95ULL;
+
+} // namespace
+
+RandomStream
+RandomStream::root(std::uint64_t seed)
+{
+    return RandomStream(mix64(seed ^ kRootSalt));
+}
+
+RandomStream
+RandomStream::child(std::uint64_t index) const
+{
+    return RandomStream(mix64(mix64(k ^ kChildSalt) + (index + 1) * kGolden));
+}
+
+std::uint64_t
+RandomStream::bits(std::uint64_t counter) const
+{
+    return mix64(mix64(k) + (counter + 1) * kCounterGamma);
+}
+
+double
+RandomStream::uniform(std::uint64_t counter) const
+{
+    return static_cast<double>(bits(counter) >> 11) * 0x1.0p-53;
+}
+
+double
+RandomStream::normal(std::uint64_t draw, double mean, double sigma) const
+{
+    FO4_ASSERT(sigma >= 0.0, "normal() needs sigma >= 0, got %f", sigma);
+    // Irwin-Hall n=12 (the Rng::normal approximation): only uniform
+    // draws and IEEE additions, so the value is bit-stable everywhere
+    // — and sigma == 0 yields exactly `mean`, because 0.0 * z == 0.0.
+    double sum = 0.0;
+    const std::uint64_t base = draw * 12;
+    for (std::uint64_t i = 0; i < 12; ++i)
+        sum += uniform(base + i);
+    return mean + sigma * (sum - 6.0);
+}
+
 std::uint64_t
 Rng::next()
 {

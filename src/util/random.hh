@@ -1,11 +1,15 @@
 /**
  * @file
- * Deterministic pseudo-random number generation and the sampling
- * distributions used by the synthetic workload generator.
+ * Deterministic pseudo-random number generation: the sequential
+ * generator and sampling distributions used by the synthetic workload
+ * generator, and the counter-based splittable streams used wherever a
+ * draw must be a *pure function of its coordinates* (Monte Carlo
+ * overhead sampling, retry-backoff jitter).
  *
- * We use xoshiro256** rather than std::mt19937 so that trace generation is
- * bit-reproducible across standard library implementations, which keeps the
- * experiment tables stable.
+ * We use xoshiro256** / keyed SplitMix-style mixing rather than
+ * std::mt19937 and std::normal_distribution so that every draw is
+ * bit-reproducible across standard library implementations, which keeps
+ * the experiment tables stable.
  */
 
 #ifndef FO4_UTIL_RANDOM_HH
@@ -52,6 +56,63 @@ class Rng
 
   private:
     std::uint64_t s[4];
+};
+
+/**
+ * A counter-based, splittable random stream: an immutable 64-bit key
+ * whose draws are pure functions of (key, counter).  This is the RNG
+ * discipline behind every reproducible-by-coordinates draw in the
+ * repo — Monte Carlo overhead sampling keyed by (seed, point, sample,
+ * stage) and the retry policy's per-(cell, attempt) backoff jitter —
+ * because it makes determinism structural:
+ *
+ *  - no shared mutable state: any thread, worker daemon, or resumed
+ *    process that knows the coordinates reproduces the draw, so results
+ *    are byte-identical at any jobs=, across checkpoint/resume, and
+ *    when cells are sharded over the sweep fabric;
+ *  - random access: bits(k) costs the same with or without computing
+ *    bits(0..k-1), so skipping draws (a rejected sample, a replayed
+ *    cell) never shifts later ones;
+ *  - splittable: child(i) derives an independent stream, so a sampling
+ *    hierarchy (point -> sample -> attempt -> stage) maps onto streams
+ *    without counter bookkeeping across levels.
+ *
+ * Draws use only integer mixing and IEEE add/multiply (normals are
+ * Irwin-Hall sums of uniforms, not libm transforms), so streams are
+ * bit-stable across platforms and standard libraries; the unit tests
+ * pin golden draw values.
+ */
+class RandomStream
+{
+  public:
+    /** Root stream of a seeded domain: same seed, same stream. */
+    static RandomStream root(std::uint64_t seed);
+
+    /** Independent child stream; same (parent, index) -> same child. */
+    RandomStream child(std::uint64_t index) const;
+
+    /** Raw 64-bit draw at `counter`: a pure function of (key, counter). */
+    std::uint64_t bits(std::uint64_t counter) const;
+
+    /** Uniform double in [0, 1) at `counter`. */
+    double uniform(std::uint64_t counter) const;
+
+    /**
+     * Normal draw number `draw` (each consumes the 12 uniforms at
+     * counters [12*draw, 12*draw + 12) via an Irwin-Hall sum, so
+     * successive draws never overlap).  sigma == 0 returns `mean`
+     * bit-exactly — the zero-variance stream *is* the deterministic
+     * value, which is what lets a zero-sigma Monte Carlo run reproduce
+     * the deterministic sweep byte-for-byte.
+     */
+    double normal(std::uint64_t draw, double mean, double sigma) const;
+
+    /** The stream's key (diagnostics, fingerprints). */
+    std::uint64_t key() const { return k; }
+
+  private:
+    explicit RandomStream(std::uint64_t key) : k(key) {}
+    std::uint64_t k;
 };
 
 /**

@@ -317,6 +317,43 @@ TEST(Fabric, FleetSweepIsByteIdenticalToLocal)
     coord.join();
 }
 
+TEST(Fabric, MonteCarloFleetSweepIsByteIdenticalToLocal)
+{
+    // A sampled grid is just more cells: workers re-derive the sampled
+    // clocks from the request body alone (counter-based streams), so a
+    // fleet-sharded Monte Carlo sweep must be byte-identical to the
+    // local serial run.
+    // The wire nominal is uniform(overhead_fo4) — skew and jitter
+    // decompose to zero — so the variation rides the latch component.
+    svc::SweepRequest request = smallRequest();
+    request.mcSamples = 2;
+    request.mcDist = "normal";
+    request.mcSigmaLatch = 0.08;
+    request.mcSigmaDie = 0.05;
+    request.mcSeed = 42;
+    const std::string expected = localBytes(request);
+
+    svc::Coordinator coord(fastCoordinator());
+    svc::Worker w1(workerFor(coord.port(), "w1"));
+    svc::Worker w2(workerFor(coord.port(), "w2"));
+
+    svc::Client client("127.0.0.1", coord.port());
+    const auto [id, cells] = client.submit(request);
+    EXPECT_EQ(8u, cells); // 2 dice x 2 depths x 2 benchmarks
+    const auto status = client.waitUntilDone(id, 50);
+    ASSERT_EQ(svc::JobState::Done, status.state);
+    EXPECT_EQ(expected, client.fetchResults(id));
+
+    w1.stop();
+    w2.stop();
+    w1.join();
+    w2.join();
+    EXPECT_EQ(8u, w1.cellsExecuted() + w2.cellsExecuted());
+
+    coord.stop();
+    coord.join();
+}
+
 TEST(Fabric, ZeroWorkerFleetCompletesViaLocalFallback)
 {
     const svc::SweepRequest request = smallRequest();

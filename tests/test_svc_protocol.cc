@@ -488,3 +488,97 @@ TEST(SvcResults, FuzzedOpaquePayloadsSurviveFraming)
         EXPECT_EQ(got->body, payload) << "round " << round;
     }
 }
+
+// ---------------------------------------------------------------------
+// Monte Carlo request fields (protocol v4)
+// ---------------------------------------------------------------------
+
+TEST(SvcBodies, MonteCarloFieldsRoundTripExactly)
+{
+    svc::SweepRequest req = sampleRequest();
+    req.mcSamples = 64;
+    req.mcDist = "lognormal";
+    req.mcSigmaLatch = 0.08000000000000007; // survives only via hexfloat
+    req.mcSigmaSkew = 0.019999999999999997;
+    req.mcSigmaJitter = 0.03;
+    req.mcSigmaDie = 1e-17;
+    req.mcSeed = 0xdeadbeefcafef00dULL;
+
+    const svc::SweepRequest back =
+        svc::SweepRequest::decode(req.encode());
+    EXPECT_EQ(back.mcSamples, req.mcSamples);
+    EXPECT_EQ(back.mcDist, req.mcDist);
+    EXPECT_EQ(back.mcSigmaLatch, req.mcSigmaLatch); // bit-exact
+    EXPECT_EQ(back.mcSigmaSkew, req.mcSigmaSkew);
+    EXPECT_EQ(back.mcSigmaJitter, req.mcSigmaJitter);
+    EXPECT_EQ(back.mcSigmaDie, req.mcSigmaDie);
+    EXPECT_EQ(back.mcSeed, req.mcSeed);
+}
+
+TEST(SvcBodies, DeterministicRequestOmitsMonteCarloFields)
+{
+    // mcSamples == 0 must keep the body byte-stable with pre-v4
+    // encoders: no mc_* key may appear.
+    const svc::SweepRequest req = sampleRequest();
+    ASSERT_EQ(req.mcSamples, 0u);
+    const std::string body = req.encode();
+    EXPECT_EQ(body.find("mc_"), std::string::npos) << body;
+    const svc::SweepRequest back = svc::SweepRequest::decode(body);
+    EXPECT_EQ(back.mcSamples, 0u);
+    EXPECT_EQ(back.mcDist, "normal");
+    EXPECT_EQ(back.mcSigmaLatch, 0.0);
+    EXPECT_EQ(back.mcSeed, 0u);
+}
+
+TEST(SvcBodies, MalformedMonteCarloFieldsAreTypedErrors)
+{
+    const char *broken[] = {
+        "mc_samples=nope\nt_useful=6\njob=profile\t0\t0\tx\n",
+        "mc_dist=cauchy\nt_useful=6\njob=profile\t0\t0\tx\n",
+        "mc_sigma_latch=zzz\nt_useful=6\njob=profile\t0\t0\tx\n",
+        "mc_seed=-3\nt_useful=6\njob=profile\t0\t0\tx\n",
+    };
+    for (const char *body : broken) {
+        try {
+            svc::SweepRequest::decode(body);
+            FAIL() << "accepted: " << body;
+        } catch (const util::SvcError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Protocol) << body;
+        }
+    }
+}
+
+TEST(SvcBodies, MonteCarloPlanExpandsSampleMajor)
+{
+    svc::SweepRequest req = sampleRequest();
+    req.tUseful = {8.0, 6.0};
+    req.mcSamples = 3;
+    req.mcSigmaLatch = 0.05;
+    req.mcSeed = 7;
+    const svc::SweepPlan plan =
+        svc::planSweep(svc::SweepRequest::decode(req.encode()));
+    // 3 dice x 2 base points, sample-major; t_useful repeats in step.
+    ASSERT_EQ(plan.points.size(), 6u);
+    ASSERT_EQ(plan.tUseful.size(), 6u);
+    for (std::size_t s = 0; s < 3; ++s) {
+        EXPECT_EQ(plan.tUseful[s * 2 + 0], 8.0);
+        EXPECT_EQ(plan.tUseful[s * 2 + 1], 6.0);
+        EXPECT_EQ(plan.points[s * 2 + 0].clock.tUsefulFo4, 8.0);
+        EXPECT_EQ(plan.points[s * 2 + 1].clock.tUsefulFo4, 6.0);
+    }
+    // Dice drew distinct clocks; replanning the same body reproduces
+    // them bit-exactly (what lets a fleet worker re-derive the grid).
+    EXPECT_NE(plan.points[0].clock.overhead.latchFo4,
+              plan.points[2].clock.overhead.latchFo4);
+    const svc::SweepPlan again =
+        svc::planSweep(svc::SweepRequest::decode(req.encode()));
+    for (std::size_t i = 0; i < plan.points.size(); ++i) {
+        EXPECT_EQ(plan.points[i].clock.overhead.latchFo4,
+                  again.points[i].clock.overhead.latchFo4);
+        EXPECT_EQ(plan.points[i].clock.overhead.skewFo4,
+                  again.points[i].clock.overhead.skewFo4);
+        EXPECT_EQ(plan.points[i].clock.overhead.jitterFo4,
+                  again.points[i].clock.overhead.jitterFo4);
+    }
+    EXPECT_EQ(svc::planFingerprint(plan), svc::planFingerprint(again));
+}

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "tech/clocking.hh"
 #include "tech/fo4.hh"
 
@@ -133,4 +136,57 @@ TEST(ClockModel, OverheadCompressesFrequencyGain)
     const double gain = fast.frequencyGhz() / slow.frequencyGhz();
     EXPECT_LT(gain, 2.0);
     EXPECT_GT(gain, 1.5);
+}
+
+// ---------------------------------------------------------------------
+// OverheadModel::validated — the typed gate for computed (sampled or
+// user-supplied) decompositions.
+// ---------------------------------------------------------------------
+
+TEST(OverheadValidated, AcceptsNonDefaultDraws)
+{
+    const auto m = fo4::tech::OverheadModel::validated(1.07, 0.28, 0.55);
+    EXPECT_EQ(m.latchFo4, 1.07);
+    EXPECT_EQ(m.skewFo4, 0.28);
+    EXPECT_EQ(m.jitterFo4, 0.55);
+    EXPECT_DOUBLE_EQ(m.totalFo4(), 1.07 + 0.28 + 0.55);
+}
+
+TEST(OverheadValidated, AcceptsZeroComponents)
+{
+    const auto m = fo4::tech::OverheadModel::validated(1.8, 0.0, 0.0);
+    EXPECT_EQ(m.totalFo4(), 1.8);
+}
+
+TEST(OverheadValidated, RejectsNegativeInsteadOfClamping)
+{
+    EXPECT_THROW(fo4::tech::OverheadModel::validated(-0.1, 0.3, 0.5),
+                 fo4::util::ConfigError);
+    EXPECT_THROW(fo4::tech::OverheadModel::validated(1.0, -0.01, 0.5),
+                 fo4::util::ConfigError);
+    EXPECT_THROW(fo4::tech::OverheadModel::validated(1.0, 0.3, -2.0),
+                 fo4::util::ConfigError);
+}
+
+TEST(OverheadValidated, RejectsNonFinite)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(fo4::tech::OverheadModel::validated(inf, 0.3, 0.5),
+                 fo4::util::ConfigError);
+    EXPECT_THROW(fo4::tech::OverheadModel::validated(1.0, nan, 0.5),
+                 fo4::util::ConfigError);
+}
+
+TEST(OverheadValidated, NamesEveryBadComponentAtOnce)
+{
+    try {
+        fo4::tech::OverheadModel::validated(-1.0, -0.5, -0.1);
+        FAIL() << "expected ConfigError";
+    } catch (const fo4::util::ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("latch"), std::string::npos);
+        EXPECT_NE(what.find("skew"), std::string::npos);
+        EXPECT_NE(what.find("jitter"), std::string::npos);
+    }
 }
